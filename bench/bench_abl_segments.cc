@@ -1,0 +1,43 @@
+// Ablation (Sec. 4.2 design choice): per-segment indexes vs one global
+// index. The same dataset is loaded with different segment capacities
+// (from one giant segment down to many small ones) and we report build
+// time, recall, and single-thread latency. The paper's design argument:
+// segment-granular indexes give elasticity, bounded fault domains, and
+// parallel build/search at a modest query-time merge cost.
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+using namespace tigervector;
+using namespace tigervector::bench;
+
+int main() {
+  const size_t n = BaseN();
+  const size_t nq = std::min<size_t>(QueryN(), 30);
+  const size_t k = 10;
+  VectorDataset dataset = MakeSiftLike(n, nq);
+  ComputeGroundTruth(&dataset, k, nullptr);
+
+  PrintHeader("Ablation: segment count sweep (" + std::to_string(n) +
+              " vectors, k=" + std::to_string(k) + ", ef=128)");
+  PrintRow({"segments", "seg capacity", "build s", "recall", "latency ms"});
+
+  for (size_t num_segments : {1u, 4u, 16u, 64u}) {
+    const uint32_t capacity =
+        static_cast<uint32_t>((n + num_segments - 1) / num_segments);
+    auto instance = LoadTigerVector(dataset, capacity);
+    const double recall = MeasureRecall(dataset, instance, k, 128);
+    Timer timer;
+    for (size_t q = 0; q < nq; ++q) {
+      VectorSearchRequest request;
+      request.attrs = {{"Item", "emb"}};
+      request.query = dataset.QueryVector(q);
+      request.k = k;
+      request.ef = 128;
+      if (!instance.db->embeddings()->TopKSearch(request).ok()) std::abort();
+    }
+    const double ms = timer.ElapsedMillis() / nq;
+    PrintRow({std::to_string(num_segments), std::to_string(capacity),
+              Fmt(instance.build_seconds), Fmt(recall, 4), Fmt(ms, 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation (Sec. 4.3 design): delta-store backlog vs search cost. Vector
+// search combines the index snapshot with a brute-force scan over pending
+// deltas, so an unbounded backlog would slow every query; the two-stage
+// vacuum bounds it. This sweep measures query latency at increasing
+// pending-delta counts, then after vacuuming.
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+using namespace tigervector;
+using namespace tigervector::bench;
+
+int main() {
+  const size_t n = BaseN() / 2;
+  const size_t nq = std::min<size_t>(QueryN(), 30);
+  const size_t k = 10;
+  VectorDataset dataset = MakeSiftLike(n, nq);
+  VectorDataset extra = MakeSiftLike(n, 1, /*seed=*/333);
+  auto instance = LoadTigerVector(dataset);
+
+  auto measure = [&]() {
+    Timer timer;
+    for (size_t q = 0; q < nq; ++q) {
+      VectorSearchRequest request;
+      request.attrs = {{"Item", "emb"}};
+      request.query = dataset.QueryVector(q);
+      request.k = k;
+      request.ef = 128;
+      if (!instance.db->embeddings()->TopKSearch(request).ok()) std::abort();
+    }
+    return timer.ElapsedMillis() / nq;
+  };
+
+  PrintHeader("Ablation: pending-delta backlog vs search latency (" +
+              std::to_string(n) + " indexed vectors)");
+  PrintRow({"pending deltas", "latency ms"});
+  PrintRow({"0 (vacuumed)", Fmt(measure(), 3)});
+
+  size_t updated = 0;
+  for (size_t backlog : {n / 100, n / 20, n / 5, n / 2}) {
+    // Grow the backlog to `backlog` by updating more vectors.
+    Transaction txn = instance.db->Begin();
+    while (updated < backlog) {
+      const size_t i = updated % n;
+      std::vector<float> v(extra.BaseVector(i), extra.BaseVector(i) + extra.dim);
+      if (!txn.SetEmbedding(instance.vids[i], "Item", "emb", std::move(v)).ok()) {
+        std::abort();
+      }
+      ++updated;
+    }
+    if (!txn.Commit().ok()) std::abort();
+    PrintRow({std::to_string(instance.db->embeddings()->TotalPendingDeltas()),
+              Fmt(measure(), 3)});
+  }
+
+  Timer vac;
+  if (!instance.db->Vacuum().ok()) std::abort();
+  std::printf("\nvacuum folded the backlog in %.2fs;", vac.ElapsedSeconds());
+  std::printf(" latency after vacuum: %.3f ms\n", measure());
+  return 0;
+}

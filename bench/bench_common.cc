@@ -1,0 +1,132 @@
+#include "bench/bench_common.h"
+
+#include <cstring>
+
+#include "util/timer.h"
+
+namespace tigervector::bench {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+size_t BaseN() { return EnvSize("TV_BENCH_N", 20000); }
+size_t QueryN() { return EnvSize("TV_BENCH_Q", 50); }
+size_t ClientThreads() { return EnvSize("TV_BENCH_THREADS", 16); }
+
+TigerVectorInstance LoadTigerVector(const VectorDataset& dataset,
+                                    uint32_t segment_capacity, size_t m,
+                                    size_t ef_construction) {
+  TigerVectorInstance instance;
+  Database::Options options;
+  options.store.segment_capacity = segment_capacity;
+  options.embeddings.index_params.m = m;
+  options.embeddings.index_params.ef_construction = ef_construction;
+  options.num_threads = 4;
+  instance.db = std::make_unique<Database>(options);
+
+  EmbeddingTypeInfo info;
+  info.dimension = dataset.dim;
+  info.model = "bench";
+  info.metric = dataset.metric;
+  auto vt = instance.db->schema()->CreateVertexType("Item", {});
+  if (!vt.ok()) std::abort();
+  if (!instance.db->schema()->AddEmbeddingAttr("Item", "emb", info).ok()) {
+    std::abort();
+  }
+
+  // Data load: batched transactions writing vertices + vector deltas (the
+  // "Data Load" phase of Table 2).
+  Timer load_timer;
+  const size_t batch = 2048;
+  instance.vids.reserve(dataset.num_base);
+  for (size_t begin = 0; begin < dataset.num_base; begin += batch) {
+    Transaction txn = instance.db->Begin();
+    const size_t end = std::min(dataset.num_base, begin + batch);
+    for (size_t i = begin; i < end; ++i) {
+      auto vid = txn.InsertVertex("Item", {});
+      if (!vid.ok()) std::abort();
+      std::vector<float> v(dataset.BaseVector(i), dataset.BaseVector(i) + dataset.dim);
+      if (!txn.SetEmbedding(*vid, "Item", "emb", std::move(v)).ok()) std::abort();
+      instance.vids.push_back(*vid);
+    }
+    if (!txn.Commit().ok()) std::abort();
+  }
+  instance.load_seconds = load_timer.ElapsedSeconds();
+
+  // Index build: the two-stage vacuum folds every delta into the
+  // per-segment HNSW indexes ("Index Build" phase of Table 2).
+  Timer build_timer;
+  if (!instance.db->Vacuum().ok()) std::abort();
+  instance.build_seconds = build_timer.ElapsedSeconds();
+  return instance;
+}
+
+double MeasureRecall(const VectorDataset& dataset,
+                     const TigerVectorInstance& instance, size_t k, size_t ef) {
+  double total = 0;
+  for (size_t q = 0; q < dataset.num_queries; ++q) {
+    VectorSearchRequest request;
+    request.attrs = {{"Item", "emb"}};
+    request.query = dataset.QueryVector(q);
+    request.k = k;
+    request.ef = ef;
+    request.pool = instance.db->pool();
+    auto result = instance.db->embeddings()->TopKSearch(request);
+    if (!result.ok()) std::abort();
+    std::vector<uint64_t> base_ids;
+    for (const auto& hit : result->hits) base_ids.push_back(hit.label);
+    // vids are allocated sequentially from 0 in load order, so the vid IS
+    // the base index here.
+    total += RecallAtK(dataset, q, base_ids, k);
+  }
+  return total / std::max<size_t>(1, dataset.num_queries);
+}
+
+ThroughputPoint MeasureTigerVector(const VectorDataset& dataset,
+                                   const TigerVectorInstance& instance, size_t k,
+                                   size_t ef, size_t threads,
+                                   size_t queries_per_thread) {
+  ThroughputPoint point;
+  point.ef = ef;
+  point.recall = MeasureRecall(dataset, instance, k, ef);
+  auto result = RunClosedLoop(threads, queries_per_thread, [&](size_t t, size_t i) {
+    VectorSearchRequest request;
+    request.attrs = {{"Item", "emb"}};
+    request.query = dataset.QueryVector((t * 131 + i) % dataset.num_queries);
+    request.k = k;
+    request.ef = ef;
+    // Closed-loop clients provide inter-query parallelism; segments run
+    // sequentially within one query here (matching a saturated server).
+    auto r = instance.db->embeddings()->TopKSearch(request);
+    if (!r.ok()) std::abort();
+  });
+  point.qps = result.qps;
+  point.mean_latency_ms = result.mean_latency_ms;
+  point.p99_latency_ms = result.p99_ms;
+  return point;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) std::printf("%-14s", cell.c_str());
+  std::printf("\n");
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace tigervector::bench

@@ -1,0 +1,70 @@
+#ifndef TIGERVECTOR_BENCH_BENCH_COMMON_H_
+#define TIGERVECTOR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/datasets.h"
+#include "workload/driver.h"
+
+namespace tigervector::bench {
+
+// Scale knobs. The paper runs SIFT100M/Deep100M on 32-vCPU cloud boxes;
+// this harness defaults to laptop-scale sizes so every bench finishes in
+// minutes on one core, and scales up via environment variables:
+//   TV_BENCH_N        base vectors per dataset      (default 20000)
+//   TV_BENCH_Q        query count                   (default 50)
+//   TV_BENCH_THREADS  client threads for throughput (default 16, as paper)
+size_t BaseN();
+size_t QueryN();
+size_t ClientThreads();
+
+// A TigerVector database holding one vector dataset as `Item.emb`
+// vertices, fully vacuumed (all vectors folded into per-segment HNSW
+// indexes). vids[i] is the vertex of base vector i.
+struct TigerVectorInstance {
+  std::unique_ptr<Database> db;
+  std::vector<VertexId> vids;
+  double load_seconds = 0;   // transactions committed (deltas written)
+  double build_seconds = 0;  // two-stage vacuum (index build)
+};
+
+// Loads `dataset` into a fresh database. segment_capacity controls the
+// per-segment index size (paper Sec. 4.2).
+TigerVectorInstance LoadTigerVector(const VectorDataset& dataset,
+                                    uint32_t segment_capacity = 8192,
+                                    size_t m = 16, size_t ef_construction = 128);
+
+// recall@k of a result against dataset ground truth, averaged over queries
+// run through `search` (query index -> hit labels in vid space).
+// vid_to_base maps a vid back to the base-vector index.
+double MeasureRecall(const VectorDataset& dataset,
+                     const TigerVectorInstance& instance, size_t k, size_t ef);
+
+// One (recall, qps) point measured with a closed-loop driver.
+struct ThroughputPoint {
+  size_t ef = 0;
+  double recall = 0;
+  double qps = 0;
+  double mean_latency_ms = 0;
+  double p99_latency_ms = 0;
+};
+
+ThroughputPoint MeasureTigerVector(const VectorDataset& dataset,
+                                   const TigerVectorInstance& instance, size_t k,
+                                   size_t ef, size_t threads,
+                                   size_t queries_per_thread);
+
+// Pretty printing helpers for paper-style tables.
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells);
+
+std::string Fmt(double v, int precision = 2);
+
+}  // namespace tigervector::bench
+
+#endif  // TIGERVECTOR_BENCH_BENCH_COMMON_H_

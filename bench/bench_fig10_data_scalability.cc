@@ -1,0 +1,50 @@
+// Figure 10 reproduction: data-size scalability. The dataset grows 10x
+// (N/10 -> N) at fixed search parameters on an 8-server simulated cluster;
+// the paper's finding is that QPS decreases roughly proportionally to the
+// data size (slightly sub-proportionally at low ef, where per-query fixed
+// costs amortize and CPU utilization improves).
+#include <map>
+
+#include "bench/bench_common.h"
+#include "mpp/cluster.h"
+#include "workload/driver.h"
+
+using namespace tigervector;
+using namespace tigervector::bench;
+
+int main() {
+  const size_t n = BaseN();
+  const size_t nq = QueryN();
+  const size_t k = 10;
+
+  PrintHeader("Figure 10: data-size scalability (SIFT-like, 8 servers, k=" +
+              std::to_string(k) + ")");
+  PrintRow({"vectors", "ef", "recall", "QPS", "QPS ratio vs smallest"});
+
+  std::vector<size_t> sizes = {n / 10, n / 4, n / 2, n};
+  std::map<size_t, double> smallest_qps;  // per ef
+
+  for (size_t size : sizes) {
+    VectorDataset dataset = MakeSiftLike(size, nq);
+    ComputeGroundTruth(&dataset, k, nullptr);
+    const uint32_t seg_cap =
+        static_cast<uint32_t>(std::max<size_t>(512, sizes.front() / 4));
+    auto instance = LoadTigerVector(dataset, seg_cap);
+    Cluster cluster(instance.db->store(), instance.db->embeddings(), {8, 2});
+    for (size_t ef : {32u, 128u}) {
+      const double recall = MeasureRecall(dataset, instance, k, ef);
+      auto run = RunClosedLoop(ClientThreads(), 4, [&](size_t t, size_t i) {
+        VectorSearchRequest request;
+        request.attrs = {{"Item", "emb"}};
+        request.query = dataset.QueryVector((t * 131 + i) % dataset.num_queries);
+        request.k = k;
+        request.ef = ef;
+        if (!cluster.DistributedTopK(request).ok()) std::abort();
+      });
+      if (smallest_qps.find(ef) == smallest_qps.end()) smallest_qps[ef] = run.qps;
+      PrintRow({std::to_string(size), std::to_string(ef), Fmt(recall, 4),
+                Fmt(run.qps, 1), Fmt(run.qps / smallest_qps[ef] * 100, 1) + "%"});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 7 reproduction: throughput (QPS) vs recall@100 on SIFT-like and
+// Deep-like datasets, 16 client threads. TigerVector and the Milvus model
+// sweep ef; Neo4j and Neptune models have no tuning knob and contribute a
+// single operating point each (as in the paper).
+#include "baselines/competitors.h"
+#include "bench/bench_common.h"
+#include "util/thread_pool.h"
+
+using namespace tigervector;
+using namespace tigervector::bench;
+
+namespace {
+
+struct BaselinePoint {
+  double recall;
+  double qps;
+};
+
+BaselinePoint MeasureBaseline(const VectorBaseline& baseline,
+                              const VectorDataset& dataset, size_t k, size_t ef,
+                              size_t threads, size_t queries_per_thread) {
+  double total_recall = 0;
+  for (size_t q = 0; q < dataset.num_queries; ++q) {
+    auto hits = baseline.TopK(dataset.QueryVector(q), k, ef);
+    std::vector<uint64_t> ids;
+    for (const auto& h : hits) ids.push_back(h.label);
+    total_recall += RecallAtK(dataset, q, ids, k);
+  }
+  auto run = RunClosedLoop(threads, queries_per_thread, [&](size_t t, size_t i) {
+    baseline.TopK(dataset.QueryVector((t * 131 + i) % dataset.num_queries), k, ef);
+  });
+  return {total_recall / dataset.num_queries, run.qps};
+}
+
+void RunDataset(const VectorDataset& dataset, size_t k) {
+  PrintHeader("Figure 7: throughput vs recall on " + dataset.name + " (k=" +
+              std::to_string(k) + ", " + std::to_string(ClientThreads()) +
+              " client threads)");
+  PrintRow({"system", "ef", "recall", "QPS"});
+
+  const size_t threads = ClientThreads();
+  const size_t qpt = std::max<size_t>(2, 128 / threads);
+
+  // TigerVector: ef sweep.
+  auto instance = LoadTigerVector(dataset);
+  for (size_t ef : {16u, 32u, 64u, 128u, 256u, 400u}) {
+    auto p = MeasureTigerVector(dataset, instance, k, ef, threads, qpt);
+    PrintRow({"TigerVector", std::to_string(ef), Fmt(p.recall, 4), Fmt(p.qps, 1)});
+  }
+
+  ThreadPool pool(4);
+  // Milvus model: ef sweep.
+  MilvusLikeBaseline milvus(dataset.dim, dataset.metric, 8192, 16, 128, nullptr);
+  if (!milvus.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok() ||
+      !milvus.BuildIndex(&pool).ok()) {
+    std::abort();
+  }
+  for (size_t ef : {16u, 32u, 64u, 128u, 256u, 400u}) {
+    auto p = MeasureBaseline(milvus, dataset, k, ef, threads, qpt);
+    PrintRow({"Milvus-like", std::to_string(ef), Fmt(p.recall, 4), Fmt(p.qps, 1)});
+  }
+
+  // Neo4j model: single point, no tuning.
+  Neo4jLikeBaseline neo4j(dataset.dim, dataset.metric);
+  if (!neo4j.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok() ||
+      !neo4j.BuildIndex(nullptr).ok()) {
+    std::abort();
+  }
+  auto np = MeasureBaseline(neo4j, dataset, k, /*ef=*/0, threads, qpt);
+  PrintRow({"Neo4j-like", "fixed", Fmt(np.recall, 4), Fmt(np.qps, 1)});
+
+  // Neptune model: single point, pinned high accuracy.
+  NeptuneLikeBaseline neptune(dataset.dim, dataset.metric);
+  if (!neptune.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok() ||
+      !neptune.BuildIndex(&pool).ok()) {
+    std::abort();
+  }
+  auto ap = MeasureBaseline(neptune, dataset, k, /*ef=*/0, threads, qpt);
+  PrintRow({"Neptune-like", "fixed", Fmt(ap.recall, 4), Fmt(ap.qps, 1)});
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = BaseN();
+  const size_t nq = QueryN();
+  const size_t k = 10;
+
+  VectorDataset sift = MakeSiftLike(n, nq);
+  ComputeGroundTruth(&sift, k, nullptr);
+  RunDataset(sift, k);
+
+  VectorDataset deep = MakeDeepLike(n, nq);
+  ComputeGroundTruth(&deep, k, nullptr);
+  RunDataset(deep, k);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 8 reproduction: single-thread latency vs recall@100 on SIFT-like
+// and Deep-like datasets, same system lineup as Figure 7.
+#include "baselines/competitors.h"
+#include "bench/bench_common.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace tigervector;
+using namespace tigervector::bench;
+
+namespace {
+
+struct LatencyPoint {
+  double recall;
+  double mean_ms;
+};
+
+LatencyPoint MeasureBaselineLatency(const VectorBaseline& baseline,
+                                    const VectorDataset& dataset, size_t k,
+                                    size_t ef) {
+  double total_recall = 0;
+  Timer timer;
+  for (size_t q = 0; q < dataset.num_queries; ++q) {
+    auto hits = baseline.TopK(dataset.QueryVector(q), k, ef);
+    std::vector<uint64_t> ids;
+    for (const auto& h : hits) ids.push_back(h.label);
+    total_recall += RecallAtK(dataset, q, ids, k);
+  }
+  const double mean_ms = timer.ElapsedMillis() / dataset.num_queries;
+  return {total_recall / dataset.num_queries, mean_ms};
+}
+
+void RunDataset(const VectorDataset& dataset, size_t k) {
+  PrintHeader("Figure 8: single-thread latency vs recall on " + dataset.name +
+              " (k=" + std::to_string(k) + ")");
+  PrintRow({"system", "ef", "recall", "mean ms"});
+
+  auto instance = LoadTigerVector(dataset);
+  for (size_t ef : {16u, 32u, 64u, 128u, 256u, 400u}) {
+    auto p = MeasureTigerVector(dataset, instance, k, ef, /*threads=*/1,
+                                /*queries_per_thread=*/64);
+    PrintRow({"TigerVector", std::to_string(ef), Fmt(p.recall, 4),
+              Fmt(p.mean_latency_ms, 3)});
+  }
+
+  ThreadPool pool(4);
+  MilvusLikeBaseline milvus(dataset.dim, dataset.metric, 8192, 16, 128, nullptr);
+  if (!milvus.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok() ||
+      !milvus.BuildIndex(&pool).ok()) {
+    std::abort();
+  }
+  for (size_t ef : {16u, 32u, 64u, 128u, 256u, 400u}) {
+    auto p = MeasureBaselineLatency(milvus, dataset, k, ef);
+    PrintRow({"Milvus-like", std::to_string(ef), Fmt(p.recall, 4),
+              Fmt(p.mean_ms, 3)});
+  }
+
+  Neo4jLikeBaseline neo4j(dataset.dim, dataset.metric);
+  if (!neo4j.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok() ||
+      !neo4j.BuildIndex(nullptr).ok()) {
+    std::abort();
+  }
+  auto np = MeasureBaselineLatency(neo4j, dataset, k, 0);
+  PrintRow({"Neo4j-like", "fixed", Fmt(np.recall, 4), Fmt(np.mean_ms, 3)});
+
+  NeptuneLikeBaseline neptune(dataset.dim, dataset.metric);
+  if (!neptune.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok() ||
+      !neptune.BuildIndex(&pool).ok()) {
+    std::abort();
+  }
+  auto ap = MeasureBaselineLatency(neptune, dataset, k, 0);
+  PrintRow({"Neptune-like", "fixed", Fmt(ap.recall, 4), Fmt(ap.mean_ms, 3)});
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = BaseN();
+  const size_t nq = QueryN();
+  const size_t k = 10;
+
+  VectorDataset sift = MakeSiftLike(n, nq);
+  ComputeGroundTruth(&sift, k, nullptr);
+  RunDataset(sift, k);
+
+  VectorDataset deep = MakeDeepLike(n, nq);
+  ComputeGroundTruth(&deep, k, nullptr);
+  RunDataset(deep, k);
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) of the kernels everything else sits
+// on: distance functions, HNSW search at several ef values, filtered
+// search, and the brute-force scan.
+#include <benchmark/benchmark.h>
+
+#include "hnsw/brute_force.h"
+#include "hnsw/hnsw_index.h"
+#include "simd/distance.h"
+#include "util/rng.h"
+
+namespace tigervector {
+namespace {
+
+std::vector<float> RandomVectors(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(count * dim);
+  for (float& v : data) v = rng.NextFloat() * 100.0f;
+  return data;
+}
+
+void BM_L2Distance(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  auto data = RandomVectors(2, dim, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        L2SquaredDistance(data.data(), data.data() + dim, dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2Distance)->Arg(96)->Arg(128)->Arg(768)->Arg(1536);
+
+void BM_InnerProduct(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  auto data = RandomVectors(2, dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InnerProduct(data.data(), data.data() + dim, dim));
+  }
+}
+BENCHMARK(BM_InnerProduct)->Arg(128)->Arg(1536);
+
+void BM_CosineDistance(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  auto data = RandomVectors(2, dim, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CosineDistance(data.data(), data.data() + dim, dim));
+  }
+}
+BENCHMARK(BM_CosineDistance)->Arg(128)->Arg(1536);
+
+// Shared index for the search benchmarks (built once).
+HnswIndex* SharedIndex(size_t n, size_t dim) {
+  static HnswIndex* index = [&] {
+    HnswParams params;
+    params.dim = dim;
+    params.metric = Metric::kL2;
+    params.m = 16;
+    params.ef_construction = 128;
+    params.max_elements = n;
+    auto* idx = new HnswIndex(params);
+    auto data = RandomVectors(n, dim, 4);
+    for (size_t i = 0; i < n; ++i) {
+      if (!idx->AddPoint(i, data.data() + i * dim).ok()) std::abort();
+    }
+    return idx;
+  }();
+  return index;
+}
+
+constexpr size_t kIndexN = 10000;
+constexpr size_t kIndexDim = 128;
+
+void BM_HnswSearch(benchmark::State& state) {
+  HnswIndex* index = SharedIndex(kIndexN, kIndexDim);
+  auto queries = RandomVectors(64, kIndexDim, 5);
+  const size_t ef = state.range(0);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->TopKSearch(queries.data() + (q++ % 64) * kIndexDim, 10, ef));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswSearch)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_HnswFilteredSearch(benchmark::State& state) {
+  HnswIndex* index = SharedIndex(kIndexN, kIndexDim);
+  auto queries = RandomVectors(64, kIndexDim, 6);
+  // Filter keeping 1/range(0) of the points.
+  Bitmap bitmap(kIndexN);
+  for (size_t i = 0; i < kIndexN; i += state.range(0)) bitmap.Set(i);
+  FilterView filter(&bitmap);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->TopKSearch(
+        queries.data() + (q++ % 64) * kIndexDim, 10, 128, filter));
+  }
+}
+BENCHMARK(BM_HnswFilteredSearch)->Arg(2)->Arg(10)->Arg(100);
+
+void BM_BruteForceScan(benchmark::State& state) {
+  const size_t n = state.range(0);
+  static BruteForceSearcher* brute = nullptr;
+  static size_t built_n = 0;
+  if (brute == nullptr || built_n != n) {
+    delete brute;
+    brute = new BruteForceSearcher(kIndexDim, Metric::kL2);
+    auto data = RandomVectors(n, kIndexDim, 7);
+    for (size_t i = 0; i < n; ++i) brute->Add(i, data.data() + i * kIndexDim);
+    built_n = n;
+  }
+  auto queries = RandomVectors(8, kIndexDim, 8);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        brute->TopKSearch(queries.data() + (q++ % 8) * kIndexDim, 10));
+  }
+}
+BENCHMARK(BM_BruteForceScan)->Arg(1000)->Arg(10000);
+
+void BM_HnswInsert(benchmark::State& state) {
+  HnswParams params;
+  params.dim = kIndexDim;
+  params.metric = Metric::kL2;
+  params.m = 16;
+  params.ef_construction = state.range(0);
+  params.max_elements = 200000;
+  HnswIndex index(params);
+  auto data = RandomVectors(4096, kIndexDim, 9);
+  size_t i = 0;
+  for (auto _ : state) {
+    if (!index.AddPoint(i, data.data() + (i % 4096) * kIndexDim).ok()) {
+      state.SkipWithError("index full");
+      break;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswInsert)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace tigervector
+
+BENCHMARK_MAIN();

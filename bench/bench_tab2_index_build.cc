@@ -1,0 +1,61 @@
+// Table 2 reproduction: end-to-end index building time split into Data
+// Load and Index Build, for TigerVector, the Milvus model, and the Neo4j
+// model, on SIFT-like and Deep-like datasets.
+#include "baselines/competitors.h"
+#include "bench/bench_common.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace tigervector;
+using namespace tigervector::bench;
+
+namespace {
+
+void RunDataset(const VectorDataset& dataset) {
+  PrintHeader("Table 2: index building time on " + dataset.name + " (" +
+              std::to_string(dataset.num_base) + " vectors)");
+  PrintRow({"system", "data load s", "index build s", "end to end s"});
+
+  {
+    auto instance = LoadTigerVector(dataset);
+    PrintRow({"TigerVector", Fmt(instance.load_seconds),
+              Fmt(instance.build_seconds),
+              Fmt(instance.load_seconds + instance.build_seconds)});
+  }
+  ThreadPool pool(4);
+  {
+    MilvusLikeBaseline milvus(dataset.dim, dataset.metric, 8192, 16, 128, nullptr);
+    Timer load;
+    if (!milvus.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok()) {
+      std::abort();
+    }
+    const double load_s = load.ElapsedSeconds();
+    Timer build;
+    if (!milvus.BuildIndex(&pool).ok()) std::abort();
+    const double build_s = build.ElapsedSeconds();
+    PrintRow({"Milvus-like", Fmt(load_s), Fmt(build_s), Fmt(load_s + build_s)});
+  }
+  {
+    Neo4jLikeBaseline neo4j(dataset.dim, dataset.metric);
+    Timer load;
+    if (!neo4j.Load(dataset.base.data(), dataset.num_base, dataset.dim).ok()) {
+      std::abort();
+    }
+    const double load_s = load.ElapsedSeconds();
+    Timer build;
+    if (!neo4j.BuildIndex(nullptr).ok()) std::abort();
+    const double build_s = build.ElapsedSeconds();
+    PrintRow({"Neo4j-like", Fmt(load_s), Fmt(build_s), Fmt(load_s + build_s)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = BaseN();
+  VectorDataset sift = MakeSiftLike(n, 1);
+  RunDataset(sift);
+  VectorDataset deep = MakeDeepLike(n, 1);
+  RunDataset(deep);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Tables 3 & 4 reproduction: hybrid vector + graph search on the SNB-like
+// dataset at two scale factors. For each IC query analog (IC3, IC5, IC6,
+// IC9, IC11) and hop count (2, 3, 4) we report end-to-end time, the size
+// of the collected Message candidate set, and the top-k vector search
+// time — the same three rows the paper reports per query.
+#include "bench/bench_common.h"
+#include "workload/ic_queries.h"
+#include "workload/snb.h"
+
+using namespace tigervector;
+using namespace tigervector::bench;
+
+namespace {
+
+void RunScaleFactor(const char* label, const SnbConfig& config) {
+  Database::Options options;
+  options.store.segment_capacity = 1024;
+  options.embeddings.index_params.m = 16;
+  options.embeddings.index_params.ef_construction = 128;
+  Database db(options);
+  if (!CreateSnbSchema(&db, config).ok()) std::abort();
+  SnbStats stats;
+  if (!LoadSnb(&db, config, &stats).ok()) std::abort();
+
+  PrintHeader(std::string("Tables 3/4: hybrid search, ") + label + " (" +
+              std::to_string(stats.num_persons) + " persons, " +
+              std::to_string(stats.num_posts + stats.num_comments) + " messages)");
+  PrintRow({"hops", "measure", "IC3", "IC5", "IC6", "IC9", "IC11"});
+
+  IcQueryRunner runner(&db, &stats);
+  const std::vector<float> query_vec(config.embedding_dim, 120.0f);
+  const size_t k = 10;
+  const char* queries[] = {"IC3", "IC5", "IC6", "IC9", "IC11"};
+
+  for (int hops : {2, 3, 4}) {
+    std::vector<std::string> e2e = {std::to_string(hops), "end to end s"};
+    std::vector<std::string> cand = {"", "#candidate"};
+    std::vector<std::string> vs = {"", "vector search ms"};
+    for (const char* q : queries) {
+      auto r = runner.Run(q, hops, query_vec, k);
+      if (!r.ok()) std::abort();
+      e2e.push_back(Fmt(r->end_to_end_seconds, 4));
+      cand.push_back(std::to_string(r->num_candidates));
+      vs.push_back(Fmt(r->vector_search_seconds * 1000, 3));
+    }
+    PrintRow(e2e);
+    PrintRow(cand);
+    PrintRow(vs);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // "SF10" analog.
+  SnbConfig sf_small;
+  sf_small.num_persons = std::max<size_t>(200, BaseN() / 40);
+  sf_small.posts_per_person = 4;
+  sf_small.comments_per_post = 2;
+  sf_small.embedding_dim = 64;
+  sf_small.num_countries = 20;
+  RunScaleFactor("SF-S (SF10 analog)", sf_small);
+
+  // "SF30" analog: 3x the persons.
+  SnbConfig sf_medium = sf_small;
+  sf_medium.num_persons = sf_small.num_persons * 3;
+  RunScaleFactor("SF-M (SF30 analog)", sf_medium);
+  return 0;
+}

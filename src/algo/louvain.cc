@@ -1,0 +1,204 @@
+#include "algo/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace tigervector {
+
+namespace {
+
+// Dense undirected weighted graph used across coarsening levels.
+struct DenseGraph {
+  size_t n = 0;
+  std::vector<std::vector<std::pair<int, double>>> adj;  // (neighbor, weight)
+  std::vector<double> self_loops;
+  double total_weight = 0;  // sum of edge weights (each edge once)
+};
+
+// One level of Louvain local moves. Returns the community assignment and
+// whether anything improved.
+bool LocalMove(const DenseGraph& g, std::vector<int>* community,
+               const LouvainOptions& options, Rng* rng) {
+  const size_t n = g.n;
+  std::vector<double> degree(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    degree[u] = 2 * g.self_loops[u];
+    for (const auto& [v, w] : g.adj[u]) degree[u] += w;
+  }
+  const double m2 = std::max(1e-12, 2 * g.total_weight);
+
+  std::vector<double> community_degree(n, 0);
+  for (size_t u = 0; u < n; ++u) community_degree[(*community)[u]] += degree[u];
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng->NextBounded(i)]);
+  }
+
+  bool improved_any = false;
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (size_t idx = 0; idx < n; ++idx) {
+      const size_t u = order[idx];
+      const int old_c = (*community)[u];
+      // Weight from u into each neighboring community.
+      std::unordered_map<int, double> links;
+      for (const auto& [v, w] : g.adj[u]) links[(*community)[v]] += w;
+      community_degree[old_c] -= degree[u];
+      double best_gain = 0;
+      int best_c = old_c;
+      const double base = links.count(old_c) ? links[old_c] : 0;
+      for (const auto& [c, w] : links) {
+        // Standard modularity gain relative to staying isolated.
+        const double gain =
+            (w - base) - degree[u] * (community_degree[c] -
+                                      community_degree[old_c]) / m2;
+        if (gain > best_gain + options.min_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      (*community)[u] = best_c;
+      community_degree[best_c] += degree[u];
+      if (best_c != old_c) improved = true;
+    }
+    if (!improved) break;
+    improved_any = true;
+  }
+  return improved_any;
+}
+
+// Collapses communities into super-nodes.
+DenseGraph Aggregate(const DenseGraph& g, const std::vector<int>& community,
+                     std::vector<int>* renumber) {
+  renumber->assign(g.n, -1);
+  int next = 0;
+  for (size_t u = 0; u < g.n; ++u) {
+    int& r = (*renumber)[community[u]];
+    if (r < 0) r = next++;
+  }
+  DenseGraph out;
+  out.n = next;
+  out.adj.resize(next);
+  out.self_loops.assign(next, 0);
+  std::vector<std::unordered_map<int, double>> agg(next);
+  for (size_t u = 0; u < g.n; ++u) {
+    const int cu = (*renumber)[community[u]];
+    out.self_loops[cu] += g.self_loops[u];
+    for (const auto& [v, w] : g.adj[u]) {
+      const int cv = (*renumber)[community[v]];
+      if (cu == cv) {
+        out.self_loops[cu] += w / 2;  // each undirected edge appears twice
+      } else {
+        agg[cu][cv] += w;
+      }
+    }
+  }
+  for (int c = 0; c < next; ++c) {
+    out.adj[c].assign(agg[c].begin(), agg[c].end());
+  }
+  out.total_weight = g.total_weight;
+  return out;
+}
+
+double Modularity(const DenseGraph& g, const std::vector<int>& community) {
+  const double m2 = std::max(1e-12, 2 * g.total_weight);
+  std::vector<double> degree(g.n, 0), internal(g.n, 0);
+  for (size_t u = 0; u < g.n; ++u) {
+    degree[u] = 2 * g.self_loops[u];
+    for (const auto& [v, w] : g.adj[u]) degree[u] += w;
+  }
+  std::unordered_map<int, double> comm_degree, comm_internal;
+  for (size_t u = 0; u < g.n; ++u) {
+    comm_degree[community[u]] += degree[u];
+    comm_internal[community[u]] += 2 * g.self_loops[u];
+    for (const auto& [v, w] : g.adj[u]) {
+      if (community[v] == community[u]) comm_internal[community[u]] += w;
+    }
+  }
+  double q = 0;
+  for (const auto& [c, din] : comm_internal) {
+    const double dtot = comm_degree[c];
+    q += din / m2 - (dtot / m2) * (dtot / m2);
+  }
+  return q;
+}
+
+}  // namespace
+
+LouvainResult RunLouvain(const GraphStore& store, const std::string& vertex_type,
+                         const std::string& edge_type, LouvainOptions options) {
+  LouvainResult result;
+  auto vt = store.schema()->GetVertexType(vertex_type);
+  auto et = store.schema()->GetEdgeType(edge_type);
+  if (!vt.ok() || !et.ok()) return result;
+  const Tid read_tid = store.visible_tid();
+
+  // Build the dense induced subgraph.
+  std::vector<VertexId> vids;
+  store.ForEachVertexOfType((*vt)->id, read_tid, nullptr,
+                            [&](VertexId vid) { vids.push_back(vid); });
+  std::unordered_map<VertexId, int> dense;
+  dense.reserve(vids.size());
+  for (size_t i = 0; i < vids.size(); ++i) dense[vids[i]] = static_cast<int>(i);
+
+  DenseGraph g;
+  g.n = vids.size();
+  g.adj.resize(g.n);
+  g.self_loops.assign(g.n, 0);
+  for (size_t u = 0; u < vids.size(); ++u) {
+    store.ForEachNeighbor(vids[u], (*et)->id, Direction::kAny, read_tid,
+                          [&](VertexId peer) {
+                            auto it = dense.find(peer);
+                            if (it == dense.end()) return;
+                            g.adj[u].push_back({it->second, 1.0});
+                          });
+  }
+  // Symmetrize (directed edges become undirected) and count weight.
+  for (size_t u = 0; u < g.n; ++u) {
+    for (const auto& [v, w] : g.adj[u]) {
+      (void)w;
+      auto& back = g.adj[v];
+      if (std::none_of(back.begin(), back.end(),
+                       [u](const auto& p) { return p.first == static_cast<int>(u); })) {
+        back.push_back({static_cast<int>(u), 1.0});
+      }
+    }
+  }
+  for (size_t u = 0; u < g.n; ++u) g.total_weight += g.adj[u].size();
+  g.total_weight /= 2;
+
+  // Multi-level Louvain.
+  Rng rng(options.seed);
+  std::vector<int> mapping(g.n);
+  std::iota(mapping.begin(), mapping.end(), 0);  // vertex -> current community
+  DenseGraph level = g;
+  for (int l = 0; l < options.max_levels; ++l) {
+    std::vector<int> community(level.n);
+    std::iota(community.begin(), community.end(), 0);
+    const bool improved = LocalMove(level, &community, options, &rng);
+    std::vector<int> renumber;
+    DenseGraph coarse = Aggregate(level, community, &renumber);
+    for (int& m : mapping) m = renumber[community[m]];
+    if (!improved || coarse.n == level.n) break;
+    level = std::move(coarse);
+  }
+
+  result.num_communities = 0;
+  std::unordered_map<int, int> final_ids;
+  for (size_t u = 0; u < vids.size(); ++u) {
+    auto [it, inserted] = final_ids.try_emplace(mapping[u], result.num_communities);
+    if (inserted) ++result.num_communities;
+    result.community[vids[u]] = it->second;
+  }
+  // Modularity of the final assignment on the original graph.
+  std::vector<int> flat(g.n);
+  for (size_t u = 0; u < g.n; ++u) flat[u] = result.community[vids[u]];
+  result.modularity = Modularity(g, flat);
+  return result;
+}
+
+}  // namespace tigervector

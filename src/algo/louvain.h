@@ -1,0 +1,35 @@
+#ifndef TIGERVECTOR_ALGO_LOUVAIN_H_
+#define TIGERVECTOR_ALGO_LOUVAIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_store.h"
+
+namespace tigervector {
+
+// Louvain community detection (Blondel et al. 2008) over one vertex type
+// and one edge type, treating edges as undirected with unit weight. This is
+// the tg_louvain analog used by the paper's query Q4 / Figure 6 demo, where
+// vector search is run per community.
+struct LouvainResult {
+  // Community id per vertex (dense ids in [0, num_communities)).
+  std::unordered_map<VertexId, int> community;
+  int num_communities = 0;
+  double modularity = 0.0;
+};
+
+struct LouvainOptions {
+  int max_passes = 10;        // local-move sweeps per level
+  int max_levels = 10;        // coarsening levels
+  double min_gain = 1e-7;     // stop when a sweep improves less than this
+  uint64_t seed = 7;          // traversal order shuffle
+};
+
+LouvainResult RunLouvain(const GraphStore& store, const std::string& vertex_type,
+                         const std::string& edge_type,
+                         LouvainOptions options = LouvainOptions());
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_ALGO_LOUVAIN_H_

@@ -1,0 +1,69 @@
+#include "algo/traversal.h"
+
+namespace tigervector {
+
+VertexSet ExpandPattern(const GraphStore& store, const VertexSet& seeds,
+                        const std::vector<HopSpec>& hops, Tid read_tid) {
+  VertexSet frontier = seeds;
+  for (const HopSpec& hop : hops) {
+    auto et = store.schema()->GetEdgeType(hop.edge_type);
+    if (!et.ok()) return {};
+    int target_type = -1;
+    if (!hop.target_type.empty()) {
+      auto vt = store.schema()->GetVertexType(hop.target_type);
+      if (!vt.ok()) return {};
+      target_type = (*vt)->id;
+    }
+    VertexSet next;
+    for (VertexId vid : frontier) {
+      store.ForEachNeighbor(vid, (*et)->id, hop.dir, read_tid, [&](VertexId peer) {
+        if (target_type >= 0) {
+          auto vt = store.GetVertexType(peer);
+          if (!vt.ok() || *vt != target_type) return;
+        }
+        next.insert(peer);
+      });
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+VertexSet KHopNeighborhood(const GraphStore& store, const VertexSet& seeds,
+                           const std::string& edge_type, Direction dir, int max_depth,
+                           Tid read_tid) {
+  auto et = store.schema()->GetEdgeType(edge_type);
+  if (!et.ok()) return {};
+  VertexSet visited = seeds;
+  VertexSet frontier = seeds;
+  for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    VertexSet next;
+    for (VertexId vid : frontier) {
+      store.ForEachNeighbor(vid, (*et)->id, dir, read_tid, [&](VertexId peer) {
+        if (visited.insert(peer).second) next.insert(peer);
+      });
+    }
+    frontier = std::move(next);
+  }
+  return visited;
+}
+
+VertexSet CollectVerticesOfType(const GraphStore& store, const std::string& type,
+                                Tid read_tid) {
+  VertexSet out;
+  auto vt = store.schema()->GetVertexType(type);
+  if (!vt.ok()) return out;
+  store.ForEachVertexOfType((*vt)->id, read_tid, nullptr,
+                            [&](VertexId vid) { out.insert(vid); });
+  return out;
+}
+
+Bitmap VertexSetToBitmap(const VertexSet& set, VertexId vid_upper_bound) {
+  Bitmap bm(vid_upper_bound);
+  for (VertexId vid : set) {
+    if (vid < vid_upper_bound) bm.Set(vid);
+  }
+  return bm;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,99 @@
+#ifndef TIGERVECTOR_BASELINES_BASELINE_H_
+#define TIGERVECTOR_BASELINES_BASELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hnsw/hnsw_index.h"
+#include "util/result.h"
+
+namespace tigervector {
+
+class ThreadPool;
+
+// ---------------------------------------------------------------------------
+// Competitor models. The paper compares TigerVector against Neo4j, Amazon
+// Neptune, and Milvus — all closed systems or systems whose performance
+// differences stem from engine properties we cannot rebuild here (JVM +
+// Lucene, a managed cloud service, a Go runtime). Each baseline therefore
+// couples a *faithful architectural model* (index layout, parameter-tuning
+// capability, filtering strategy, update atomicity) with a *calibrated
+// per-operation overhead* standing in for the engine tax. All constants
+// live in this header, are derived from the paper's measured ratios, and
+// are called out in DESIGN.md/EXPERIMENTS.md so nobody mistakes them for
+// emergent results. What IS emergent: recall-vs-ef trade-offs, the effect
+// of fixed (untunable) search parameters, single- vs multi-segment
+// parallelism, build-path differences, and filtered-search behavior.
+// ---------------------------------------------------------------------------
+
+struct BaselineOverheads {
+  // Extra work per query, expressed as a multiple of the real search work
+  // (1.0 = no overhead). Derived from Fig. 7/8 QPS and latency ratios at
+  // comparable recall.
+  double query_work_factor = 1.0;
+  // Extra work per vector insert during index build (Table 2 ratios).
+  double build_work_factor = 1.0;
+  // Extra work per vector during data load (Table 2 "Data Load" row).
+  double load_work_factor = 1.0;
+};
+
+// Lucene-backed Neo4j vector index: no search-parameter tuning (fixed ef),
+// single non-partitioned index, JVM/Lucene execution tax, post-filtering.
+// The query tax is applied against a fixed reference amount of work
+// (ef=128 beam) because Lucene's cost is dominated by its own execution
+// machinery rather than the tiny k-candidate beam it runs.
+inline BaselineOverheads Neo4jOverheads() {
+  return BaselineOverheads{8.0, 13.0, 0.0};
+}
+
+// Neptune Analytics: one global, non-distributed index; ef fixed high (the
+// service targets ~99.9% recall); managed-service execution tax;
+// non-atomic index updates.
+// The large query factor stands in for the managed-service request path
+// (HTTP front door, routing, single non-partitioned index server).
+inline BaselineOverheads NeptuneOverheads() {
+  return BaselineOverheads{12.0, 1.5, 0.5};
+}
+
+// Milvus: segment-based specialized vector store; tunable parameters; Go
+// runtime + proxy tax on queries and a heavyweight bulk-load path.
+// Milvus's query tax applies per segment searched (proxy + Go runtime on
+// the same segment-parallel architecture TigerVector uses).
+inline BaselineOverheads MilvusOverheads() {
+  return BaselineOverheads{0.3, 0.05, 120.0};
+}
+
+// Burns roughly `ops` floating point operations; the unit matches one
+// element step of a distance kernel so overhead factors compose with real
+// search work.
+void SpinWork(uint64_t ops);
+
+// Common baseline interface used by the benchmark harness.
+class VectorBaseline {
+ public:
+  virtual ~VectorBaseline() = default;
+
+  virtual std::string name() const = 0;
+
+  // Bulk data ingestion (timed as "Data Load" in Table 2). The data is
+  // copied into the baseline's internal layout.
+  virtual Status Load(const float* data, size_t n, size_t dim) = 0;
+
+  // Index construction (timed as "Index Build" in Table 2).
+  virtual Status BuildIndex(ThreadPool* pool) = 0;
+
+  // Top-k search. `ef` is ignored by systems without parameter tuning.
+  virtual std::vector<SearchHit> TopK(const float* query, size_t k, size_t ef) const = 0;
+
+  // Whether the search accuracy parameter is tunable (Neo4j/Neptune: no).
+  virtual bool supports_ef_tuning() const = 0;
+
+  // Whether vector updates are transactional/atomic (Neptune: no).
+  virtual bool atomic_updates() const = 0;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_BASELINES_BASELINE_H_

@@ -1,0 +1,47 @@
+#include "core/access_control.h"
+
+#include <mutex>
+
+namespace tigervector {
+
+Status AccessController::CreateRole(const std::string& role) {
+  if (role.empty()) {
+    return Status::InvalidArgument("role name must not be empty");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = grants_.try_emplace(role);
+  if (!inserted) return Status::AlreadyExists("role " + role);
+  return Status::OK();
+}
+
+Status AccessController::GrantRead(const std::string& role, VertexTypeId vertex_type) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = grants_.find(role);
+  if (it == grants_.end()) return Status::NotFound("role " + role);
+  it->second.insert(vertex_type);
+  return Status::OK();
+}
+
+Status AccessController::RevokeRead(const std::string& role,
+                                    VertexTypeId vertex_type) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = grants_.find(role);
+  if (it == grants_.end()) return Status::NotFound("role " + role);
+  it->second.erase(vertex_type);
+  return Status::OK();
+}
+
+bool AccessController::CanRead(const std::string& role,
+                               VertexTypeId vertex_type) const {
+  if (role.empty()) return true;  // superuser
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = grants_.find(role);
+  return it != grants_.end() && it->second.count(vertex_type) > 0;
+}
+
+bool AccessController::HasRole(const std::string& role) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return grants_.count(role) > 0;
+}
+
+}  // namespace tigervector

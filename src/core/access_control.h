@@ -1,0 +1,43 @@
+#ifndef TIGERVECTOR_CORE_ACCESS_CONTROL_H_
+#define TIGERVECTOR_CORE_ACCESS_CONTROL_H_
+
+#include <map>
+#include <set>
+#include <shared_mutex>
+#include <string>
+
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace tigervector {
+
+// Role-based access control covering graph and vector data with one set of
+// permissions (a paper Sec. 1 argument for the unified system: "a single
+// set of access controls (e.g., role-based access control) for both vector
+// data and graph data"). Grants are per vertex type; a role without a
+// grant can neither scan the type nor receive its vectors from a search —
+// the engine marks those vectors invalid in the search bitmap exactly the
+// way deleted vertices are masked (Sec. 5.1).
+class AccessController {
+ public:
+  // Creates a role with no grants. kAlreadyExists on duplicates.
+  Status CreateRole(const std::string& role);
+
+  // Grants read on a vertex type to a role.
+  Status GrantRead(const std::string& role, VertexTypeId vertex_type);
+  Status RevokeRead(const std::string& role, VertexTypeId vertex_type);
+
+  // True when the role may read the vertex type. The empty role name is
+  // the superuser (internal callers, tests, single-user deployments).
+  bool CanRead(const std::string& role, VertexTypeId vertex_type) const;
+
+  bool HasRole(const std::string& role) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::set<VertexTypeId>> grants_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_CORE_ACCESS_CONTROL_H_

@@ -1,0 +1,69 @@
+#include "core/database.h"
+
+namespace tigervector {
+
+Database::Database(Options options) : options_(std::move(options)) {
+  store_ = std::make_unique<GraphStore>(&schema_, options_.store);
+  embeddings_ = std::make_unique<EmbeddingService>(store_.get(), options_.embeddings);
+  store_->SetEmbeddingSink(embeddings_.get());
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  if (options_.num_servers > 1) {
+    Cluster::Options copts;
+    copts.num_servers = options_.num_servers;
+    copts.threads_per_server = options_.threads_per_server;
+    cluster_ = std::make_unique<Cluster>(store_.get(), embeddings_.get(), copts);
+  }
+}
+
+Result<size_t> Database::Vacuum() {
+  TV_RETURN_NOT_OK(embeddings_->RunDeltaMerge().status());
+  // The index merge is the expensive stage; use the adaptive thread count
+  // so foreground queries stay responsive.
+  (void)embeddings_->SuggestVacuumThreads();
+  auto merged = embeddings_->RunIndexMerge(pool_.get());
+  if (!merged.ok()) return merged.status();
+  store_->VacuumGraph();
+  return *merged;
+}
+
+Result<VertexSet> Database::VectorSearch(
+    const std::vector<std::pair<std::string, std::string>>& attrs,
+    const std::vector<float>& query, size_t k, const VectorSearchFnOptions& options) {
+  // Drop attributes whose vertex type the role cannot read (their vectors
+  // are "unauthorized", paper Sec. 5.1); fail only when nothing remains.
+  std::vector<std::pair<std::string, std::string>> permitted;
+  for (const auto& [type_name, attr] : attrs) {
+    auto vt = schema_.GetVertexType(type_name);
+    if (!vt.ok()) return vt.status();
+    if (access_.CanRead(options.role, (*vt)->id)) {
+      permitted.emplace_back(type_name, attr);
+    }
+  }
+  if (permitted.empty()) {
+    return Status::InvalidArgument("permission denied: role '" + options.role +
+                                   "' cannot read any requested vertex type");
+  }
+  VectorSearchRequest request;
+  request.attrs = permitted;
+  request.query = query.data();
+  request.k = k;
+  request.ef = options.ef;
+  request.pool = pool_.get();
+  Bitmap filter_bitmap;
+  if (options.filter != nullptr) {
+    filter_bitmap = VertexSetToBitmap(*options.filter, store_->vid_upper_bound());
+    request.filter = FilterView(&filter_bitmap);
+  }
+  auto result = embeddings_->TopKSearch(request);
+  if (!result.ok()) return result.status();
+  VertexSet out;
+  for (const SearchHit& hit : result->hits) {
+    out.insert(hit.label);
+    if (options.distance_map != nullptr) {
+      (*options.distance_map)[hit.label] = hit.distance;
+    }
+  }
+  return out;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,92 @@
+#ifndef TIGERVECTOR_CORE_DATABASE_H_
+#define TIGERVECTOR_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/traversal.h"
+#include "core/access_control.h"
+#include "embedding/embedding_service.h"
+#include "graph/graph_store.h"
+#include "graph/transaction.h"
+#include "mpp/cluster.h"
+#include "util/thread_pool.h"
+
+namespace tigervector {
+
+// The TigerVector database facade: wires the schema, the segment-based
+// graph store, the embedding service (registered as the store's embedding
+// sink so commits cover both atomically), a shared worker pool, and an
+// optional simulated MPP cluster. This is the public entry point a
+// downstream application uses; the GSQL layer (query/) runs on top of it.
+class Database {
+ public:
+  struct Options {
+    GraphStore::Options store;
+    EmbeddingService::Options embeddings;
+    size_t num_threads = 4;
+    // >1 instantiates the simulated MPP cluster for distributed search.
+    size_t num_servers = 1;
+    size_t threads_per_server = 2;
+  };
+
+  Database() : Database(Options{}) {}
+  explicit Database(Options options);
+
+  Schema* schema() { return &schema_; }
+  const Schema* schema() const { return &schema_; }
+  GraphStore* store() { return store_.get(); }
+  const GraphStore* store() const { return store_.get(); }
+  EmbeddingService* embeddings() { return embeddings_.get(); }
+  const EmbeddingService* embeddings() const { return embeddings_.get(); }
+  ThreadPool* pool() { return pool_.get(); }
+  Cluster* cluster() { return cluster_.get(); }
+  AccessController* access() { return &access_; }
+  const AccessController* access() const { return &access_; }
+
+  // Starts a write transaction.
+  Transaction Begin() { return Transaction(store_.get()); }
+
+  // Runs both vacuum stages (delta merge then index merge) using the
+  // adaptive thread suggestion. Returns records folded into indexes.
+  Result<size_t> Vacuum();
+
+  // The flexible VectorSearch() function (paper Sec. 5.5): searches one or
+  // more compatible embedding attributes, optionally restricted to a
+  // candidate vertex set from a previous query block, returning a vertex
+  // set assignable to a vertex-set variable plus an optional distance map.
+  struct VectorSearchFnOptions {
+    const VertexSet* filter = nullptr;  // candidate set from a prior block
+    size_t ef = 64;                     // index search accuracy parameter
+    // When non-null, receives the top-k (vertex -> distance) pairs.
+    std::unordered_map<VertexId, float>* distance_map = nullptr;
+    // Role the search runs under; empty = superuser. Attributes on vertex
+    // types the role cannot read are excluded ("unauthorized vectors");
+    // the search fails only if nothing readable remains.
+    std::string role;
+  };
+  Result<VertexSet> VectorSearch(
+      const std::vector<std::pair<std::string, std::string>>& attrs,
+      const std::vector<float>& query, size_t k,
+      const VectorSearchFnOptions& options);
+  Result<VertexSet> VectorSearch(
+      const std::vector<std::pair<std::string, std::string>>& attrs,
+      const std::vector<float>& query, size_t k) {
+    return VectorSearch(attrs, query, k, VectorSearchFnOptions{});
+  }
+
+ private:
+  Options options_;
+  Schema schema_;
+  AccessController access_;
+  std::unique_ptr<GraphStore> store_;
+  std::unique_ptr<EmbeddingService> embeddings_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_CORE_DATABASE_H_

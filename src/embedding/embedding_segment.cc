@@ -1,0 +1,439 @@
+#include "embedding/embedding_segment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "hnsw/flat_index.h"
+#include "hnsw/ivf_index.h"
+#include "util/thread_pool.h"
+#include "util/topk_heap.h"
+
+namespace tigervector {
+
+namespace {
+constexpr uint64_t kDeltaFileMagic = 0x54475644'454c5431ULL;  // "TGVDELT1"
+
+// Factory over the embedding metadata's INDEX choice (paper Sec. 4.4: the
+// embedding type decides which native index backs each segment).
+std::unique_ptr<VectorIndex> CreateVectorIndex(const EmbeddingTypeInfo& info,
+                                               const HnswParams& params) {
+  switch (info.index) {
+    case VectorIndexType::kHnsw:
+      return std::make_unique<HnswIndex>(params);
+    case VectorIndexType::kFlat:
+      return std::make_unique<FlatIndex>(params.dim, params.metric);
+    case VectorIndexType::kIvfFlat: {
+      IvfParams ivf;
+      ivf.dim = params.dim;
+      ivf.metric = params.metric;
+      ivf.nlist = std::max<size_t>(8, params.max_elements / 128);
+      ivf.seed = params.seed;
+      return std::make_unique<IvfFlatIndex>(ivf);
+    }
+  }
+  return std::make_unique<HnswIndex>(params);
+}
+}  // namespace
+
+Status DeltaFile::Save(const std::string& file_path) {
+  FILE* f = std::fopen(file_path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + file_path);
+  bool ok = std::fwrite(&kDeltaFileMagic, sizeof(kDeltaFileMagic), 1, f) == 1;
+  ok = ok && std::fwrite(&max_tid, sizeof(max_tid), 1, f) == 1;
+  const uint64_t count = deltas.size();
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  for (const VectorDelta& d : deltas) {
+    if (!ok) break;
+    const uint8_t action = static_cast<uint8_t>(d.action);
+    const uint64_t dim = d.value.size();
+    ok = std::fwrite(&action, 1, 1, f) == 1 &&
+         std::fwrite(&d.id, sizeof(d.id), 1, f) == 1 &&
+         std::fwrite(&d.tid, sizeof(d.tid), 1, f) == 1 &&
+         std::fwrite(&dim, sizeof(dim), 1, f) == 1 &&
+         (dim == 0 ||
+          std::fwrite(d.value.data(), sizeof(float), dim, f) == dim);
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to " + file_path);
+  path = file_path;
+  return Status::OK();
+}
+
+Result<DeltaFile> DeltaFile::Load(const std::string& file_path) {
+  FILE* f = std::fopen(file_path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + file_path);
+  DeltaFile out;
+  uint64_t magic = 0, count = 0;
+  bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 && magic == kDeltaFileMagic &&
+            std::fread(&out.max_tid, sizeof(out.max_tid), 1, f) == 1 &&
+            std::fread(&count, sizeof(count), 1, f) == 1;
+  for (uint64_t i = 0; ok && i < count; ++i) {
+    VectorDelta d;
+    uint8_t action = 0;
+    uint64_t dim = 0;
+    ok = std::fread(&action, 1, 1, f) == 1 &&
+         std::fread(&d.id, sizeof(d.id), 1, f) == 1 &&
+         std::fread(&d.tid, sizeof(d.tid), 1, f) == 1 &&
+         std::fread(&dim, sizeof(dim), 1, f) == 1;
+    if (ok && dim > 0) {
+      d.value.resize(dim);
+      ok = std::fread(d.value.data(), sizeof(float), dim, f) == dim;
+    }
+    if (ok) {
+      d.action = static_cast<VectorDelta::Action>(action);
+      out.deltas.push_back(std::move(d));
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("corrupt delta file " + file_path);
+  out.path = file_path;
+  return out;
+}
+
+EmbeddingSegment::EmbeddingSegment(SegmentId segment_id, VertexId base_vid,
+                                   uint32_t capacity, const EmbeddingTypeInfo& info,
+                                   const HnswParams& index_params)
+    : segment_id_(segment_id),
+      base_vid_(base_vid),
+      capacity_(capacity),
+      info_(info),
+      index_params_(index_params) {
+  index_params_.dim = info.dimension;
+  index_params_.metric = info.metric;
+  index_params_.max_elements = capacity;
+  // Deterministic but distinct level draws per segment.
+  index_params_.seed = index_params.seed + segment_id * 0x9e3779b9ULL;
+  index_ = CreateVectorIndex(info_, index_params_);
+}
+
+Status EmbeddingSegment::ApplyDelta(VectorDelta delta) {
+  if (delta.action == VectorDelta::Action::kUpsert &&
+      delta.value.size() != info_.dimension) {
+    return Status::InvalidArgument("vector delta dimension mismatch");
+  }
+  if (delta.id < base_vid_ || delta.id >= base_vid_ + capacity_) {
+    return Status::InvalidArgument("vector delta id out of segment range");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  pending_.first_pending_tid.try_emplace(delta.id, delta.tid);
+  pending_.in_memory.push_back(std::move(delta));
+  return Status::OK();
+}
+
+Result<size_t> EmbeddingSegment::DeltaMerge(Tid up_to_tid, const std::string& dir) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Deltas are appended in commit order, so the prefix with tid <= up_to_tid
+  // is exactly what this pass seals.
+  auto split = pending_.in_memory.begin();
+  Tid max_tid = 0;
+  while (split != pending_.in_memory.end() && split->tid <= up_to_tid) {
+    max_tid = split->tid;
+    ++split;
+  }
+  if (split == pending_.in_memory.begin()) return size_t{0};
+  DeltaFile file;
+  file.max_tid = max_tid;
+  file.deltas.assign(std::make_move_iterator(pending_.in_memory.begin()),
+                     std::make_move_iterator(split));
+  pending_.in_memory.erase(pending_.in_memory.begin(), split);
+  const size_t sealed = file.deltas.size();
+  if (!dir.empty()) {
+    const std::string path = dir + "/emb_seg" + std::to_string(segment_id_) +
+                             "_tid" + std::to_string(max_tid) + ".delta";
+    TV_RETURN_NOT_OK(file.Save(path));
+  }
+  pending_.sealed.push_back(std::move(file));
+  return sealed;
+}
+
+Result<size_t> EmbeddingSegment::IndexMerge(Tid up_to_tid, ThreadPool* pool) {
+  // Copy the deltas to merge (sealed files are ordered by max_tid). A copy
+  // (rather than pointers) keeps this safe against a concurrent DeltaMerge
+  // reallocating the sealed list.
+  size_t num_files = 0;
+  size_t merged_records = 0;
+  std::unordered_map<VertexId, VectorDelta> latest;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const DeltaFile& f : pending_.sealed) {
+      if (f.max_tid > up_to_tid) break;
+      ++num_files;
+      // Latest-wins dedup per id across the merged batch: the whole batch
+      // becomes visible in the index atomically from the reader's
+      // perspective (readers keep using the delta overlay until the files
+      // are retired).
+      for (const VectorDelta& d : f.deltas) {
+        latest[d.id] = d;
+        ++merged_records;
+      }
+    }
+  }
+  if (num_files == 0) return size_t{0};
+
+  std::vector<VectorIndexUpdate> items;
+  items.reserve(latest.size());
+  for (const auto& [id, d] : latest) {
+    VectorIndexUpdate item;
+    item.label = id;
+    item.is_delete = d.action == VectorDelta::Action::kDelete;
+    item.value = d.value;
+    items.push_back(std::move(item));
+  }
+  TV_RETURN_NOT_OK(index_->UpdateItems(items, pool));
+
+  // Retire the merged files and advance the merged horizon; this is the
+  // snapshot switch point (paper Fig. 4).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const size_t num_merged = num_files;
+  Tid new_merged = merged_tid_;
+  for (size_t i = 0; i < num_merged; ++i) {
+    new_merged = std::max(new_merged, pending_.sealed[i].max_tid);
+    if (!pending_.sealed[i].path.empty()) {
+      std::remove(pending_.sealed[i].path.c_str());
+    }
+  }
+  pending_.sealed.erase(pending_.sealed.begin(), pending_.sealed.begin() + num_merged);
+  merged_tid_ = new_merged;
+  RebuildFirstPendingLocked();
+  return merged_records;
+}
+
+Status EmbeddingSegment::RebuildIndex(ThreadPool* pool) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Collect live vectors = index live set overridden by pending deltas.
+  std::unordered_map<VertexId, std::vector<float>> live;
+  for (uint64_t label : index_->Labels()) {
+    std::vector<float> vec(info_.dimension);
+    if (index_->GetEmbedding(label, vec.data()).ok()) {
+      live.emplace(label, std::move(vec));
+    }
+  }
+  Tid max_tid = merged_tid_;
+  auto apply = [&](const VectorDelta& d) {
+    max_tid = std::max(max_tid, d.tid);
+    if (d.action == VectorDelta::Action::kUpsert) {
+      live[d.id] = d.value;
+    } else {
+      live.erase(d.id);
+    }
+  };
+  for (const DeltaFile& f : pending_.sealed) {
+    for (const VectorDelta& d : f.deltas) apply(d);
+  }
+  for (const VectorDelta& d : pending_.in_memory) apply(d);
+
+  auto fresh = CreateVectorIndex(info_, index_params_);
+  std::vector<std::pair<VertexId, const std::vector<float>*>> entries;
+  entries.reserve(live.size());
+  for (const auto& [id, vec] : live) entries.emplace_back(id, &vec);
+  Status status = Status::OK();
+  std::mutex status_mu;
+  auto add_one = [&](size_t i) {
+    Status st = fresh->AddPoint(entries[i].first, entries[i].second->data());
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> g(status_mu);
+      status = st;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(entries.size(), add_one);
+  } else {
+    for (size_t i = 0; i < entries.size(); ++i) add_one(i);
+  }
+  TV_RETURN_NOT_OK(status);
+  for (DeltaFile& f : pending_.sealed) {
+    if (!f.path.empty()) std::remove(f.path.c_str());
+  }
+  pending_.sealed.clear();
+  pending_.in_memory.clear();
+  pending_.first_pending_tid.clear();
+  merged_tid_ = max_tid;
+  index_ = std::move(fresh);
+  return Status::OK();
+}
+
+bool EmbeddingSegment::OverriddenLocked(VertexId id, Tid read_tid) const {
+  auto it = pending_.first_pending_tid.find(id);
+  return it != pending_.first_pending_tid.end() && it->second <= read_tid;
+}
+
+std::unordered_map<VertexId, const VectorDelta*> EmbeddingSegment::VisiblePendingLocked(
+    Tid read_tid) const {
+  std::unordered_map<VertexId, const VectorDelta*> latest;
+  for (const DeltaFile& f : pending_.sealed) {
+    for (const VectorDelta& d : f.deltas) {
+      if (d.tid <= read_tid) latest[d.id] = &d;
+    }
+  }
+  for (const VectorDelta& d : pending_.in_memory) {
+    if (d.tid <= read_tid) latest[d.id] = &d;
+  }
+  return latest;
+}
+
+void EmbeddingSegment::RebuildFirstPendingLocked() {
+  pending_.first_pending_tid.clear();
+  for (const DeltaFile& f : pending_.sealed) {
+    for (const VectorDelta& d : f.deltas) {
+      pending_.first_pending_tid.try_emplace(d.id, d.tid);
+    }
+  }
+  for (const VectorDelta& d : pending_.in_memory) {
+    pending_.first_pending_tid.try_emplace(d.id, d.tid);
+  }
+}
+
+namespace {
+
+// Trampoline context combining the user filter with the pending-override
+// check, handed to the HNSW index as its validity predicate.
+struct CompositeFilterCtx {
+  const EmbeddingSegment* segment;
+  const FilterView* user_filter;
+  Tid read_tid;
+  // Set of overridden ids, precomputed under the segment lock so the
+  // predicate itself is lock-free.
+  const std::unordered_map<VertexId, const VectorDelta*>* overrides;
+};
+
+bool CompositeAccepts(const void* raw_ctx, uint64_t id) {
+  const auto* ctx = static_cast<const CompositeFilterCtx*>(raw_ctx);
+  if (!ctx->user_filter->Accepts(id)) return false;
+  return ctx->overrides->find(id) == ctx->overrides->end();
+}
+
+}  // namespace
+
+EmbeddingSegment::SearchOutput EmbeddingSegment::TopKSearch(
+    const float* query, const SearchOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  SearchOutput out;
+  const auto overrides = VisiblePendingLocked(options.read_tid);
+  CompositeFilterCtx ctx{this, &options.filter, options.read_tid, &overrides};
+  FilterView composite(&CompositeAccepts, &ctx);
+
+  // Brute-force fallback: when the predicate bitmap leaves too few valid
+  // points in this segment's id range, a direct scan beats the index
+  // (paper Sec. 5.1).
+  bool bruteforce = false;
+  if (options.bruteforce_threshold > 0 && options.filter.bitmap() != nullptr) {
+    const size_t valid = options.filter.bitmap()->CountRange(
+        base_vid_, base_vid_ + capacity_);
+    bruteforce = valid < options.bruteforce_threshold;
+  }
+  std::vector<SearchHit> index_hits =
+      bruteforce ? index_->BruteForceSearch(query, options.k, composite)
+                 : index_->TopKSearch(query, options.k, options.ef, composite);
+  out.used_bruteforce = bruteforce;
+
+  TopKHeap<VertexId> heap(options.k);
+  for (const SearchHit& h : index_hits) heap.Push(h.distance, h.label);
+  for (const auto& [id, delta] : overrides) {
+    if (delta->action != VectorDelta::Action::kUpsert) continue;
+    if (!options.filter.Accepts(id)) continue;
+    ++out.delta_candidates;
+    const float d = ComputeDistance(info_.metric, query, delta->value.data(),
+                                    info_.dimension);
+    heap.Push(d, id);
+  }
+  for (const auto& e : heap.TakeSorted()) {
+    out.hits.push_back(SearchHit{e.distance, e.id});
+  }
+  return out;
+}
+
+EmbeddingSegment::SearchOutput EmbeddingSegment::RangeSearch(
+    const float* query, float threshold, const SearchOptions& options) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  SearchOutput out;
+  const auto overrides = VisiblePendingLocked(options.read_tid);
+  CompositeFilterCtx ctx{this, &options.filter, options.read_tid, &overrides};
+  FilterView composite(&CompositeAccepts, &ctx);
+
+  out.hits = index_->RangeSearch(query, threshold, std::max<size_t>(options.k, 16),
+                                 options.ef, composite);
+  for (const auto& [id, delta] : overrides) {
+    if (delta->action != VectorDelta::Action::kUpsert) continue;
+    if (!options.filter.Accepts(id)) continue;
+    ++out.delta_candidates;
+    const float d = ComputeDistance(info_.metric, query, delta->value.data(),
+                                    info_.dimension);
+    if (d < threshold) out.hits.push_back(SearchHit{d, id});
+  }
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.label < b.label;
+            });
+  return out;
+}
+
+Status EmbeddingSegment::GetEmbedding(VertexId vid, Tid read_tid, float* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (OverriddenLocked(vid, read_tid)) {
+    const auto overrides = VisiblePendingLocked(read_tid);
+    auto it = overrides.find(vid);
+    if (it != overrides.end()) {
+      if (it->second->action == VectorDelta::Action::kDelete) {
+        return Status::NotFound("embedding for vertex " + std::to_string(vid) +
+                                " was deleted");
+      }
+      std::memcpy(out, it->second->value.data(), info_.dimension * sizeof(float));
+      return Status::OK();
+    }
+  }
+  if (index_->Contains(vid) && !index_->IsDeleted(vid)) {
+    return index_->GetEmbedding(vid, out);
+  }
+  return Status::NotFound("no embedding for vertex " + std::to_string(vid));
+}
+
+Status EmbeddingSegment::SaveIndexSnapshot(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto* hnsw = dynamic_cast<const HnswIndex*>(index_.get());
+  if (hnsw == nullptr) {
+    return Status::Unimplemented("index snapshots are only supported for HNSW");
+  }
+  return hnsw->SaveToFile(path);
+}
+
+Status EmbeddingSegment::AdoptIndexSnapshot(std::unique_ptr<VectorIndex> index,
+                                            Tid merged_tid) {
+  if (index == nullptr) return Status::InvalidArgument("null index");
+  if (index->dim() != info_.dimension) {
+    return Status::InvalidArgument("snapshot dimension mismatch");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!pending_.in_memory.empty() || !pending_.sealed.empty()) {
+    return Status::InvalidArgument(
+        "cannot adopt an index snapshot with pending deltas");
+  }
+  index_ = std::move(index);
+  merged_tid_ = merged_tid;
+  return Status::OK();
+}
+
+Tid EmbeddingSegment::merged_tid() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return merged_tid_;
+}
+
+size_t EmbeddingSegment::pending_delta_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t count = pending_.in_memory.size();
+  for (const DeltaFile& f : pending_.sealed) count += f.deltas.size();
+  return count;
+}
+
+size_t EmbeddingSegment::in_memory_delta_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pending_.in_memory.size();
+}
+
+size_t EmbeddingSegment::sealed_file_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pending_.sealed.size();
+}
+
+}  // namespace tigervector

@@ -1,0 +1,426 @@
+#include "embedding/embedding_service.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.h"
+#include "util/topk_heap.h"
+
+namespace tigervector {
+
+namespace {
+
+// RAII counter of in-flight searches, feeding SuggestVacuumThreads().
+class ActiveSearchScope {
+ public:
+  explicit ActiveSearchScope(std::atomic<size_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ActiveSearchScope() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t>* counter_;
+};
+
+}  // namespace
+
+EmbeddingService::EmbeddingService(GraphStore* store, Options options)
+    : store_(store), options_(std::move(options)) {}
+
+Result<EmbeddingService::AttrState*> EmbeddingService::GetOrCreateAttrState(
+    VertexTypeId vtype, const std::string& attr) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = attr_states_.find(AttrKey{vtype, attr});
+    if (it != attr_states_.end()) return &it->second;
+  }
+  // Validate against the schema before creating.
+  if (vtype >= store_->schema()->num_vertex_types()) {
+    return Status::InvalidArgument("unknown vertex type id");
+  }
+  const VertexTypeDef& def = store_->schema()->vertex_type(vtype);
+  const EmbeddingAttrDef* attr_def = def.FindEmbeddingAttr(attr);
+  if (attr_def == nullptr) {
+    return Status::NotFound("embedding attribute " + attr + " on " + def.name);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = attr_states_.try_emplace(AttrKey{vtype, attr});
+  if (inserted) it->second.info = attr_def->info;
+  return &it->second;
+}
+
+Result<const EmbeddingService::AttrState*> EmbeddingService::FindAttrState(
+    const std::string& vertex_type, const std::string& attr) const {
+  auto vt = store_->schema()->GetVertexType(vertex_type);
+  if (!vt.ok()) return vt.status();
+  const EmbeddingAttrDef* attr_def = (*vt)->FindEmbeddingAttr(attr);
+  if (attr_def == nullptr) {
+    return Status::NotFound("embedding attribute " + attr + " on " + vertex_type);
+  }
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = attr_states_.find(AttrKey{(*vt)->id, attr});
+  // A schema-valid attribute that never received a vector is represented
+  // as a null state: searches over it are empty, not errors.
+  if (it == attr_states_.end()) return static_cast<const AttrState*>(nullptr);
+  return &it->second;
+}
+
+EmbeddingSegment* EmbeddingService::GetOrCreateSegment(AttrState* state,
+                                                       const EmbeddingTypeInfo& info,
+                                                       SegmentId seg_id) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (seg_id < state->segments.size() && state->segments[seg_id] != nullptr) {
+      return state->segments[seg_id].get();
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (state->segments.size() <= seg_id) state->segments.resize(seg_id + 1);
+  if (state->segments[seg_id] == nullptr) {
+    const uint32_t cap = store_->segment_capacity();
+    state->segments[seg_id] = std::make_unique<EmbeddingSegment>(
+        seg_id, VertexId{seg_id} * cap, cap, info, options_.index_params);
+  }
+  return state->segments[seg_id].get();
+}
+
+Status EmbeddingService::ApplyUpsert(VertexTypeId vtype, const std::string& attr,
+                                     VertexId vid, const std::vector<float>& value,
+                                     Tid tid) {
+  auto state = GetOrCreateAttrState(vtype, attr);
+  if (!state.ok()) return state.status();
+  if (value.size() != (*state)->info.dimension) {
+    return Status::InvalidArgument("embedding dimension mismatch for " + attr);
+  }
+  const SegmentId seg_id =
+      static_cast<SegmentId>(vid / store_->segment_capacity());
+  EmbeddingSegment* segment = GetOrCreateSegment(*state, (*state)->info, seg_id);
+  VectorDelta delta;
+  delta.action = VectorDelta::Action::kUpsert;
+  delta.id = vid;
+  delta.tid = tid;
+  delta.value = value;
+  return segment->ApplyDelta(std::move(delta));
+}
+
+Status EmbeddingService::ApplyDelete(VertexTypeId vtype, const std::string& attr,
+                                     VertexId vid, Tid tid) {
+  auto state = GetOrCreateAttrState(vtype, attr);
+  if (!state.ok()) return state.status();
+  const SegmentId seg_id =
+      static_cast<SegmentId>(vid / store_->segment_capacity());
+  EmbeddingSegment* segment = GetOrCreateSegment(*state, (*state)->info, seg_id);
+  VectorDelta delta;
+  delta.action = VectorDelta::Action::kDelete;
+  delta.id = vid;
+  delta.tid = tid;
+  return segment->ApplyDelta(std::move(delta));
+}
+
+template <typename SegmentFn>
+Result<VectorSearchResult> EmbeddingService::FanOut(const VectorSearchRequest& request,
+                                                    SegmentFn segment_fn) const {
+  if (request.query == nullptr) {
+    return Status::InvalidArgument("vector search requires a query vector");
+  }
+  if (request.attrs.empty()) {
+    return Status::InvalidArgument("vector search requires at least one attribute");
+  }
+  ActiveSearchScope scope(&active_searches_);
+
+  // Static compatibility analysis across the requested attributes
+  // (paper Sec. 4.1): dimension/model/datatype/metric must match; the index
+  // type may differ. Incompatible combinations are semantic errors.
+  std::vector<const AttrState*> states;
+  for (const auto& [vertex_type, attr] : request.attrs) {
+    auto state = FindAttrState(vertex_type, attr);
+    if (!state.ok()) return state.status();
+    if (*state == nullptr) continue;  // schema-valid but empty attribute
+    for (const AttrState* prev : states) {
+      Status st = CheckCompatible(prev->info, (*state)->info);
+      if (!st.ok()) {
+        return Status::SemanticError("attributes " + request.attrs.front().second +
+                                     " and " + attr + " are not compatible: " +
+                                     st.message());
+      }
+      break;  // comparing against the first is enough (transitivity)
+    }
+    states.push_back(*state);
+  }
+
+  // Collect the target embedding segments.
+  std::vector<const EmbeddingSegment*> segments;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const AttrState* state : states) {
+      for (const auto& seg : state->segments) {
+        if (seg == nullptr) continue;
+        if (request.segment_subset != nullptr) {
+          const auto& subset = *request.segment_subset;
+          if (std::find(subset.begin(), subset.end(), seg->segment_id()) ==
+              subset.end()) {
+            continue;
+          }
+        }
+        segments.push_back(seg.get());
+      }
+    }
+  }
+
+  VectorSearchResult result;
+  result.segments_searched = segments.size();
+  std::mutex merge_mu;
+  auto run_one = [&](size_t i) {
+    EmbeddingSegment::SearchOutput out = segment_fn(*segments[i]);
+    std::lock_guard<std::mutex> lock(merge_mu);
+    if (out.used_bruteforce) ++result.bruteforce_segments;
+    result.delta_candidates += out.delta_candidates;
+    result.hits.insert(result.hits.end(), out.hits.begin(), out.hits.end());
+  };
+  if (request.pool != nullptr && segments.size() > 1) {
+    request.pool->ParallelFor(segments.size(), run_one);
+  } else {
+    for (size_t i = 0; i < segments.size(); ++i) run_one(i);
+  }
+  return result;
+}
+
+Result<VectorSearchResult> EmbeddingService::TopKSearch(
+    const VectorSearchRequest& request) const {
+  EmbeddingSegment::SearchOptions seg_options;
+  seg_options.k = request.k;
+  seg_options.ef = request.ef;
+  seg_options.filter = request.filter;
+  seg_options.read_tid =
+      request.read_tid == kMaxTid ? store_->visible_tid() : request.read_tid;
+  seg_options.bruteforce_threshold = request.bruteforce_threshold != 0
+                                         ? request.bruteforce_threshold
+                                         : options_.bruteforce_threshold;
+  auto result = FanOut(request, [&](const EmbeddingSegment& segment) {
+    return segment.TopKSearch(request.query, seg_options);
+  });
+  if (!result.ok()) return result;
+  // Global merge of per-segment top-k lists (paper Fig. 5).
+  TopKHeap<VertexId> heap(request.k);
+  for (const SearchHit& h : result->hits) heap.Push(h.distance, h.label);
+  result->hits.clear();
+  for (const auto& e : heap.TakeSorted()) {
+    result->hits.push_back(SearchHit{e.distance, e.id});
+  }
+  return result;
+}
+
+Result<VectorSearchResult> EmbeddingService::RangeSearch(
+    const VectorSearchRequest& request, float threshold) const {
+  EmbeddingSegment::SearchOptions seg_options;
+  seg_options.k = std::max<size_t>(request.k, 16);
+  seg_options.ef = request.ef;
+  seg_options.filter = request.filter;
+  seg_options.read_tid =
+      request.read_tid == kMaxTid ? store_->visible_tid() : request.read_tid;
+  seg_options.bruteforce_threshold = request.bruteforce_threshold != 0
+                                         ? request.bruteforce_threshold
+                                         : options_.bruteforce_threshold;
+  auto result = FanOut(request, [&](const EmbeddingSegment& segment) {
+    return segment.RangeSearch(request.query, threshold, seg_options);
+  });
+  if (!result.ok()) return result;
+  std::sort(result->hits.begin(), result->hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.label < b.label;
+            });
+  return result;
+}
+
+Status EmbeddingService::GetEmbedding(const std::string& vertex_type,
+                                      const std::string& attr, VertexId vid,
+                                      float* out) const {
+  auto state = FindAttrState(vertex_type, attr);
+  if (!state.ok()) return state.status();
+  if (*state == nullptr) {
+    return Status::NotFound("no embedding for vertex " + std::to_string(vid));
+  }
+  const SegmentId seg_id =
+      static_cast<SegmentId>(vid / store_->segment_capacity());
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (seg_id >= (*state)->segments.size() ||
+      (*state)->segments[seg_id] == nullptr) {
+    return Status::NotFound("no embedding for vertex " + std::to_string(vid));
+  }
+  const EmbeddingSegment* segment = (*state)->segments[seg_id].get();
+  lock.unlock();
+  return segment->GetEmbedding(vid, store_->visible_tid(), out);
+}
+
+Result<size_t> EmbeddingService::RunDeltaMerge() {
+  const Tid up_to = store_->visible_tid();
+  size_t sealed = 0;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto& [key, state] : attr_states_) {
+    for (auto& seg : state.segments) {
+      if (seg == nullptr) continue;
+      auto n = seg->DeltaMerge(up_to, options_.delta_dir);
+      if (!n.ok()) return n.status();
+      sealed += *n;
+    }
+  }
+  return sealed;
+}
+
+Result<size_t> EmbeddingService::RunIndexMerge(ThreadPool* pool) {
+  const Tid up_to = store_->visible_tid();
+  size_t merged = 0;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto& [key, state] : attr_states_) {
+    for (auto& seg : state.segments) {
+      if (seg == nullptr) continue;
+      auto n = seg->IndexMerge(up_to, pool);
+      if (!n.ok()) return n.status();
+      merged += *n;
+    }
+  }
+  return merged;
+}
+
+Status EmbeddingService::RebuildAllIndexes(ThreadPool* pool) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (auto& [key, state] : attr_states_) {
+    for (auto& seg : state.segments) {
+      if (seg == nullptr) continue;
+      TV_RETURN_NOT_OK(seg->RebuildIndex(pool));
+    }
+  }
+  return Status::OK();
+}
+
+Status EmbeddingService::SaveIndexSnapshots(const std::string& dir,
+                                            ThreadPool* pool) {
+  // Fold everything first so the snapshot is self-contained.
+  TV_RETURN_NOT_OK(RunDeltaMerge().status());
+  TV_RETURN_NOT_OK(RunIndexMerge(pool).status());
+  FILE* manifest = std::fopen((dir + "/embedding_snapshots.manifest").c_str(), "w");
+  if (manifest == nullptr) {
+    return Status::IOError("cannot open manifest in " + dir);
+  }
+  Status status = Status::OK();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [key, state] : attr_states_) {
+      for (const auto& seg : state.segments) {
+        if (seg == nullptr) continue;
+        const std::string file = "emb_" + std::to_string(key.vtype) + "_" +
+                                 key.attr + "_seg" +
+                                 std::to_string(seg->segment_id()) + ".hnsw";
+        Status st = seg->SaveIndexSnapshot(dir + "/" + file);
+        if (!st.ok()) {
+          status = st;
+          break;
+        }
+        std::fprintf(manifest, "%u %s %u %llu %s\n", key.vtype, key.attr.c_str(),
+                     seg->segment_id(),
+                     static_cast<unsigned long long>(seg->merged_tid()),
+                     file.c_str());
+      }
+      if (!status.ok()) break;
+    }
+  }
+  std::fclose(manifest);
+  return status;
+}
+
+Status EmbeddingService::LoadIndexSnapshots(const std::string& dir) {
+  FILE* manifest = std::fopen((dir + "/embedding_snapshots.manifest").c_str(), "r");
+  if (manifest == nullptr) {
+    return Status::IOError("cannot open manifest in " + dir);
+  }
+  char attr_buf[256];
+  char file_buf[512];
+  unsigned vtype = 0, seg_id = 0;
+  unsigned long long merged_tid = 0;
+  Status status = Status::OK();
+  while (std::fscanf(manifest, "%u %255s %u %llu %511s", &vtype, attr_buf, &seg_id,
+                     &merged_tid, file_buf) == 5) {
+    auto state = GetOrCreateAttrState(static_cast<VertexTypeId>(vtype), attr_buf);
+    if (!state.ok()) {
+      status = state.status();
+      break;
+    }
+    EmbeddingSegment* segment = GetOrCreateSegment(*state, (*state)->info,
+                                                   static_cast<SegmentId>(seg_id));
+    auto index = HnswIndex::LoadFromFile(dir + "/" + file_buf);
+    if (!index.ok()) {
+      status = index.status();
+      break;
+    }
+    status = segment->AdoptIndexSnapshot(std::move(index).value(),
+                                         static_cast<Tid>(merged_tid));
+    if (!status.ok()) break;
+  }
+  std::fclose(manifest);
+  return status;
+}
+
+size_t EmbeddingService::SuggestVacuumThreads() const {
+  const size_t active = active_searches_.load(std::memory_order_relaxed);
+  const size_t max_threads = std::max<size_t>(1, options_.max_vacuum_threads);
+  if (active >= max_threads) return 1;
+  return max_threads - active;
+}
+
+EmbeddingService::ServiceStats EmbeddingService::AggregateStats() const {
+  ServiceStats out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [key, state] : attr_states_) {
+    for (const auto& seg : state.segments) {
+      if (seg == nullptr) continue;
+      ++out.segments;
+      out.live_vectors += seg->index_size();
+      if (const auto* hnsw = dynamic_cast<const HnswIndex*>(&seg->index())) {
+        const HnswStats stats = hnsw->stats();
+        out.distance_computations += stats.distance_computations;
+        out.hops += stats.hops;
+        out.searches += stats.searches;
+        out.inserts += stats.inserts;
+        out.updates += stats.updates;
+      }
+    }
+  }
+  return out;
+}
+
+size_t EmbeddingService::TotalPendingDeltas() const {
+  size_t total = 0;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [key, state] : attr_states_) {
+    for (const auto& seg : state.segments) {
+      if (seg != nullptr) total += seg->pending_delta_count();
+    }
+  }
+  return total;
+}
+
+size_t EmbeddingService::NumEmbeddingSegments() const {
+  size_t total = 0;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& [key, state] : attr_states_) {
+    for (const auto& seg : state.segments) {
+      if (seg != nullptr) ++total;
+    }
+  }
+  return total;
+}
+
+std::vector<const EmbeddingSegment*> EmbeddingService::SegmentsOf(
+    const std::string& vertex_type, const std::string& attr) const {
+  std::vector<const EmbeddingSegment*> out;
+  auto state = FindAttrState(vertex_type, attr);
+  if (!state.ok() || *state == nullptr) return out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& seg : (*state)->segments) {
+    if (seg != nullptr) out.push_back(seg.get());
+  }
+  return out;
+}
+
+}  // namespace tigervector

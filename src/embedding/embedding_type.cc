@@ -1,0 +1,63 @@
+#include "embedding/embedding_type.h"
+
+namespace tigervector {
+
+namespace {
+
+const char* IndexName(VectorIndexType index) {
+  switch (index) {
+    case VectorIndexType::kHnsw:
+      return "HNSW";
+    case VectorIndexType::kFlat:
+      return "FLAT";
+    case VectorIndexType::kIvfFlat:
+      return "IVF_FLAT";
+  }
+  return "?";
+}
+
+const char* DataTypeName(VectorDataType type) {
+  switch (type) {
+    case VectorDataType::kFloat32:
+      return "FLOAT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string EmbeddingTypeInfo::ToString() const {
+  std::string out = "EMBEDDING(DIMENSION=" + std::to_string(dimension);
+  out += ", MODEL=" + model;
+  out += ", INDEX=";
+  out += IndexName(index);
+  out += ", DATATYPE=";
+  out += DataTypeName(data_type);
+  out += ", METRIC=";
+  out += MetricName(metric);
+  out += ")";
+  return out;
+}
+
+Status CheckCompatible(const EmbeddingTypeInfo& a, const EmbeddingTypeInfo& b) {
+  if (a.dimension != b.dimension) {
+    return Status::Incompatible("embedding dimension mismatch: " +
+                                std::to_string(a.dimension) + " vs " +
+                                std::to_string(b.dimension));
+  }
+  if (a.model != b.model) {
+    return Status::Incompatible("embedding model mismatch: " + a.model + " vs " +
+                                b.model);
+  }
+  if (a.data_type != b.data_type) {
+    return Status::Incompatible("embedding data type mismatch");
+  }
+  if (a.metric != b.metric) {
+    return Status::Incompatible(std::string("embedding metric mismatch: ") +
+                                MetricName(a.metric) + " vs " + MetricName(b.metric));
+  }
+  // Index type is deliberately not compared.
+  return Status::OK();
+}
+
+}  // namespace tigervector

@@ -1,0 +1,42 @@
+#ifndef TIGERVECTOR_EMBEDDING_EMBEDDING_TYPE_H_
+#define TIGERVECTOR_EMBEDDING_EMBEDDING_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "simd/distance.h"
+#include "util/status.h"
+
+namespace tigervector {
+
+// Index family for an embedding attribute. HNSW is the production choice
+// (paper Sec. 4.4); FLAT (exact) and IVF_FLAT (clustering-based) exercise
+// the paper's claim that additional index types integrate through the same
+// four generic functions.
+enum class VectorIndexType : uint8_t { kHnsw = 0, kFlat = 1, kIvfFlat = 2 };
+
+// Element type of stored vectors.
+enum class VectorDataType : uint8_t { kFloat32 = 0 };
+
+// Metadata of the `embedding` attribute type (paper Sec. 4.1): the vector is
+// not just a LIST<FLOAT> — dimensionality, generating model, index choice,
+// element type, and similarity metric are first-class schema properties.
+struct EmbeddingTypeInfo {
+  size_t dimension = 0;
+  std::string model;  // e.g. "GPT4"; used by the compatibility check
+  VectorIndexType index = VectorIndexType::kHnsw;
+  VectorDataType data_type = VectorDataType::kFloat32;
+  Metric metric = Metric::kCosine;
+
+  std::string ToString() const;
+};
+
+// Two embedding attributes may participate in the same vector search iff
+// everything except the index type matches (paper Sec. 4.1: "If all aspects
+// of the vector metadata, except for the index type, are identical, the
+// query is allowed"). Returns OK or kIncompatible with a diagnostic.
+Status CheckCompatible(const EmbeddingTypeInfo& a, const EmbeddingTypeInfo& b);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_EMBEDDING_EMBEDDING_TYPE_H_

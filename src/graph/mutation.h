@@ -1,0 +1,48 @@
+#ifndef TIGERVECTOR_GRAPH_MUTATION_H_
+#define TIGERVECTOR_GRAPH_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tigervector {
+
+// A single buffered write. Transactions accumulate mutations and apply them
+// atomically at commit; the WAL serializes the same representation for
+// durability/recovery.
+struct Mutation {
+  enum class Kind : uint8_t {
+    kInsertVertex = 0,
+    kSetAttr = 1,
+    kInsertEdge = 2,
+    kDeleteEdge = 3,
+    kDeleteVertex = 4,
+    kUpsertEmbedding = 5,
+    kDeleteEmbedding = 6,
+  };
+
+  Kind kind;
+  VertexId vid = kInvalidVertexId;
+
+  // kInsertVertex
+  VertexTypeId vtype = 0;
+  std::vector<Value> attrs;
+
+  // kSetAttr
+  uint16_t attr_idx = 0;
+  Value value;
+
+  // kInsertEdge / kDeleteEdge
+  EdgeTypeId etype = 0;
+  VertexId dst = kInvalidVertexId;
+
+  // kUpsertEmbedding / kDeleteEmbedding
+  std::string emb_attr;
+  std::vector<float> embedding;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_GRAPH_MUTATION_H_

@@ -1,0 +1,132 @@
+#include "graph/schema.h"
+
+namespace tigervector {
+
+int VertexTypeDef::AttrIndex(const std::string& attr_name) const {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].name == attr_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const EmbeddingAttrDef* VertexTypeDef::FindEmbeddingAttr(
+    const std::string& attr_name) const {
+  for (const auto& e : embedding_attrs) {
+    if (e.name == attr_name) return &e;
+  }
+  return nullptr;
+}
+
+Result<VertexTypeId> Schema::CreateVertexType(const std::string& name,
+                                              std::vector<AttrDef> attrs) {
+  if (vertex_type_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("vertex type " + name);
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      if (attrs[i].name == attrs[j].name) {
+        return Status::InvalidArgument("duplicate attribute " + attrs[i].name +
+                                       " on vertex type " + name);
+      }
+    }
+  }
+  VertexTypeDef def;
+  def.id = static_cast<VertexTypeId>(vertex_types_.size());
+  def.name = name;
+  def.attrs = std::move(attrs);
+  vertex_types_.push_back(std::move(def));
+  vertex_type_by_name_[name] = vertex_types_.back().id;
+  return vertex_types_.back().id;
+}
+
+Result<EdgeTypeId> Schema::CreateEdgeType(const std::string& name,
+                                          const std::string& from_type,
+                                          const std::string& to_type, bool directed) {
+  if (edge_type_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("edge type " + name);
+  }
+  auto from = GetVertexType(from_type);
+  if (!from.ok()) return from.status();
+  auto to = GetVertexType(to_type);
+  if (!to.ok()) return to.status();
+  EdgeTypeDef def;
+  def.id = static_cast<EdgeTypeId>(edge_types_.size());
+  def.name = name;
+  def.from_type = (*from)->id;
+  def.to_type = (*to)->id;
+  def.directed = directed;
+  edge_types_.push_back(def);
+  edge_type_by_name_[name] = def.id;
+  return def.id;
+}
+
+Status Schema::CreateEmbeddingSpace(const std::string& name,
+                                    const EmbeddingTypeInfo& info) {
+  if (embedding_spaces_.count(name) > 0) {
+    return Status::AlreadyExists("embedding space " + name);
+  }
+  if (info.dimension == 0) {
+    return Status::InvalidArgument("embedding space " + name + " has dimension 0");
+  }
+  embedding_spaces_[name] = info;
+  return Status::OK();
+}
+
+Status Schema::AddEmbeddingAttr(const std::string& vertex_type,
+                                const std::string& attr_name,
+                                const EmbeddingTypeInfo& info) {
+  auto vt = GetVertexType(vertex_type);
+  if (!vt.ok()) return vt.status();
+  if (info.dimension == 0) {
+    return Status::InvalidArgument("embedding attribute " + attr_name +
+                                   " has dimension 0");
+  }
+  VertexTypeDef& def = vertex_types_[(*vt)->id];
+  if (def.FindEmbeddingAttr(attr_name) != nullptr || def.AttrIndex(attr_name) >= 0) {
+    return Status::AlreadyExists("attribute " + attr_name + " on " + vertex_type);
+  }
+  def.embedding_attrs.push_back(EmbeddingAttrDef{attr_name, info, ""});
+  return Status::OK();
+}
+
+Status Schema::AddEmbeddingAttrInSpace(const std::string& vertex_type,
+                                       const std::string& attr_name,
+                                       const std::string& space_name) {
+  auto space = GetEmbeddingSpace(space_name);
+  if (!space.ok()) return space.status();
+  auto vt = GetVertexType(vertex_type);
+  if (!vt.ok()) return vt.status();
+  VertexTypeDef& def = vertex_types_[(*vt)->id];
+  if (def.FindEmbeddingAttr(attr_name) != nullptr || def.AttrIndex(attr_name) >= 0) {
+    return Status::AlreadyExists("attribute " + attr_name + " on " + vertex_type);
+  }
+  def.embedding_attrs.push_back(EmbeddingAttrDef{attr_name, **space, space_name});
+  return Status::OK();
+}
+
+Result<const VertexTypeDef*> Schema::GetVertexType(const std::string& name) const {
+  auto it = vertex_type_by_name_.find(name);
+  if (it == vertex_type_by_name_.end()) {
+    return Status::NotFound("vertex type " + name);
+  }
+  return &vertex_types_[it->second];
+}
+
+Result<const EdgeTypeDef*> Schema::GetEdgeType(const std::string& name) const {
+  auto it = edge_type_by_name_.find(name);
+  if (it == edge_type_by_name_.end()) {
+    return Status::NotFound("edge type " + name);
+  }
+  return &edge_types_[it->second];
+}
+
+Result<const EmbeddingTypeInfo*> Schema::GetEmbeddingSpace(
+    const std::string& name) const {
+  auto it = embedding_spaces_.find(name);
+  if (it == embedding_spaces_.end()) {
+    return Status::NotFound("embedding space " + name);
+  }
+  return &it->second;
+}
+
+}  // namespace tigervector

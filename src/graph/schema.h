@@ -1,0 +1,88 @@
+#ifndef TIGERVECTOR_GRAPH_SCHEMA_H_
+#define TIGERVECTOR_GRAPH_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "embedding/embedding_type.h"
+#include "graph/types.h"
+#include "util/result.h"
+
+namespace tigervector {
+
+// Definition of an embedding attribute attached to a vertex type, either
+// inline (ALTER VERTEX ... ADD EMBEDDING ATTRIBUTE attr (...)) or through an
+// embedding space (... IN EMBEDDING SPACE name).
+struct EmbeddingAttrDef {
+  std::string name;
+  EmbeddingTypeInfo info;
+  std::string space;  // empty when defined inline
+};
+
+struct VertexTypeDef {
+  VertexTypeId id = 0;
+  std::string name;
+  std::vector<AttrDef> attrs;
+  std::vector<EmbeddingAttrDef> embedding_attrs;
+
+  // Index of a scalar attribute by name, or -1.
+  int AttrIndex(const std::string& attr_name) const;
+  const EmbeddingAttrDef* FindEmbeddingAttr(const std::string& attr_name) const;
+};
+
+struct EdgeTypeDef {
+  EdgeTypeId id = 0;
+  std::string name;
+  VertexTypeId from_type = 0;
+  VertexTypeId to_type = 0;
+  bool directed = true;
+};
+
+// The graph schema: vertex/edge type registry plus embedding spaces.
+// Mutations are not thread-safe; define the schema before serving queries
+// (DDL-then-DML, as in the paper's experiments).
+class Schema {
+ public:
+  // Registers a vertex type; fails with kAlreadyExists on duplicate names.
+  Result<VertexTypeId> CreateVertexType(const std::string& name,
+                                        std::vector<AttrDef> attrs);
+
+  // Registers an edge type between two existing vertex types.
+  Result<EdgeTypeId> CreateEdgeType(const std::string& name,
+                                    const std::string& from_type,
+                                    const std::string& to_type, bool directed = true);
+
+  // CREATE EMBEDDING SPACE name (...): a reusable embedding type shared by
+  // multiple vertex types (paper Sec. 4.1, Figure 2).
+  Status CreateEmbeddingSpace(const std::string& name, const EmbeddingTypeInfo& info);
+
+  // ALTER VERTEX type ADD EMBEDDING ATTRIBUTE attr (...).
+  Status AddEmbeddingAttr(const std::string& vertex_type, const std::string& attr_name,
+                          const EmbeddingTypeInfo& info);
+
+  // ALTER VERTEX type ADD EMBEDDING ATTRIBUTE attr IN EMBEDDING SPACE space.
+  Status AddEmbeddingAttrInSpace(const std::string& vertex_type,
+                                 const std::string& attr_name,
+                                 const std::string& space_name);
+
+  Result<const VertexTypeDef*> GetVertexType(const std::string& name) const;
+  Result<const EdgeTypeDef*> GetEdgeType(const std::string& name) const;
+  Result<const EmbeddingTypeInfo*> GetEmbeddingSpace(const std::string& name) const;
+
+  const VertexTypeDef& vertex_type(VertexTypeId id) const { return vertex_types_[id]; }
+  const EdgeTypeDef& edge_type(EdgeTypeId id) const { return edge_types_[id]; }
+  size_t num_vertex_types() const { return vertex_types_.size(); }
+  size_t num_edge_types() const { return edge_types_.size(); }
+
+ private:
+  std::vector<VertexTypeDef> vertex_types_;
+  std::vector<EdgeTypeDef> edge_types_;
+  std::map<std::string, VertexTypeId> vertex_type_by_name_;
+  std::map<std::string, EdgeTypeId> edge_type_by_name_;
+  std::map<std::string, EmbeddingTypeInfo> embedding_spaces_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_GRAPH_SCHEMA_H_

@@ -1,0 +1,151 @@
+#include "graph/transaction.h"
+
+namespace tigervector {
+
+namespace {
+
+bool TypeMatches(const Value& v, AttrType t) {
+  switch (t) {
+    case AttrType::kInt:
+      return std::holds_alternative<int64_t>(v);
+    case AttrType::kDouble:
+      return std::holds_alternative<double>(v) || std::holds_alternative<int64_t>(v);
+    case AttrType::kString:
+      return std::holds_alternative<std::string>(v);
+    case AttrType::kBool:
+      return std::holds_alternative<bool>(v);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<VertexId> Transaction::InsertVertex(const std::string& type_name,
+                                           std::vector<Value> attrs) {
+  auto vt = store_->schema()->GetVertexType(type_name);
+  if (!vt.ok()) return vt.status();
+  const VertexTypeDef& def = **vt;
+  if (attrs.size() != def.attrs.size()) {
+    return Status::InvalidArgument(
+        "vertex type " + type_name + " expects " + std::to_string(def.attrs.size()) +
+        " attributes, got " + std::to_string(attrs.size()));
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (!TypeMatches(attrs[i], def.attrs[i].type)) {
+      return Status::InvalidArgument("attribute " + def.attrs[i].name +
+                                     " type mismatch on " + type_name);
+    }
+    // Promote int literals stored into double attributes.
+    if (def.attrs[i].type == AttrType::kDouble &&
+        std::holds_alternative<int64_t>(attrs[i])) {
+      attrs[i] = static_cast<double>(std::get<int64_t>(attrs[i]));
+    }
+  }
+  Mutation m;
+  m.kind = Mutation::Kind::kInsertVertex;
+  m.vid = store_->AllocateVid();
+  m.vtype = def.id;
+  m.attrs = std::move(attrs);
+  mutations_.push_back(std::move(m));
+  return mutations_.back().vid;
+}
+
+Status Transaction::SetAttr(VertexId vid, const std::string& type_name,
+                            const std::string& attr_name, Value value) {
+  auto vt = store_->schema()->GetVertexType(type_name);
+  if (!vt.ok()) return vt.status();
+  const VertexTypeDef& def = **vt;
+  const int idx = def.AttrIndex(attr_name);
+  if (idx < 0) {
+    return Status::NotFound("attribute " + attr_name + " on " + type_name);
+  }
+  if (!TypeMatches(value, def.attrs[idx].type)) {
+    return Status::InvalidArgument("attribute " + attr_name + " type mismatch");
+  }
+  if (def.attrs[idx].type == AttrType::kDouble &&
+      std::holds_alternative<int64_t>(value)) {
+    value = static_cast<double>(std::get<int64_t>(value));
+  }
+  Mutation m;
+  m.kind = Mutation::Kind::kSetAttr;
+  m.vid = vid;
+  m.attr_idx = static_cast<uint16_t>(idx);
+  m.value = std::move(value);
+  mutations_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Status Transaction::InsertEdge(const std::string& edge_type, VertexId src,
+                               VertexId dst) {
+  auto et = store_->schema()->GetEdgeType(edge_type);
+  if (!et.ok()) return et.status();
+  Mutation m;
+  m.kind = Mutation::Kind::kInsertEdge;
+  m.vid = src;
+  m.dst = dst;
+  m.etype = (*et)->id;
+  mutations_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Status Transaction::DeleteEdge(const std::string& edge_type, VertexId src,
+                               VertexId dst) {
+  auto et = store_->schema()->GetEdgeType(edge_type);
+  if (!et.ok()) return et.status();
+  Mutation m;
+  m.kind = Mutation::Kind::kDeleteEdge;
+  m.vid = src;
+  m.dst = dst;
+  m.etype = (*et)->id;
+  mutations_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Status Transaction::DeleteVertex(VertexId vid) {
+  Mutation m;
+  m.kind = Mutation::Kind::kDeleteVertex;
+  m.vid = vid;
+  mutations_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Status Transaction::SetEmbedding(VertexId vid, const std::string& type_name,
+                                 const std::string& attr_name,
+                                 std::vector<float> value) {
+  auto vt = store_->schema()->GetVertexType(type_name);
+  if (!vt.ok()) return vt.status();
+  const EmbeddingAttrDef* def = (*vt)->FindEmbeddingAttr(attr_name);
+  if (def == nullptr) {
+    return Status::NotFound("embedding attribute " + attr_name + " on " + type_name);
+  }
+  if (value.size() != def->info.dimension) {
+    return Status::InvalidArgument(
+        "embedding dimension mismatch for " + attr_name + ": expected " +
+        std::to_string(def->info.dimension) + ", got " +
+        std::to_string(value.size()));
+  }
+  Mutation m;
+  m.kind = Mutation::Kind::kUpsertEmbedding;
+  m.vid = vid;
+  m.emb_attr = attr_name;
+  m.embedding = std::move(value);
+  mutations_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Status Transaction::DeleteEmbedding(VertexId vid, const std::string& attr_name) {
+  Mutation m;
+  m.kind = Mutation::Kind::kDeleteEmbedding;
+  m.vid = vid;
+  m.emb_attr = attr_name;
+  mutations_.push_back(std::move(m));
+  return Status::OK();
+}
+
+Result<Tid> Transaction::Commit() {
+  auto tid = store_->CommitTransaction(mutations_);
+  if (tid.ok()) mutations_.clear();
+  return tid;
+}
+
+}  // namespace tigervector

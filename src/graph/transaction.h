@@ -1,0 +1,60 @@
+#ifndef TIGERVECTOR_GRAPH_TRANSACTION_H_
+#define TIGERVECTOR_GRAPH_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_store.h"
+#include "graph/mutation.h"
+#include "util/result.h"
+
+namespace tigervector {
+
+// A write transaction buffering mutations against a GraphStore. All buffered
+// writes — graph attributes, edges, and vector embeddings — become visible
+// atomically at Commit() (paper Sec. 4.3). Schema validation happens at
+// buffer time so misuse fails fast; existence checks happen at commit.
+//
+// Not thread-safe; each transaction belongs to one thread.
+class Transaction {
+ public:
+  explicit Transaction(GraphStore* store) : store_(store) {}
+
+  // Buffers a vertex insert and returns its pre-allocated id.
+  Result<VertexId> InsertVertex(const std::string& type_name,
+                                std::vector<Value> attrs);
+
+  // Buffers an attribute update.
+  Status SetAttr(VertexId vid, const std::string& type_name,
+                 const std::string& attr_name, Value value);
+
+  // Buffers a directed/undirected edge insert (direction comes from the
+  // edge type definition).
+  Status InsertEdge(const std::string& edge_type, VertexId src, VertexId dst);
+  Status DeleteEdge(const std::string& edge_type, VertexId src, VertexId dst);
+
+  // Buffers a vertex delete (embeddings of the vertex are deleted too).
+  Status DeleteVertex(VertexId vid);
+
+  // Buffers an embedding upsert; dimension is validated against the
+  // attribute's embedding type metadata.
+  Status SetEmbedding(VertexId vid, const std::string& type_name,
+                      const std::string& attr_name, std::vector<float> value);
+  Status DeleteEmbedding(VertexId vid, const std::string& attr_name);
+
+  // Atomically commits all buffered mutations; returns the assigned tid.
+  Result<Tid> Commit();
+
+  // Drops all buffered mutations.
+  void Rollback() { mutations_.clear(); }
+
+  size_t num_buffered() const { return mutations_.size(); }
+
+ private:
+  GraphStore* store_;
+  std::vector<Mutation> mutations_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_GRAPH_TRANSACTION_H_

@@ -1,0 +1,50 @@
+#include "graph/types.h"
+
+namespace tigervector {
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1:
+      return std::to_string(std::get<double>(v));
+    case 2:
+      return "\"" + std::get<std::string>(v) + "\"";
+    case 3:
+      return std::get<bool>(v) ? "true" : "false";
+  }
+  return "?";
+}
+
+namespace {
+
+// Promotes int to double when comparing mixed numerics.
+bool AsDouble(const Value& v, double* out) {
+  if (std::holds_alternative<int64_t>(v)) {
+    *out = static_cast<double>(std::get<int64_t>(v));
+    return true;
+  }
+  if (std::holds_alternative<double>(v)) {
+    *out = std::get<double>(v);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ValueEquals(const Value& a, const Value& b) {
+  if (a.index() == b.index()) return a == b;
+  double da, db;
+  if (AsDouble(a, &da) && AsDouble(b, &db)) return da == db;
+  return false;
+}
+
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.index() == b.index()) return a < b;
+  double da, db;
+  if (AsDouble(a, &da) && AsDouble(b, &db)) return da < db;
+  return false;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,51 @@
+#ifndef TIGERVECTOR_GRAPH_TYPES_H_
+#define TIGERVECTOR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tigervector {
+
+// Global vertex id. One id space spans all vertex types; the segment of a
+// vertex is vid / segment_capacity, its offset within the segment is
+// vid % segment_capacity. Vector indexes use the vid as the label, which is
+// what lets the engine's vertex-status bitmap double as the index filter.
+using VertexId = uint64_t;
+using VertexTypeId = uint16_t;
+using EdgeTypeId = uint16_t;
+using SegmentId = uint32_t;
+
+// Transaction id. Monotonically increasing; a committed transaction's
+// effects are visible to readers whose read_tid >= its tid.
+using Tid = uint64_t;
+
+constexpr VertexId kInvalidVertexId = UINT64_MAX;
+constexpr Tid kMaxTid = UINT64_MAX;
+
+// Scalar attribute types supported on vertices (embedding attributes are
+// managed separately by the embedding service; see embedding/).
+enum class AttrType : uint8_t { kInt = 0, kDouble = 1, kString = 2, kBool = 3 };
+
+// Runtime attribute value.
+using Value = std::variant<int64_t, double, std::string, bool>;
+
+// Returns a debug string such as "42", "3.5", "\"abc\"", "true".
+std::string ValueToString(const Value& v);
+
+// Three-way-ish comparisons used by predicate evaluation. Comparing values
+// of different alternatives (other than int/double promotion) returns false.
+bool ValueEquals(const Value& a, const Value& b);
+bool ValueLess(const Value& a, const Value& b);
+
+struct AttrDef {
+  std::string name;
+  AttrType type;
+};
+
+enum class Direction : uint8_t { kOut = 0, kIn = 1, kAny = 2 };
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_GRAPH_TYPES_H_

@@ -1,0 +1,275 @@
+#include "graph/wal.h"
+
+#include <cstring>
+
+namespace tigervector {
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutValue(std::vector<uint8_t>* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.index()));
+  switch (v.index()) {
+    case 0:
+      PutU64(out, static_cast<uint64_t>(std::get<int64_t>(v)));
+      break;
+    case 1: {
+      uint64_t bits;
+      const double d = std::get<double>(v);
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case 2:
+      PutString(out, std::get<std::string>(v));
+      break;
+    case 3:
+      PutU8(out, std::get<bool>(v) ? 1 : 0);
+      break;
+  }
+}
+
+// Bounds-checked little-endian reader; all Get* return false on underflow.
+struct Reader {
+  const uint8_t* data;
+  size_t len;
+  size_t pos = 0;
+
+  bool GetU8(uint8_t* v) {
+    if (pos + 1 > len) return false;
+    *v = data[pos++];
+    return true;
+  }
+  bool GetU16(uint16_t* v) {
+    if (pos + 2 > len) return false;
+    *v = static_cast<uint16_t>(data[pos] | (data[pos + 1] << 8));
+    pos += 2;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos + 8 > len) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) out |= uint64_t{data[pos + i]} << (8 * i);
+    pos += 8;
+    *v = out;
+    return true;
+  }
+  bool GetString(std::string* s) {
+    uint64_t n;
+    if (!GetU64(&n) || pos + n > len) return false;
+    s->assign(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
+  bool GetValue(Value* v) {
+    uint8_t tag;
+    if (!GetU8(&tag)) return false;
+    switch (tag) {
+      case 0: {
+        uint64_t raw;
+        if (!GetU64(&raw)) return false;
+        *v = static_cast<int64_t>(raw);
+        return true;
+      }
+      case 1: {
+        uint64_t bits;
+        if (!GetU64(&bits)) return false;
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        *v = d;
+        return true;
+      }
+      case 2: {
+        std::string s;
+        if (!GetString(&s)) return false;
+        *v = std::move(s);
+        return true;
+      }
+      case 3: {
+        uint8_t b;
+        if (!GetU8(&b)) return false;
+        *v = (b != 0);
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<uint8_t> WriteAheadLog::EncodeMutations(
+    const std::vector<Mutation>& mutations) {
+  std::vector<uint8_t> out;
+  PutU64(&out, mutations.size());
+  for (const Mutation& m : mutations) {
+    PutU8(&out, static_cast<uint8_t>(m.kind));
+    PutU64(&out, m.vid);
+    switch (m.kind) {
+      case Mutation::Kind::kInsertVertex:
+        PutU16(&out, m.vtype);
+        PutU64(&out, m.attrs.size());
+        for (const Value& v : m.attrs) PutValue(&out, v);
+        break;
+      case Mutation::Kind::kSetAttr:
+        PutU16(&out, m.attr_idx);
+        PutValue(&out, m.value);
+        break;
+      case Mutation::Kind::kInsertEdge:
+      case Mutation::Kind::kDeleteEdge:
+        PutU16(&out, m.etype);
+        PutU64(&out, m.dst);
+        break;
+      case Mutation::Kind::kDeleteVertex:
+        break;
+      case Mutation::Kind::kUpsertEmbedding: {
+        PutString(&out, m.emb_attr);
+        PutU64(&out, m.embedding.size());
+        const size_t bytes = m.embedding.size() * sizeof(float);
+        const size_t at = out.size();
+        out.resize(at + bytes);
+        std::memcpy(out.data() + at, m.embedding.data(), bytes);
+        break;
+      }
+      case Mutation::Kind::kDeleteEmbedding:
+        PutString(&out, m.emb_attr);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Mutation>> WriteAheadLog::DecodeMutations(const uint8_t* data,
+                                                             size_t len) {
+  Reader r{data, len};
+  uint64_t count;
+  if (!r.GetU64(&count)) return Status::IOError("wal: truncated mutation count");
+  std::vector<Mutation> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Mutation m;
+    uint8_t kind;
+    if (!r.GetU8(&kind) || !r.GetU64(&m.vid)) {
+      return Status::IOError("wal: truncated mutation header");
+    }
+    m.kind = static_cast<Mutation::Kind>(kind);
+    bool ok = true;
+    switch (m.kind) {
+      case Mutation::Kind::kInsertVertex: {
+        uint64_t n = 0;
+        ok = r.GetU16(&m.vtype) && r.GetU64(&n);
+        for (uint64_t j = 0; ok && j < n; ++j) {
+          Value v;
+          ok = r.GetValue(&v);
+          if (ok) m.attrs.push_back(std::move(v));
+        }
+        break;
+      }
+      case Mutation::Kind::kSetAttr:
+        ok = r.GetU16(&m.attr_idx) && r.GetValue(&m.value);
+        break;
+      case Mutation::Kind::kInsertEdge:
+      case Mutation::Kind::kDeleteEdge:
+        ok = r.GetU16(&m.etype) && r.GetU64(&m.dst);
+        break;
+      case Mutation::Kind::kDeleteVertex:
+        break;
+      case Mutation::Kind::kUpsertEmbedding: {
+        uint64_t n = 0;
+        ok = r.GetString(&m.emb_attr) && r.GetU64(&n);
+        if (ok) {
+          const size_t bytes = n * sizeof(float);
+          if (r.pos + bytes > r.len) {
+            ok = false;
+          } else {
+            m.embedding.resize(n);
+            std::memcpy(m.embedding.data(), r.data + r.pos, bytes);
+            r.pos += bytes;
+          }
+        }
+        break;
+      }
+      case Mutation::Kind::kDeleteEmbedding:
+        ok = r.GetString(&m.emb_attr);
+        break;
+      default:
+        ok = false;
+    }
+    if (!ok) return Status::IOError("wal: truncated mutation body");
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::Open(const std::string& path, bool sync_on_commit) {
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return Status::IOError("cannot open wal at " + path);
+  sync_on_commit_ = sync_on_commit;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(Tid tid, const std::vector<Mutation>& mutations) {
+  const std::vector<uint8_t> payload = EncodeMutations(mutations);
+  ++appended_;
+  bytes_ += payload.size() + 12;
+  if (file_ == nullptr) return Status::OK();  // in-memory mode
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  bool ok = std::fwrite(&len, sizeof(len), 1, file_) == 1 &&
+            std::fwrite(&tid, sizeof(tid), 1, file_) == 1 &&
+            (payload.empty() ||
+             std::fwrite(payload.data(), 1, payload.size(), file_) == payload.size());
+  if (ok) ok = std::fflush(file_) == 0;
+  if (!ok) return Status::IOError("wal append failed");
+  return Status::OK();
+}
+
+Result<std::vector<WriteAheadLog::Record>> WriteAheadLog::ReadAll(
+    const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open wal at " + path);
+  std::vector<Record> records;
+  for (;;) {
+    uint32_t len;
+    Tid tid;
+    if (std::fread(&len, sizeof(len), 1, f) != 1) break;  // clean EOF
+    if (std::fread(&tid, sizeof(tid), 1, f) != 1) {
+      std::fclose(f);
+      return Status::IOError("wal: truncated record header");
+    }
+    std::vector<uint8_t> payload(len);
+    if (len > 0 && std::fread(payload.data(), 1, len, f) != len) {
+      std::fclose(f);
+      return Status::IOError("wal: truncated record payload");
+    }
+    auto mutations = DecodeMutations(payload.data(), payload.size());
+    if (!mutations.ok()) {
+      std::fclose(f);
+      return mutations.status();
+    }
+    records.push_back(Record{tid, std::move(mutations).value()});
+  }
+  std::fclose(f);
+  return records;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,60 @@
+#ifndef TIGERVECTOR_GRAPH_WAL_H_
+#define TIGERVECTOR_GRAPH_WAL_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/mutation.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tigervector {
+
+// Write-ahead log for committed transactions. Each record is
+// [payload_len u32][tid u64][mutation payload]; the commit protocol appends
+// the record (and optionally fsyncs) before the mutations are applied to
+// the stores, so recovery can replay every committed transaction
+// (paper Sec. 4.3: "Distributed and replicated write-ahead log (WAL) is
+// used for durability"; this single-node reproduction keeps one log).
+class WriteAheadLog {
+ public:
+  // In-memory-only WAL (no file). Records are still encoded so tests can
+  // exercise the round trip.
+  WriteAheadLog() = default;
+
+  ~WriteAheadLog();
+
+  // Opens (creating or appending) a log file at `path`.
+  Status Open(const std::string& path, bool sync_on_commit = false);
+
+  // Appends one committed transaction. Thread-compatible: the engine's
+  // commit lock already serializes callers.
+  Status Append(Tid tid, const std::vector<Mutation>& mutations);
+
+  struct Record {
+    Tid tid;
+    std::vector<Mutation> mutations;
+  };
+
+  // Reads back all records of a log file (for recovery).
+  static Result<std::vector<Record>> ReadAll(const std::string& path);
+
+  // Serialization helpers, exposed for tests.
+  static std::vector<uint8_t> EncodeMutations(const std::vector<Mutation>& mutations);
+  static Result<std::vector<Mutation>> DecodeMutations(const uint8_t* data, size_t len);
+
+  uint64_t appended_records() const { return appended_; }
+  uint64_t appended_bytes() const { return bytes_; }
+
+ private:
+  FILE* file_ = nullptr;
+  bool sync_on_commit_ = false;
+  uint64_t appended_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_GRAPH_WAL_H_

@@ -1,0 +1,65 @@
+#include "hnsw/brute_force.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tigervector {
+
+void BruteForceSearcher::Add(uint64_t label, const float* vec) {
+  labels_.push_back(label);
+  data_.insert(data_.end(), vec, vec + dim_);
+}
+
+void BruteForceSearcher::Clear() {
+  labels_.clear();
+  data_.clear();
+}
+
+std::vector<SearchHit> BruteForceSearcher::TopKSearch(const float* query, size_t k,
+                                                      const FilterView& filter) const {
+  struct Entry {
+    float distance;
+    uint64_t label;
+    bool operator<(const Entry& other) const {
+      if (distance != other.distance) return distance < other.distance;
+      return label < other.label;
+    }
+  };
+  std::priority_queue<Entry> top;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (!filter.Accepts(labels_[i])) continue;
+    const float d = ComputeDistance(metric_, query, data_.data() + i * dim_, dim_);
+    if (top.size() < k) {
+      top.push(Entry{d, labels_[i]});
+    } else if (k > 0 && Entry{d, labels_[i]} < top.top()) {
+      top.pop();
+      top.push(Entry{d, labels_[i]});
+    }
+  }
+  std::vector<SearchHit> out;
+  out.reserve(top.size());
+  while (!top.empty()) {
+    out.push_back(SearchHit{top.top().distance, top.top().label});
+    top.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SearchHit> BruteForceSearcher::RangeSearch(const float* query,
+                                                       float threshold,
+                                                       const FilterView& filter) const {
+  std::vector<SearchHit> out;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (!filter.Accepts(labels_[i])) continue;
+    const float d = ComputeDistance(metric_, query, data_.data() + i * dim_, dim_);
+    if (d < threshold) out.push_back(SearchHit{d, labels_[i]});
+  }
+  std::sort(out.begin(), out.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+}  // namespace tigervector

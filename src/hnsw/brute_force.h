@@ -1,0 +1,46 @@
+#ifndef TIGERVECTOR_HNSW_BRUTE_FORCE_H_
+#define TIGERVECTOR_HNSW_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hnsw/hnsw_index.h"
+#include "simd/distance.h"
+#include "util/bitmap.h"
+
+namespace tigervector {
+
+// Exact nearest-neighbor search over a flat (label, vector) table. Used for
+// (a) recall ground truth in tests/benches, (b) scanning not-yet-merged
+// vector deltas at query time (paper Sec. 4.3), and (c) the brute-force
+// fallback when a filter leaves too few valid points (paper Sec. 5.1).
+class BruteForceSearcher {
+ public:
+  BruteForceSearcher(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+
+  // Appends a point. Labels may repeat; the caller is responsible for
+  // dedup semantics (delta scans want latest-wins and handle it upstream).
+  void Add(uint64_t label, const float* vec);
+
+  void Clear();
+  size_t size() const { return labels_.size(); }
+  size_t dim() const { return dim_; }
+
+  // Exact top-k under the metric, honoring the filter. Sorted ascending.
+  std::vector<SearchHit> TopKSearch(const float* query, size_t k,
+                                    const FilterView& filter = FilterView()) const;
+
+  // Exact range search (< threshold), sorted ascending.
+  std::vector<SearchHit> RangeSearch(const float* query, float threshold,
+                                     const FilterView& filter = FilterView()) const;
+
+ private:
+  size_t dim_;
+  Metric metric_;
+  std::vector<uint64_t> labels_;
+  std::vector<float> data_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_HNSW_BRUTE_FORCE_H_

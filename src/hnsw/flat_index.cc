@@ -1,0 +1,156 @@
+#include "hnsw/flat_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <queue>
+
+namespace tigervector {
+
+Status FlatIndex::AddPoint(uint64_t label, const float* vec) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = slots_.find(label);
+  if (it != slots_.end()) {
+    std::memcpy(data_.data() + it->second.offset, vec, dim_ * sizeof(float));
+    if (it->second.deleted) {
+      it->second.deleted = false;
+      ++live_;
+    }
+    return Status::OK();
+  }
+  Slot slot;
+  slot.offset = data_.size();
+  data_.insert(data_.end(), vec, vec + dim_);
+  order_.push_back(label);
+  slots_.emplace(label, slot);
+  ++live_;
+  return Status::OK();
+}
+
+Status FlatIndex::UpdateItems(const std::vector<VectorIndexUpdate>& items,
+                              ThreadPool* pool) {
+  (void)pool;  // linear structure; batch applies sequentially
+  for (const VectorIndexUpdate& item : items) {
+    if (item.is_delete) {
+      Status st = MarkDeleted(item.label);
+      if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+    } else {
+      TV_RETURN_NOT_OK(AddPoint(item.label, item.value.data()));
+    }
+  }
+  return Status::OK();
+}
+
+Status FlatIndex::MarkDeleted(uint64_t label) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = slots_.find(label);
+  if (it == slots_.end()) {
+    return Status::NotFound("label " + std::to_string(label) + " not in index");
+  }
+  if (!it->second.deleted) {
+    it->second.deleted = true;
+    --live_;
+  }
+  return Status::OK();
+}
+
+bool FlatIndex::Contains(uint64_t label) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return slots_.count(label) > 0;
+}
+
+bool FlatIndex::IsDeleted(uint64_t label) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = slots_.find(label);
+  return it == slots_.end() || it->second.deleted;
+}
+
+Status FlatIndex::GetEmbedding(uint64_t label, float* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = slots_.find(label);
+  if (it == slots_.end()) {
+    return Status::NotFound("label " + std::to_string(label) + " not in index");
+  }
+  std::memcpy(out, data_.data() + it->second.offset, dim_ * sizeof(float));
+  return Status::OK();
+}
+
+std::vector<SearchHit> FlatIndex::TopKSearch(const float* query, size_t k, size_t ef,
+                                             const FilterView& filter) const {
+  (void)ef;  // exact index: no accuracy knob
+  return BruteForceSearch(query, k, filter);
+}
+
+std::vector<SearchHit> FlatIndex::RangeSearch(const float* query, float threshold,
+                                              size_t initial_k, size_t ef,
+                                              const FilterView& filter) const {
+  (void)initial_k;
+  (void)ef;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<SearchHit> out;
+  for (size_t row = 0; row < order_.size(); ++row) {
+    const uint64_t label = order_[row];
+    auto it = slots_.find(label);
+    if (it->second.deleted || !filter.Accepts(label)) continue;
+    const float d =
+        ComputeDistance(metric_, query, data_.data() + it->second.offset, dim_);
+    if (d < threshold) out.push_back(SearchHit{d, label});
+  }
+  std::sort(out.begin(), out.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.label < b.label;
+  });
+  return out;
+}
+
+std::vector<SearchHit> FlatIndex::BruteForceSearch(const float* query, size_t k,
+                                                   const FilterView& filter) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  struct Entry {
+    float distance;
+    uint64_t label;
+    bool operator<(const Entry& o) const {
+      if (distance != o.distance) return distance < o.distance;
+      return label < o.label;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (size_t row = 0; row < order_.size(); ++row) {
+    const uint64_t label = order_[row];
+    auto it = slots_.find(label);
+    if (it->second.deleted || !filter.Accepts(label)) continue;
+    const float d =
+        ComputeDistance(metric_, query, data_.data() + it->second.offset, dim_);
+    if (heap.size() < k) {
+      heap.push(Entry{d, label});
+    } else if (k > 0 && Entry{d, label} < heap.top()) {
+      heap.pop();
+      heap.push(Entry{d, label});
+    }
+  }
+  std::vector<SearchHit> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(SearchHit{heap.top().distance, heap.top().label});
+    heap.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t FlatIndex::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return live_;
+}
+
+std::vector<uint64_t> FlatIndex::Labels() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(live_);
+  for (const auto& [label, slot] : slots_) {
+    if (!slot.deleted) out.push_back(label);
+  }
+  return out;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,63 @@
+#ifndef TIGERVECTOR_HNSW_FLAT_INDEX_H_
+#define TIGERVECTOR_HNSW_FLAT_INDEX_H_
+
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "hnsw/vector_index.h"
+
+namespace tigervector {
+
+// Exact (linear-scan) vector index implementing the VectorIndex contract.
+// Selected with INDEX = FLAT in the embedding metadata; useful for small
+// segments, as a correctness oracle, and as the simplest demonstration
+// that additional index types slot into TigerVector (paper Sec. 4.4).
+class FlatIndex : public VectorIndex {
+ public:
+  FlatIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+
+  Status AddPoint(uint64_t label, const float* vec) override;
+  Status UpdateItems(const std::vector<VectorIndexUpdate>& items,
+                     ThreadPool* pool) override;
+  Status MarkDeleted(uint64_t label) override;
+  bool Contains(uint64_t label) const override;
+  bool IsDeleted(uint64_t label) const override;
+  Status GetEmbedding(uint64_t label, float* out) const override;
+
+  using VectorIndex::BruteForceSearch;
+  using VectorIndex::RangeSearch;
+  using VectorIndex::TopKSearch;
+
+  std::vector<SearchHit> TopKSearch(const float* query, size_t k, size_t ef,
+                                    const FilterView& filter) const override;
+  std::vector<SearchHit> RangeSearch(const float* query, float threshold,
+                                     size_t initial_k, size_t ef,
+                                     const FilterView& filter) const override;
+  std::vector<SearchHit> BruteForceSearch(const float* query, size_t k,
+                                          const FilterView& filter) const override;
+
+  size_t size() const override;
+  size_t dim() const override { return dim_; }
+  Metric metric() const override { return metric_; }
+  std::vector<uint64_t> Labels() const override;
+  std::string index_type() const override { return "FLAT"; }
+
+ private:
+  struct Slot {
+    bool deleted = false;
+    size_t offset = 0;  // into data_
+  };
+
+  size_t dim_;
+  Metric metric_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<uint64_t, Slot> slots_;
+  std::vector<float> data_;
+  std::vector<uint64_t> order_;  // label per stored row
+  size_t live_ = 0;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_HNSW_FLAT_INDEX_H_

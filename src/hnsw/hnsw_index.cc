@@ -1,0 +1,657 @@
+#include "hnsw/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <queue>
+
+#include "util/thread_pool.h"
+
+namespace tigervector {
+
+namespace {
+constexpr uint32_t kInvalidId = UINT32_MAX;
+constexpr uint64_t kFileMagic = 0x54475648'4e535731ULL;  // "TGVHNSW1"
+}  // namespace
+
+HnswIndex::HnswIndex(const HnswParams& params)
+    : params_(params),
+      level_mult_(1.0 / std::log(static_cast<double>(std::max<size_t>(2, params.m)))),
+      level_rng_(params.seed) {
+  data_.resize(params_.max_elements * params_.dim);
+  nodes_.reserve(params_.max_elements);
+  node_locks_ = std::make_unique<std::mutex[]>(params_.max_elements);
+}
+
+HnswIndex::~HnswIndex() = default;
+
+float HnswIndex::Dist(const float* query, uint32_t id) const {
+  stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+  return ComputeDistance(params_.metric, query, DataAt(id), params_.dim);
+}
+
+int HnswIndex::DrawLevel() {
+  double u = level_rng_.NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  return static_cast<int>(-std::log(u) * level_mult_);
+}
+
+uint32_t HnswIndex::GreedySearchLayer(const float* query, uint32_t entry,
+                                      int level) const {
+  uint32_t curr = entry;
+  float curr_dist = Dist(query, curr);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<uint32_t> neighbors;
+    {
+      std::lock_guard<std::mutex> lock(node_locks_[curr]);
+      const auto& links = nodes_[curr].links;
+      if (static_cast<int>(links.size()) > level) neighbors = links[level];
+    }
+    for (uint32_t n : neighbors) {
+      const float d = Dist(query, n);
+      if (d < curr_dist) {
+        curr_dist = d;
+        curr = n;
+        improved = true;
+      }
+    }
+    stat_hops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return curr;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
+                                                         uint32_t entry, size_t ef,
+                                                         int level) const {
+  // top: max-heap of the ef closest found so far; frontier: min-heap of
+  // nodes to expand.
+  std::priority_queue<Candidate> top;
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>>
+      frontier;
+  std::vector<uint8_t> visited(nodes_.size(), 0);
+
+  const float entry_dist = Dist(query, entry);
+  top.push(Candidate{entry_dist, entry});
+  frontier.push(Candidate{entry_dist, entry});
+  visited[entry] = 1;
+
+  while (!frontier.empty()) {
+    const Candidate c = frontier.top();
+    if (top.size() >= ef && c.distance > top.top().distance) break;
+    frontier.pop();
+    stat_hops_.fetch_add(1, std::memory_order_relaxed);
+
+    std::vector<uint32_t> neighbors;
+    {
+      std::lock_guard<std::mutex> lock(node_locks_[c.id]);
+      const auto& links = nodes_[c.id].links;
+      if (static_cast<int>(links.size()) > level) neighbors = links[level];
+    }
+    for (uint32_t n : neighbors) {
+      if (n >= visited.size() || visited[n]) continue;
+      visited[n] = 1;
+      const float d = Dist(query, n);
+      if (top.size() < ef || d < top.top().distance) {
+        top.push(Candidate{d, n});
+        if (top.size() > ef) top.pop();
+        frontier.push(Candidate{d, n});
+      }
+    }
+  }
+
+  std::vector<Candidate> out;
+  out.reserve(top.size());
+  while (!top.empty()) {
+    out.push_back(top.top());
+    top.pop();
+  }
+  std::reverse(out.begin(), out.end());  // ascending distance
+  return out;
+}
+
+void HnswIndex::SelectNeighbors(const float* base, std::vector<Candidate>& candidates,
+                                size_t m) const {
+  (void)base;
+  if (candidates.size() <= m) return;
+  // Heuristic selection (HNSW Algorithm 4): keep a candidate only if it is
+  // closer to the base point than to every already-selected neighbor. This
+  // spreads links in different directions and is what gives HNSW its
+  // navigability on clustered data.
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<Candidate> selected;
+  selected.reserve(m);
+  for (const Candidate& c : candidates) {
+    if (selected.size() >= m) break;
+    bool good = true;
+    for (const Candidate& s : selected) {
+      const float d = ComputeDistance(params_.metric, DataAt(c.id), DataAt(s.id),
+                                      params_.dim);
+      stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+      if (d < c.distance) {
+        good = false;
+        break;
+      }
+    }
+    if (good) selected.push_back(c);
+  }
+  // Backfill with the nearest rejected candidates if the heuristic was too
+  // aggressive (keeps the graph connected for tiny m).
+  for (const Candidate& c : candidates) {
+    if (selected.size() >= m) break;
+    bool already = false;
+    for (const Candidate& s : selected) {
+      if (s.id == c.id) {
+        already = true;
+        break;
+      }
+    }
+    if (!already) selected.push_back(c);
+  }
+  candidates = std::move(selected);
+}
+
+void HnswIndex::ConnectNode(uint32_t id, int level,
+                            std::vector<Candidate>& candidates) {
+  SelectNeighbors(DataAt(id), candidates, params_.m);
+  std::vector<uint32_t> out_links;
+  out_links.reserve(candidates.size());
+  for (const Candidate& c : candidates) out_links.push_back(c.id);
+  {
+    std::lock_guard<std::mutex> lock(node_locks_[id]);
+    nodes_[id].links[level] = out_links;
+  }
+  const size_t max_links = MaxLinks(level);
+  for (const Candidate& c : candidates) {
+    std::lock_guard<std::mutex> lock(node_locks_[c.id]);
+    auto& peer_links = nodes_[c.id].links;
+    if (static_cast<int>(peer_links.size()) <= level) continue;
+    auto& links = peer_links[level];
+    if (links.size() < max_links) {
+      links.push_back(id);
+      continue;
+    }
+    // Prune the peer's links with the same heuristic, considering the new
+    // backlink as a candidate.
+    std::vector<Candidate> peer_cands;
+    peer_cands.reserve(links.size() + 1);
+    const float* peer_vec = DataAt(c.id);
+    for (uint32_t n : links) {
+      stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+      peer_cands.push_back(
+          Candidate{ComputeDistance(params_.metric, peer_vec, DataAt(n), params_.dim), n});
+    }
+    stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+    peer_cands.push_back(
+        Candidate{ComputeDistance(params_.metric, peer_vec, DataAt(id), params_.dim), id});
+    SelectNeighbors(peer_vec, peer_cands, max_links);
+    links.clear();
+    for (const Candidate& pc : peer_cands) links.push_back(pc.id);
+  }
+}
+
+Status HnswIndex::AddPoint(uint64_t label, const float* vec) {
+  uint32_t existing = kInvalidId;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    auto it = label_to_id_.find(label);
+    if (it != label_to_id_.end()) existing = it->second;
+  }
+  if (existing != kInvalidId) return UpdateInternal(existing, vec);
+  return InsertInternal(label, vec);
+}
+
+Status HnswIndex::InsertInternal(uint64_t label, const float* vec) {
+  uint32_t id;
+  int node_level;
+  uint32_t entry;
+  int search_from_level;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    if (nodes_.size() >= params_.max_elements) {
+      return Status::OutOfRange("hnsw index is full (capacity " +
+                                std::to_string(params_.max_elements) + ")");
+    }
+    id = static_cast<uint32_t>(nodes_.size());
+    node_level = DrawLevel();
+    nodes_.push_back(Node{});
+    Node& node = nodes_.back();
+    node.label = label;
+    node.links.resize(node_level + 1);
+    label_to_id_.emplace(label, id);
+    std::memcpy(data_.data() + size_t{id} * params_.dim, vec,
+                params_.dim * sizeof(float));
+    entry = entry_point_;
+    search_from_level = max_level_;
+    if (entry_point_ == kInvalidId) {
+      entry_point_ = id;
+      max_level_ = node_level;
+      live_count_.fetch_add(1);
+      stat_inserts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+
+  uint32_t curr = entry;
+  for (int level = search_from_level; level > node_level; --level) {
+    curr = GreedySearchLayer(vec, curr, level);
+  }
+  for (int level = std::min(node_level, search_from_level); level >= 0; --level) {
+    std::vector<Candidate> cands = SearchLayer(vec, curr, params_.ef_construction, level);
+    if (!cands.empty()) curr = cands.front().id;
+    ConnectNode(id, level, cands);
+  }
+
+  if (node_level > search_from_level) {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    if (node_level > max_level_) {
+      max_level_ = node_level;
+      entry_point_ = id;
+    }
+  }
+  live_count_.fetch_add(1);
+  stat_inserts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status HnswIndex::UpdateInternal(uint32_t id, const float* vec) {
+  {
+    std::lock_guard<std::mutex> lock(node_locks_[id]);
+    std::memcpy(data_.data() + size_t{id} * params_.dim, vec,
+                params_.dim * sizeof(float));
+    if (nodes_[id].deleted) {
+      nodes_[id].deleted = false;
+      live_count_.fetch_add(1);
+    }
+  }
+  // Repair the updated node's out-links level by level: its old neighbors
+  // were chosen for the old vector, so re-run the insertion search.
+  uint32_t entry;
+  int top_level;
+  int node_level;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    entry = entry_point_;
+    top_level = max_level_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(node_locks_[id]);
+    node_level = static_cast<int>(nodes_[id].links.size()) - 1;
+  }
+  if (entry == kInvalidId) return Status::OK();
+
+  uint32_t curr = entry;
+  for (int level = top_level; level > node_level; --level) {
+    curr = GreedySearchLayer(vec, curr, level);
+  }
+  for (int level = std::min(node_level, top_level); level >= 0; --level) {
+    // Snapshot the stale out-neighbors before re-linking: their own link
+    // lists reference a vector that no longer exists at the old location
+    // and must be repaired below (cf. hnswlib's repairConnectionsForUpdate;
+    // this is what makes in-place updates more expensive than inserts and
+    // drives the paper's Fig. 11 incremental-vs-rebuild crossover).
+    std::vector<uint32_t> stale_neighbors;
+    {
+      std::lock_guard<std::mutex> lock(node_locks_[id]);
+      if (static_cast<int>(nodes_[id].links.size()) > level) {
+        stale_neighbors = nodes_[id].links[level];
+      }
+    }
+    std::vector<Candidate> cands = SearchLayer(vec, curr, params_.ef_construction, level);
+    if (!cands.empty()) curr = cands.front().id;
+    // Drop self-references found by the search.
+    cands.erase(std::remove_if(cands.begin(), cands.end(),
+                               [id](const Candidate& c) { return c.id == id; }),
+                cands.end());
+    ConnectNode(id, level, cands);
+    // Repair each stale neighbor's link list (hnswlib's
+    // repairConnectionsForUpdate): gather the 2-hop candidate pool around
+    // the moved node, then re-select every 1-hop neighbor's links from
+    // that pool. Distances to the moved node changed, so their old pruning
+    // decisions are invalid.
+    const size_t max_links = MaxLinks(level);
+    std::vector<uint32_t> pool;
+    pool.push_back(id);
+    for (uint32_t n : stale_neighbors) {
+      pool.push_back(n);
+      std::lock_guard<std::mutex> lock(node_locks_[n]);
+      const auto& peer_links = nodes_[n].links;
+      if (static_cast<int>(peer_links.size()) <= level) continue;
+      for (uint32_t nn : peer_links[level]) pool.push_back(nn);
+    }
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    // Cap the repair pool (hnswlib caps its sCand set similarly); repairs
+    // dominate update cost, and an unbounded 2-hop pool over-repairs.
+    const size_t pool_cap = 16 * params_.m;
+    if (pool.size() > pool_cap) {
+      std::vector<Candidate> ranked;
+      ranked.reserve(pool.size());
+      for (uint32_t peer : pool) {
+        stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+        ranked.push_back(Candidate{
+            ComputeDistance(params_.metric, vec, DataAt(peer), params_.dim), peer});
+      }
+      std::sort(ranked.begin(), ranked.end());
+      pool.clear();
+      for (size_t p = 0; p < pool_cap; ++p) pool.push_back(ranked[p].id);
+    }
+    for (uint32_t n : stale_neighbors) {
+      if (n == id) continue;
+      std::vector<Candidate> peer_cands;
+      peer_cands.reserve(pool.size());
+      const float* peer_vec = DataAt(n);
+      for (uint32_t peer : pool) {
+        if (peer == n) continue;
+        stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+        peer_cands.push_back(Candidate{
+            ComputeDistance(params_.metric, peer_vec, DataAt(peer), params_.dim),
+            peer});
+      }
+      SelectNeighbors(peer_vec, peer_cands, max_links);
+      std::lock_guard<std::mutex> lock(node_locks_[n]);
+      auto& peer_links = nodes_[n].links;
+      if (static_cast<int>(peer_links.size()) <= level) continue;
+      auto& links = peer_links[level];
+      links.clear();
+      for (const Candidate& pc : peer_cands) links.push_back(pc.id);
+    }
+  }
+  stat_updates_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status HnswIndex::UpdateItems(const std::vector<UpdateItem>& items, ThreadPool* pool) {
+  if (items.empty()) return Status::OK();
+  const size_t num_buckets = pool != nullptr ? pool->num_threads() : 1;
+  // Partition items by label so each worker owns a disjoint label subset;
+  // this preserves per-label record order within the batch (paper Sec. 4.4).
+  std::vector<std::vector<const UpdateItem*>> buckets(num_buckets);
+  for (const UpdateItem& item : items) {
+    buckets[item.label % num_buckets].push_back(&item);
+  }
+  std::vector<Status> statuses(num_buckets);
+  auto run_bucket = [this, &buckets, &statuses](size_t b) {
+    for (const UpdateItem* item : buckets[b]) {
+      Status st;
+      if (item->is_delete) {
+        st = MarkDeleted(item->label);
+        // Deleting a label that never reached the index is a no-op.
+        if (st.code() == StatusCode::kNotFound) st = Status::OK();
+      } else {
+        st = AddPoint(item->label, item->value.data());
+      }
+      if (!st.ok()) {
+        statuses[b] = st;
+        return;
+      }
+    }
+  };
+  if (pool != nullptr && num_buckets > 1) {
+    pool->ParallelFor(num_buckets, run_bucket);
+  } else {
+    for (size_t b = 0; b < num_buckets; ++b) run_bucket(b);
+  }
+  for (const Status& st : statuses) TV_RETURN_NOT_OK(st);
+  return Status::OK();
+}
+
+Status HnswIndex::MarkDeleted(uint64_t label) {
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    auto it = label_to_id_.find(label);
+    if (it == label_to_id_.end()) {
+      return Status::NotFound("label " + std::to_string(label) + " not in index");
+    }
+    id = it->second;
+  }
+  std::lock_guard<std::mutex> lock(node_locks_[id]);
+  if (!nodes_[id].deleted) {
+    nodes_[id].deleted = true;
+    live_count_.fetch_sub(1);
+  }
+  return Status::OK();
+}
+
+bool HnswIndex::Contains(uint64_t label) const {
+  std::lock_guard<std::mutex> lock(global_mu_);
+  return label_to_id_.count(label) > 0;
+}
+
+bool HnswIndex::IsDeleted(uint64_t label) const {
+  std::lock_guard<std::mutex> lock(global_mu_);
+  auto it = label_to_id_.find(label);
+  if (it == label_to_id_.end()) return true;
+  return nodes_[it->second].deleted;
+}
+
+Status HnswIndex::GetEmbedding(uint64_t label, float* out) const {
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    auto it = label_to_id_.find(label);
+    if (it == label_to_id_.end()) {
+      return Status::NotFound("label " + std::to_string(label) + " not in index");
+    }
+    id = it->second;
+  }
+  std::memcpy(out, DataAt(id), params_.dim * sizeof(float));
+  return Status::OK();
+}
+
+std::vector<SearchHit> HnswIndex::TopKSearch(const float* query, size_t k, size_t ef,
+                                             const FilterView& filter) const {
+  stat_searches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<SearchHit> out;
+  uint32_t entry;
+  int top_level;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    entry = entry_point_;
+    top_level = max_level_;
+  }
+  if (entry == kInvalidId || k == 0) return out;
+  ef = std::max(ef, k);
+
+  uint32_t curr = entry;
+  for (int level = top_level; level > 0; --level) {
+    curr = GreedySearchLayer(query, curr, level);
+  }
+  std::vector<Candidate> cands = SearchLayer(query, curr, ef, 0);
+  out.reserve(std::min(k, cands.size()));
+  for (const Candidate& c : cands) {
+    const Node& node = nodes_[c.id];
+    if (node.deleted) continue;
+    if (!filter.Accepts(node.label)) continue;
+    out.push_back(SearchHit{c.distance, node.label});
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+std::vector<SearchHit> HnswIndex::RangeSearch(const float* query, float threshold,
+                                              size_t initial_k, size_t ef,
+                                              const FilterView& filter) const {
+  size_t k = std::max<size_t>(1, initial_k);
+  const size_t total = nodes_.size();
+  std::vector<SearchHit> hits;
+  for (;;) {
+    hits = TopKSearch(query, k, std::max(ef, k), filter);
+    if (hits.size() < k) break;  // exhausted all valid points
+    const float median = hits[hits.size() / 2].distance;
+    if (threshold < median) break;
+    if (k >= total) break;
+    k = std::min(total, k * 2);
+  }
+  std::vector<SearchHit> out;
+  for (const SearchHit& h : hits) {
+    if (h.distance < threshold) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
+                                                   const FilterView& filter) const {
+  size_t count;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    count = nodes_.size();
+  }
+  std::priority_queue<Candidate> top;
+  for (uint32_t id = 0; id < count; ++id) {
+    const Node& node = nodes_[id];
+    if (node.deleted) continue;
+    if (!filter.Accepts(node.label)) continue;
+    const float d = Dist(query, id);
+    if (top.size() < k) {
+      top.push(Candidate{d, id});
+    } else if (k > 0 && d < top.top().distance) {
+      top.pop();
+      top.push(Candidate{d, id});
+    }
+  }
+  std::vector<SearchHit> out;
+  out.reserve(top.size());
+  while (!top.empty()) {
+    out.push_back(SearchHit{top.top().distance, nodes_[top.top().id].label});
+    top.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+size_t HnswIndex::size() const { return live_count_.load(); }
+
+HnswStats HnswIndex::stats() const {
+  HnswStats s;
+  s.distance_computations = stat_dist_comps_.load(std::memory_order_relaxed);
+  s.hops = stat_hops_.load(std::memory_order_relaxed);
+  s.searches = stat_searches_.load(std::memory_order_relaxed);
+  s.inserts = stat_inserts_.load(std::memory_order_relaxed);
+  s.updates = stat_updates_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HnswIndex::ResetStats() {
+  stat_dist_comps_.store(0, std::memory_order_relaxed);
+  stat_hops_.store(0, std::memory_order_relaxed);
+  stat_searches_.store(0, std::memory_order_relaxed);
+  stat_inserts_.store(0, std::memory_order_relaxed);
+  stat_updates_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> HnswIndex::Labels() const {
+  std::lock_guard<std::mutex> lock(global_mu_);
+  std::vector<uint64_t> labels;
+  labels.reserve(label_to_id_.size());
+  for (const auto& [label, id] : label_to_id_) {
+    if (!nodes_[id].deleted) labels.push_back(label);
+  }
+  return labels;
+}
+
+namespace {
+
+template <typename T>
+bool WritePod(FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status HnswIndex::SaveToFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  bool ok = WritePod(f, kFileMagic);
+  const uint64_t dim = params_.dim;
+  const uint32_t metric = static_cast<uint32_t>(params_.metric);
+  const uint64_t m = params_.m;
+  const uint64_t efc = params_.ef_construction;
+  const uint64_t cap = params_.max_elements;
+  const uint64_t count = nodes_.size();
+  const uint32_t entry = entry_point_;
+  const int32_t max_level = max_level_;
+  ok = ok && WritePod(f, dim) && WritePod(f, metric) && WritePod(f, m) &&
+       WritePod(f, efc) && WritePod(f, cap) && WritePod(f, count) &&
+       WritePod(f, entry) && WritePod(f, max_level);
+  for (uint64_t i = 0; ok && i < count; ++i) {
+    const Node& node = nodes_[i];
+    const uint8_t deleted = node.deleted ? 1 : 0;
+    const uint32_t num_levels = static_cast<uint32_t>(node.links.size());
+    ok = WritePod(f, node.label) && WritePod(f, deleted) && WritePod(f, num_levels);
+    for (uint32_t l = 0; ok && l < num_levels; ++l) {
+      const uint32_t n = static_cast<uint32_t>(node.links[l].size());
+      ok = WritePod(f, n) &&
+           std::fwrite(node.links[l].data(), sizeof(uint32_t), n, f) == n;
+    }
+    ok = ok && std::fwrite(data_.data() + i * params_.dim, sizeof(float),
+                           params_.dim, f) == params_.dim;
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HnswIndex>> HnswIndex::LoadFromFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint64_t magic = 0, dim = 0, m = 0, efc = 0, cap = 0, count = 0;
+  uint32_t metric = 0, entry = kInvalidId;
+  int32_t max_level = -1;
+  bool ok = ReadPod(f, &magic) && magic == kFileMagic && ReadPod(f, &dim) &&
+            ReadPod(f, &metric) && ReadPod(f, &m) && ReadPod(f, &efc) &&
+            ReadPod(f, &cap) && ReadPod(f, &count) && ReadPod(f, &entry) &&
+            ReadPod(f, &max_level);
+  if (!ok) {
+    std::fclose(f);
+    return Status::IOError("corrupt hnsw file header: " + path);
+  }
+  HnswParams params;
+  params.dim = dim;
+  params.metric = static_cast<Metric>(metric);
+  params.m = m;
+  params.ef_construction = efc;
+  params.max_elements = cap;
+  auto index = std::make_unique<HnswIndex>(params);
+  index->entry_point_ = entry;
+  index->max_level_ = max_level;
+  size_t live = 0;
+  for (uint64_t i = 0; ok && i < count; ++i) {
+    Node node;
+    uint8_t deleted = 0;
+    uint32_t num_levels = 0;
+    ok = ReadPod(f, &node.label) && ReadPod(f, &deleted) && ReadPod(f, &num_levels);
+    node.deleted = deleted != 0;
+    node.links.resize(num_levels);
+    for (uint32_t l = 0; ok && l < num_levels; ++l) {
+      uint32_t n = 0;
+      ok = ReadPod(f, &n);
+      if (ok) {
+        node.links[l].resize(n);
+        ok = std::fread(node.links[l].data(), sizeof(uint32_t), n, f) == n;
+      }
+    }
+    if (ok) {
+      ok = std::fread(index->data_.data() + i * dim, sizeof(float), dim, f) == dim;
+    }
+    if (ok) {
+      index->label_to_id_.emplace(node.label, static_cast<uint32_t>(i));
+      if (!node.deleted) ++live;
+      index->nodes_.push_back(std::move(node));
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("corrupt hnsw file body: " + path);
+  index->live_count_.store(live);
+  return index;
+}
+
+}  // namespace tigervector

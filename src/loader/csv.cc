@@ -1,0 +1,91 @@
+#include "loader/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tigervector {
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(const std::string& path,
+                                                          const CsvOptions& options) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  int c;
+  auto flush_line = [&] {
+    // Trim a trailing \r (Windows line endings).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) {
+      if (!(first && options.skip_header)) {
+        rows.push_back(SplitCsvLine(line, options.delimiter));
+      }
+      first = false;
+    }
+    line.clear();
+  };
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      flush_line();
+    } else {
+      line.push_back(static_cast<char>(c));
+    }
+  }
+  flush_line();
+  std::fclose(f);
+  return rows;
+}
+
+Result<std::vector<float>> ParseVectorField(const std::string& field, char separator) {
+  std::vector<float> out;
+  size_t begin = 0;
+  while (begin <= field.size()) {
+    size_t end = field.find(separator, begin);
+    if (end == std::string::npos) end = field.size();
+    const std::string token = field.substr(begin, end - begin);
+    if (token.empty()) {
+      return Status::ParseError("empty vector component in '" + field + "'");
+    }
+    char* parse_end = nullptr;
+    const float v = std::strtof(token.c_str(), &parse_end);
+    if (parse_end == token.c_str() || *parse_end != '\0') {
+      return Status::ParseError("bad vector component '" + token + "'");
+    }
+    out.push_back(v);
+    if (end == field.size()) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,32 @@
+#ifndef TIGERVECTOR_LOADER_CSV_H_
+#define TIGERVECTOR_LOADER_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tigervector {
+
+// Minimal CSV support for the loading-tool path (paper Sec. 4.1 / Table 2:
+// TigerVector and Neo4j load from CSV files). Handles double-quoted fields
+// with embedded delimiters and "" escapes; no multi-line fields.
+struct CsvOptions {
+  char delimiter = ',';
+  bool skip_header = false;
+};
+
+// Splits one CSV line into fields.
+std::vector<std::string> SplitCsvLine(const std::string& line, char delimiter = ',');
+
+// Reads a whole CSV file into rows of fields.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, const CsvOptions& options = CsvOptions());
+
+// Splits a packed vector field such as "0.1:0.2:0.3" (paper:
+// split(content_emb, ":")) into floats.
+Result<std::vector<float>> ParseVectorField(const std::string& field, char separator);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_LOADER_CSV_H_

@@ -1,0 +1,185 @@
+#include "loader/loading_job.h"
+
+#include <cstdlib>
+
+namespace tigervector {
+
+namespace {
+
+// Parses a CSV field into the attribute's declared type.
+Result<Value> ParseAttr(const std::string& field, AttrType type) {
+  switch (type) {
+    case AttrType::kInt: {
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::ParseError("bad integer '" + field + "'");
+      }
+      return Value{static_cast<int64_t>(v)};
+    }
+    case AttrType::kDouble: {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::ParseError("bad double '" + field + "'");
+      }
+      return Value{v};
+    }
+    case AttrType::kString:
+      return Value{field};
+    case AttrType::kBool:
+      if (field == "true" || field == "1") return Value{true};
+      if (field == "false" || field == "0") return Value{false};
+      return Status::ParseError("bad bool '" + field + "'");
+  }
+  return Status::ParseError("unknown attribute type");
+}
+
+}  // namespace
+
+Result<LoadReport> LoadingJob::Run(Database* db, size_t batch_size,
+                                   const CsvOptions& csv) {
+  LoadReport report;
+  for (const LoadStep& step : steps_) {
+    if (const auto* vstep = std::get_if<VertexLoadStep>(&step)) {
+      TV_RETURN_NOT_OK(RunVertexStep(db, *vstep, batch_size, csv, &report));
+    } else {
+      TV_RETURN_NOT_OK(RunEmbeddingStep(db, std::get<EmbeddingLoadStep>(step),
+                                        batch_size, csv, &report));
+    }
+  }
+  return report;
+}
+
+const std::unordered_map<std::string, VertexId>* LoadingJob::IdMap(
+    const std::string& vertex_type) const {
+  auto it = id_maps_.find(vertex_type);
+  return it == id_maps_.end() ? nullptr : &it->second;
+}
+
+Status LoadingJob::RunVertexStep(Database* db, const VertexLoadStep& step,
+                                 size_t batch_size, const CsvOptions& csv,
+                                 LoadReport* report) {
+  auto vt = db->schema()->GetVertexType(step.vertex_type);
+  if (!vt.ok()) return vt.status();
+  const VertexTypeDef& def = **vt;
+  if (step.columns.empty()) {
+    return Status::InvalidArgument("loading job step has no VALUES columns");
+  }
+  // Map each VALUES column to a declared attribute (or -1 when the column
+  // is key-only, e.g. an `id` that is not an attribute).
+  std::vector<int> attr_of_column(step.columns.size(), -1);
+  for (size_t c = 0; c < step.columns.size(); ++c) {
+    attr_of_column[c] = def.AttrIndex(step.columns[c]);
+  }
+
+  auto rows = ReadCsvFile(step.file, csv);
+  if (!rows.ok()) return rows.status();
+  auto& id_map = id_maps_[step.vertex_type];
+
+  Transaction txn = db->Begin();
+  size_t in_batch = 0;
+  for (const auto& row : *rows) {
+    if (row.size() < step.columns.size()) {
+      ++report->rows_skipped;
+      report->warnings.push_back("row with " + std::to_string(row.size()) +
+                                 " fields, expected " +
+                                 std::to_string(step.columns.size()));
+      continue;
+    }
+    // Default-initialize all attributes, then fill from mapped columns.
+    std::vector<Value> attrs;
+    attrs.reserve(def.attrs.size());
+    for (const AttrDef& a : def.attrs) {
+      switch (a.type) {
+        case AttrType::kInt:
+          attrs.push_back(Value{int64_t{0}});
+          break;
+        case AttrType::kDouble:
+          attrs.push_back(Value{0.0});
+          break;
+        case AttrType::kString:
+          attrs.push_back(Value{std::string()});
+          break;
+        case AttrType::kBool:
+          attrs.push_back(Value{false});
+          break;
+      }
+    }
+    bool row_ok = true;
+    for (size_t c = 0; c < step.columns.size(); ++c) {
+      if (attr_of_column[c] < 0) continue;
+      auto value = ParseAttr(row[c], def.attrs[attr_of_column[c]].type);
+      if (!value.ok()) {
+        ++report->rows_skipped;
+        report->warnings.push_back(value.status().message());
+        row_ok = false;
+        break;
+      }
+      attrs[attr_of_column[c]] = std::move(*value);
+    }
+    if (!row_ok) continue;
+    auto vid = txn.InsertVertex(step.vertex_type, std::move(attrs));
+    if (!vid.ok()) return vid.status();
+    id_map[row[0]] = *vid;
+    ++report->vertices_loaded;
+    if (++in_batch >= batch_size) {
+      TV_RETURN_NOT_OK(txn.Commit().status());
+      txn = db->Begin();
+      in_batch = 0;
+    }
+  }
+  return txn.Commit().status();
+}
+
+Status LoadingJob::RunEmbeddingStep(Database* db, const EmbeddingLoadStep& step,
+                                    size_t batch_size, const CsvOptions& csv,
+                                    LoadReport* report) {
+  auto vt = db->schema()->GetVertexType(step.vertex_type);
+  if (!vt.ok()) return vt.status();
+  if ((*vt)->FindEmbeddingAttr(step.attr) == nullptr) {
+    return Status::NotFound("embedding attribute " + step.attr + " on " +
+                            step.vertex_type);
+  }
+  auto rows = ReadCsvFile(step.file, csv);
+  if (!rows.ok()) return rows.status();
+  auto map_it = id_maps_.find(step.vertex_type);
+  if (map_it == id_maps_.end()) {
+    return Status::InvalidArgument(
+        "embedding step for " + step.vertex_type +
+        " must follow a vertex step in the same loading job");
+  }
+  const auto& id_map = map_it->second;
+
+  Transaction txn = db->Begin();
+  size_t in_batch = 0;
+  for (const auto& row : *rows) {
+    if (row.size() < 2) {
+      ++report->rows_skipped;
+      continue;
+    }
+    auto vid_it = id_map.find(row[0]);
+    if (vid_it == id_map.end()) {
+      ++report->rows_skipped;
+      report->warnings.push_back("unknown external id '" + row[0] + "'");
+      continue;
+    }
+    auto vec = ParseVectorField(row[1], step.vector_separator);
+    if (!vec.ok()) {
+      ++report->rows_skipped;
+      report->warnings.push_back(vec.status().message());
+      continue;
+    }
+    TV_RETURN_NOT_OK(txn.SetEmbedding(vid_it->second, step.vertex_type, step.attr,
+                                      std::move(*vec)));
+    ++report->embeddings_loaded;
+    if (++in_batch >= batch_size) {
+      TV_RETURN_NOT_OK(txn.Commit().status());
+      txn = db->Begin();
+      in_batch = 0;
+    }
+  }
+  return txn.Commit().status();
+}
+
+}  // namespace tigervector

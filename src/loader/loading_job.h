@@ -1,0 +1,83 @@
+#ifndef TIGERVECTOR_LOADER_LOADING_JOB_H_
+#define TIGERVECTOR_LOADER_LOADING_JOB_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/database.h"
+#include "loader/csv.h"
+
+namespace tigervector {
+
+// One `LOAD file TO VERTEX Type VALUES (col0, col1, ...)` step. The first
+// column is the external primary key; every column whose name matches a
+// declared attribute of the vertex type is stored into that attribute.
+struct VertexLoadStep {
+  std::string file;
+  std::string vertex_type;
+  std::vector<std::string> columns;
+};
+
+// One `LOAD file TO EMBEDDING ATTRIBUTE attr ON VERTEX Type VALUES
+// (id, split(attr, "sep"))` step (paper Sec. 4.1: vectors typically arrive
+// in a separate file produced by the ML pipeline).
+struct EmbeddingLoadStep {
+  std::string file;
+  std::string vertex_type;
+  std::string attr;
+  char vector_separator = ':';
+};
+
+using LoadStep = std::variant<VertexLoadStep, EmbeddingLoadStep>;
+
+struct LoadReport {
+  size_t vertices_loaded = 0;
+  size_t embeddings_loaded = 0;
+  size_t rows_skipped = 0;  // malformed rows / unknown external ids
+  std::vector<std::string> warnings;
+};
+
+// A declarative loading job (paper Sec. 4.1's `CREATE LOADING JOB`): a
+// named sequence of CSV load steps executed in order against a Database,
+// committing in batches. Graph attributes and embeddings can come from
+// different files and are stitched together through the external primary
+// key, which is exactly what the embedding data type makes easy.
+class LoadingJob {
+ public:
+  LoadingJob(std::string name, std::string graph)
+      : name_(std::move(name)), graph_(std::move(graph)) {}
+
+  void AddStep(LoadStep step) { steps_.push_back(std::move(step)); }
+  const std::string& name() const { return name_; }
+  const std::string& graph() const { return graph_; }
+  size_t num_steps() const { return steps_.size(); }
+
+  // Runs every step. Unknown external ids in embedding steps are skipped
+  // (reported as warnings); malformed rows are skipped likewise.
+  Result<LoadReport> Run(Database* db, size_t batch_size = 1024,
+                         const CsvOptions& csv = CsvOptions());
+
+  // External-id mapping built up by vertex steps (per vertex type), usable
+  // by callers that need to resolve keys after the load.
+  const std::unordered_map<std::string, VertexId>* IdMap(
+      const std::string& vertex_type) const;
+
+ private:
+  Status RunVertexStep(Database* db, const VertexLoadStep& step, size_t batch_size,
+                       const CsvOptions& csv, LoadReport* report);
+  Status RunEmbeddingStep(Database* db, const EmbeddingLoadStep& step,
+                          size_t batch_size, const CsvOptions& csv,
+                          LoadReport* report);
+
+  std::string name_;
+  std::string graph_;
+  std::vector<LoadStep> steps_;
+  std::map<std::string, std::unordered_map<std::string, VertexId>> id_maps_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_LOADER_LOADING_JOB_H_

@@ -1,0 +1,189 @@
+#include "mpp/cluster.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/timer.h"
+#include "util/topk_heap.h"
+
+namespace tigervector {
+
+Cluster::Cluster(GraphStore* store, EmbeddingService* service, Options options)
+    : store_(store), service_(service), options_(options) {
+  if (options_.num_servers == 0) options_.num_servers = 1;
+  if (options_.replication_factor == 0) options_.replication_factor = 1;
+  options_.replication_factor =
+      std::min(options_.replication_factor, options_.num_servers);
+  pools_.reserve(options_.num_servers);
+  for (size_t i = 0; i < options_.num_servers; ++i) {
+    pools_.push_back(std::make_unique<ThreadPool>(options_.threads_per_server));
+  }
+  up_ = std::vector<std::atomic<bool>>(options_.num_servers);
+  for (auto& flag : up_) flag.store(true);
+}
+
+void Cluster::SetServerUp(size_t server, bool up) {
+  if (server < up_.size()) up_[server].store(up);
+}
+
+bool Cluster::server_up(size_t server) const {
+  return server < up_.size() && up_[server].load();
+}
+
+std::vector<size_t> Cluster::ReplicaSetOf(SegmentId seg) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < options_.replication_factor; ++r) {
+    out.push_back((seg + r) % options_.num_servers);
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<SegmentId>>> Cluster::ShardSegments(
+    const VectorSearchRequest& request) const {
+  std::vector<std::vector<SegmentId>> shards(options_.num_servers);
+  std::vector<SegmentId> seen;
+  for (const auto& [vertex_type, attr] : request.attrs) {
+    for (const EmbeddingSegment* seg : service_->SegmentsOf(vertex_type, attr)) {
+      const SegmentId id = seg->segment_id();
+      if (std::find(seen.begin(), seen.end(), id) != seen.end()) continue;
+      seen.push_back(id);
+      // Route to the first live replica.
+      size_t target = options_.num_servers;
+      for (size_t server : ReplicaSetOf(id)) {
+        if (server_up(server)) {
+          target = server;
+          break;
+        }
+      }
+      if (target == options_.num_servers) {
+        return Status::Internal("segment " + std::to_string(id) +
+                                " has no live replica");
+      }
+      shards[target].push_back(id);
+    }
+  }
+  return shards;
+}
+
+template <typename Fn>
+Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& request,
+                                                  DistributedStats* stats,
+                                                  Fn local_search,
+                                                  bool merge_topk) const {
+  Timer total_timer;
+  auto shards_result = ShardSegments(request);
+  if (!shards_result.ok()) return shards_result.status();
+  const auto shards = std::move(shards_result).value();
+
+  struct ServerResponse {
+    Result<VectorSearchResult> result = Status::Internal("not run");
+    double seconds = 0;
+    bool participated = false;
+  };
+  // The response pool: workers deposit local results, the coordinator
+  // collects them once all servers reported (paper Fig. 5).
+  std::vector<ServerResponse> responses(options_.num_servers);
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t outstanding = 0;
+
+  for (size_t server = 0; server < options_.num_servers; ++server) {
+    if (shards[server].empty()) continue;
+    ++outstanding;
+  }
+  size_t remaining = outstanding;
+  for (size_t server = 0; server < options_.num_servers; ++server) {
+    if (shards[server].empty()) continue;
+    pools_[server]->Submit([&, server] {
+      Timer t;
+      // Each worker searches only its own shard, using its own pool for
+      // intra-server segment parallelism.
+      VectorSearchRequest local = request;
+      local.segment_subset = &shards[server];
+      local.pool = nullptr;  // segments run sequentially on this worker
+      ServerResponse resp;
+      resp.result = local_search(local);
+      resp.seconds = t.ElapsedSeconds();
+      resp.participated = true;
+      std::lock_guard<std::mutex> lock(mu);
+      responses[server] = std::move(resp);
+      if (--remaining == 0) cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  Timer merge_timer;
+  VectorSearchResult merged;
+  TopKHeap<VertexId> heap(request.k);
+  for (ServerResponse& resp : responses) {
+    if (!resp.participated) continue;
+    if (!resp.result.ok()) return resp.result.status();
+    const VectorSearchResult& r = *resp.result;
+    merged.segments_searched += r.segments_searched;
+    merged.bruteforce_segments += r.bruteforce_segments;
+    merged.delta_candidates += r.delta_candidates;
+    if (merge_topk) {
+      for (const SearchHit& h : r.hits) heap.Push(h.distance, h.label);
+    } else {
+      merged.hits.insert(merged.hits.end(), r.hits.begin(), r.hits.end());
+    }
+  }
+  if (merge_topk) {
+    for (const auto& e : heap.TakeSorted()) {
+      merged.hits.push_back(SearchHit{e.distance, e.id});
+    }
+  } else {
+    std::sort(merged.hits.begin(), merged.hits.end(),
+              [](const SearchHit& a, const SearchHit& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.label < b.label;
+              });
+  }
+
+  if (stats != nullptr) {
+    stats->server_seconds.clear();
+    for (const ServerResponse& resp : responses) {
+      stats->server_seconds.push_back(resp.participated ? resp.seconds : 0.0);
+    }
+    stats->merge_seconds = merge_timer.ElapsedSeconds();
+    stats->total_seconds = total_timer.ElapsedSeconds();
+  }
+  return merged;
+}
+
+Result<VectorSearchResult> Cluster::DistributedTopK(const VectorSearchRequest& request,
+                                                    DistributedStats* stats) const {
+  return ScatterGather(
+      request, stats,
+      [this](const VectorSearchRequest& local) { return service_->TopKSearch(local); },
+      /*merge_topk=*/true);
+}
+
+Result<VectorSearchResult> Cluster::DistributedRange(const VectorSearchRequest& request,
+                                                     float threshold,
+                                                     DistributedStats* stats) const {
+  return ScatterGather(
+      request, stats,
+      [this, threshold](const VectorSearchRequest& local) {
+        return service_->RangeSearch(local, threshold);
+      },
+      /*merge_topk=*/false);
+}
+
+double Cluster::ProjectedQps(const DistributedStats& stats) const {
+  // Every query is scattered to every server, so with dedicated hardware
+  // per server the pipeline is gated by the slowest shard: QPS ≈
+  // threads_per_server / max_i(t_i). As servers are added each shard
+  // shrinks, so max_i(t_i) drops roughly linearly — the paper's 1.84-1.91x
+  // per doubling at high recall.
+  double slowest = 0;
+  for (double sec : stats.server_seconds) slowest = std::max(slowest, sec);
+  if (slowest <= 0) return 0;
+  return static_cast<double>(options_.threads_per_server) / slowest;
+}
+
+}  // namespace tigervector

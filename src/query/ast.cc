@@ -1,0 +1,51 @@
+#include "query/ast.h"
+
+namespace tigervector {
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeAttrRef(std::string alias, std::string attr) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAttrRef;
+  e->alias = std::move(alias);
+  e->attr = std::move(attr);
+  return e;
+}
+
+ExprPtr Expr::MakeParam(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParam;
+  e->param = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::MakeNot(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->lhs = std::move(child);
+  return e;
+}
+
+ExprPtr Expr::MakeVectorDist(ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVectorDist;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+}  // namespace tigervector

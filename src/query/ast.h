@@ -1,0 +1,151 @@
+#ifndef TIGERVECTOR_QUERY_AST_H_
+#define TIGERVECTOR_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "embedding/embedding_type.h"
+#include "graph/types.h"
+#include "loader/loading_job.h"
+
+namespace tigervector {
+
+// ---- Expressions ----
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp { kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+
+// WHERE-clause expression tree. VECTOR_DIST appears either in an ORDER BY
+// (top-k search / similarity join) or inside a comparison (range search).
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kAttrRef,     // alias.attr
+    kParam,       // $name
+    kBinary,
+    kNot,
+    kVectorDist,  // VECTOR_DIST(child0, child1)
+  };
+
+  Kind kind;
+  Value literal;
+  std::string alias;
+  std::string attr;
+  std::string param;
+  BinaryOp op = BinaryOp::kEq;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeAttrRef(std::string alias, std::string attr);
+  static ExprPtr MakeParam(std::string name);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeNot(ExprPtr child);
+  static ExprPtr MakeVectorDist(ExprPtr a, ExprPtr b);
+};
+
+// ---- Graph patterns ----
+
+struct NodePattern {
+  std::string alias;  // may be empty (anonymous)
+  // Vertex type name, or the name of a vertex-set variable from a prior
+  // query block (resolved at execution; GSQL query composition, Sec. 5.5).
+  std::string source;
+};
+
+struct EdgePattern {
+  std::string edge_type;
+  Direction dir = Direction::kOut;  // direction of traversal in the chain
+};
+
+// A linear path pattern: nodes[0] edges[0] nodes[1] edges[1] ... nodes[n].
+struct PathPattern {
+  std::vector<NodePattern> nodes;
+  std::vector<EdgePattern> edges;
+};
+
+// ---- Statements ----
+
+struct CreateVertexStmt {
+  std::string name;
+  std::vector<AttrDef> attrs;
+};
+
+struct CreateEdgeStmt {
+  std::string name;
+  bool directed = true;
+  std::string from;
+  std::string to;
+};
+
+struct CreateEmbeddingSpaceStmt {
+  std::string name;
+  EmbeddingTypeInfo info;
+};
+
+struct AlterAddEmbeddingStmt {
+  std::string vertex_type;
+  std::string attr;
+  bool in_space = false;
+  std::string space;       // when in_space
+  EmbeddingTypeInfo info;  // when inline
+};
+
+struct SelectStmt {
+  std::string out_var;  // empty unless `Var = SELECT ...`
+  std::vector<std::string> select_aliases;  // one alias, or two for a join
+  PathPattern pattern;
+  ExprPtr where;  // may be null
+  // ORDER BY VECTOR_DIST(...) LIMIT k
+  ExprPtr order_dist;  // kVectorDist or null
+  bool has_limit = false;
+  int64_t limit = 0;
+  std::string limit_param;  // LIMIT $k
+};
+
+struct VectorSearchStmt {
+  std::string out_var;
+  // (vertex type, embedding attribute) pairs from {Type.attr, ...}.
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::string query_param;  // $param holding the query vector
+  int64_t k = 0;
+  std::string k_param;  // $param holding k (when not a literal)
+  // Optional map: filter (vertex set variable), ef, distanceMap name.
+  std::string filter_var;
+  int64_t ef = 0;
+  std::string distance_map;  // e.g. "@@disMap"
+};
+
+struct PrintStmt {
+  std::string name;  // vertex set variable or distance map accumulator
+};
+
+// CREATE LOADING JOB name FOR GRAPH g { LOAD ... } (paper Sec. 4.1).
+struct LoadingJobStmt {
+  std::string name;
+  std::string graph;
+  std::vector<LoadStep> steps;
+};
+
+// Vertex-set algebra between two variables (GSQL's UNION / INTERSECT /
+// MINUS binary operators, Sec. 2.1): Out = A UNION B;
+struct SetOpStmt {
+  enum class Op { kUnion, kIntersect, kMinus };
+  std::string out_var;
+  std::string lhs;
+  Op op;
+  std::string rhs;
+};
+
+using Statement = std::variant<CreateVertexStmt, CreateEdgeStmt,
+                               CreateEmbeddingSpaceStmt, AlterAddEmbeddingStmt,
+                               SelectStmt, VectorSearchStmt, PrintStmt,
+                               LoadingJobStmt, SetOpStmt>;
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_QUERY_AST_H_

@@ -1,0 +1,701 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+#include "util/topk_heap.h"
+
+namespace tigervector {
+
+namespace {
+
+#define TV_RETURN_NOT_OK_STMT(expr)      \
+  do {                                   \
+    ::tigervector::Status _st = (expr);  \
+    if (!_st.ok()) return _st;           \
+  } while (false)
+
+const char* OpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+// Collects the aliases referenced by an expression.
+void CollectAliases(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == Expr::Kind::kAttrRef) {
+    if (std::find(out->begin(), out->end(), expr.alias) == out->end()) {
+      out->push_back(expr.alias);
+    }
+  }
+  if (expr.lhs != nullptr) CollectAliases(*expr.lhs, out);
+  if (expr.rhs != nullptr) CollectAliases(*expr.rhs, out);
+}
+
+bool ContainsVectorDist(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kVectorDist) return true;
+  if (expr.lhs != nullptr && ContainsVectorDist(*expr.lhs)) return true;
+  if (expr.rhs != nullptr && ContainsVectorDist(*expr.rhs)) return true;
+  return false;
+}
+
+// Splits a WHERE tree into top-level AND conjuncts.
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == Expr::Kind::kBinary && expr->op == BinaryOp::kAnd) {
+    SplitConjuncts(expr->lhs.get(), out);
+    SplitConjuncts(expr->rhs.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+Result<double> ParamAsDouble(const QueryParams& params, const std::string& name) {
+  auto it = params.find(name);
+  if (it == params.end()) {
+    return Status::InvalidArgument("missing query parameter $" + name);
+  }
+  if (std::holds_alternative<int64_t>(it->second)) {
+    return static_cast<double>(std::get<int64_t>(it->second));
+  }
+  if (std::holds_alternative<double>(it->second)) {
+    return std::get<double>(it->second);
+  }
+  return Status::InvalidArgument("parameter $" + name + " is not numeric");
+}
+
+Result<const std::vector<float>*> ParamAsVector(const QueryParams& params,
+                                                const std::string& name) {
+  auto it = params.find(name);
+  if (it == params.end()) {
+    return Status::InvalidArgument("missing query parameter $" + name);
+  }
+  if (!std::holds_alternative<std::vector<float>>(it->second)) {
+    return Status::InvalidArgument("parameter $" + name + " is not a vector");
+  }
+  return &std::get<std::vector<float>>(it->second);
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return ValueToString(expr.literal);
+    case Expr::Kind::kAttrRef:
+      return expr.alias + "." + expr.attr;
+    case Expr::Kind::kParam:
+      return "$" + expr.param;
+    case Expr::Kind::kNot:
+      return "NOT (" + ExprToString(*expr.lhs) + ")";
+    case Expr::Kind::kVectorDist:
+      return "VECTOR_DIST(" + ExprToString(*expr.lhs) + ", " +
+             ExprToString(*expr.rhs) + ")";
+    case Expr::Kind::kBinary:
+      return ExprToString(*expr.lhs) + " " + OpName(expr.op) + " " +
+             ExprToString(*expr.rhs);
+  }
+  return "?";
+}
+
+Result<std::vector<QueryExecutor::ResolvedNode>> QueryExecutor::ResolveNodes(
+    const SelectStmt& stmt, const VarMap& vars) const {
+  std::vector<ResolvedNode> nodes;
+  int anon = 0;
+  for (const NodePattern& np : stmt.pattern.nodes) {
+    ResolvedNode node;
+    node.alias = np.alias.empty() ? "_" + std::to_string(anon++) : np.alias;
+    if (!np.source.empty()) {
+      auto var_it = vars.find(np.source);
+      if (var_it != vars.end()) {
+        node.var = &var_it->second;
+      } else {
+        auto vt = db_->schema()->GetVertexType(np.source);
+        if (!vt.ok()) {
+          return Status::SemanticError("'" + np.source +
+                                       "' is neither a vertex type nor a vertex set "
+                                       "variable");
+        }
+        node.type_id = (*vt)->id;
+      }
+    }
+    nodes.push_back(std::move(node));
+  }
+  // Duplicate aliases are not supported (no cyclic patterns).
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[i].alias == nodes[j].alias) {
+        return Status::SemanticError("duplicate alias '" + nodes[i].alias + "'");
+      }
+    }
+  }
+  return nodes;
+}
+
+Result<Value> QueryExecutor::EvalValue(const Expr& expr, VertexId vid, Tid read_tid,
+                                       const QueryParams& params) const {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kAttrRef:
+      return db_->store()->GetAttr(vid, expr.attr, read_tid);
+    case Expr::Kind::kParam: {
+      auto it = params.find(expr.param);
+      if (it == params.end()) {
+        return Status::InvalidArgument("missing query parameter $" + expr.param);
+      }
+      if (std::holds_alternative<int64_t>(it->second)) {
+        return Value{std::get<int64_t>(it->second)};
+      }
+      if (std::holds_alternative<double>(it->second)) {
+        return Value{std::get<double>(it->second)};
+      }
+      if (std::holds_alternative<std::string>(it->second)) {
+        return Value{std::get<std::string>(it->second)};
+      }
+      return Status::InvalidArgument("vector parameter $" + expr.param +
+                                     " used in scalar context");
+    }
+    default:
+      return Status::SemanticError("expression is not a scalar: " +
+                                   ExprToString(expr));
+  }
+}
+
+Result<bool> QueryExecutor::EvalPredicate(const Expr& expr, VertexId vid, Tid read_tid,
+                                          const QueryParams& params) const {
+  switch (expr.kind) {
+    case Expr::Kind::kNot: {
+      auto inner = EvalPredicate(*expr.lhs, vid, read_tid, params);
+      if (!inner.ok()) return inner;
+      return !*inner;
+    }
+    case Expr::Kind::kBinary: {
+      if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+        auto lhs = EvalPredicate(*expr.lhs, vid, read_tid, params);
+        if (!lhs.ok()) return lhs;
+        if (expr.op == BinaryOp::kAnd && !*lhs) return false;
+        if (expr.op == BinaryOp::kOr && *lhs) return true;
+        return EvalPredicate(*expr.rhs, vid, read_tid, params);
+      }
+      auto lhs = EvalValue(*expr.lhs, vid, read_tid, params);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = EvalValue(*expr.rhs, vid, read_tid, params);
+      if (!rhs.ok()) return rhs.status();
+      switch (expr.op) {
+        case BinaryOp::kEq: return ValueEquals(*lhs, *rhs);
+        case BinaryOp::kNe: return !ValueEquals(*lhs, *rhs);
+        case BinaryOp::kLt: return ValueLess(*lhs, *rhs);
+        case BinaryOp::kGt: return ValueLess(*rhs, *lhs);
+        case BinaryOp::kLe: return !ValueLess(*rhs, *lhs);
+        case BinaryOp::kGe: return !ValueLess(*lhs, *rhs);
+        default: break;
+      }
+      return Status::SemanticError("unsupported operator");
+    }
+    case Expr::Kind::kLiteral:
+      if (std::holds_alternative<bool>(expr.literal)) {
+        return std::get<bool>(expr.literal);
+      }
+      return Status::SemanticError("non-boolean literal as predicate");
+    case Expr::Kind::kAttrRef: {
+      auto v = EvalValue(expr, vid, read_tid, params);
+      if (!v.ok()) return v.status();
+      if (std::holds_alternative<bool>(*v)) return std::get<bool>(*v);
+      return Status::SemanticError("attribute " + expr.attr + " is not boolean");
+    }
+    default:
+      return Status::SemanticError("unsupported predicate: " + ExprToString(expr));
+  }
+}
+
+Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
+                                         const QueryParams& params) const {
+  VertexSet base;
+  auto passes = [&](VertexId vid) -> Result<bool> {
+    for (const Expr* pred : node.predicates) {
+      auto ok = EvalPredicate(*pred, vid, read_tid, params);
+      if (!ok.ok()) return ok;
+      if (!*ok) return false;
+    }
+    return true;
+  };
+  Status status = Status::OK();
+  if (node.var != nullptr) {
+    for (VertexId vid : *node.var) {
+      if (!db_->store()->IsVisible(vid, read_tid)) continue;
+      auto vt = db_->store()->GetVertexType(vid);
+      if (!vt.ok()) continue;
+      if (node.type_id >= 0 && *vt != node.type_id) continue;
+      // Vertices of unauthorized types are invalid for this role.
+      if (!db_->access()->CanRead(role_, *vt)) continue;
+      auto ok = passes(vid);
+      if (!ok.ok()) return ok.status();
+      if (*ok) base.insert(vid);
+    }
+    return base;
+  }
+  if (node.type_id < 0) {
+    return Status::SemanticError("node '" + node.alias +
+                                 "' needs a vertex type or a vertex set variable");
+  }
+  if (!db_->access()->CanRead(role_, static_cast<VertexTypeId>(node.type_id))) {
+    return Status::InvalidArgument(
+        "permission denied: role '" + role_ + "' cannot read vertex type " +
+        db_->schema()->vertex_type(node.type_id).name);
+  }
+  db_->store()->ForEachVertexOfType(
+      static_cast<VertexTypeId>(node.type_id), read_tid, nullptr, [&](VertexId vid) {
+        if (!status.ok()) return;
+        auto ok = passes(vid);
+        if (!ok.ok()) {
+          status = ok.status();
+          return;
+        }
+        if (*ok) base.insert(vid);
+      });
+  TV_RETURN_NOT_OK_STMT(status);
+  return base;
+}
+
+Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
+                                                  const QueryParams& params,
+                                                  const VarMap& vars) {
+  const Tid read_tid = db_->store()->visible_tid();
+  auto nodes_result = ResolveNodes(stmt, vars);
+  if (!nodes_result.ok()) return nodes_result.status();
+  std::vector<ResolvedNode> nodes = std::move(nodes_result).value();
+
+  auto alias_index = [&](const std::string& alias) -> int {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].alias == alias) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // ---- Classify WHERE conjuncts ----
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), &conjuncts);
+  struct RangeSpec {
+    int node = -1;
+    std::string attr;
+    const Expr* query_operand = nullptr;
+    const Expr* threshold_operand = nullptr;
+  };
+  std::vector<RangeSpec> ranges;
+  for (const Expr* conjunct : conjuncts) {
+    if (ContainsVectorDist(*conjunct)) {
+      // Range search predicate: VECTOR_DIST(alias.attr, $q) < threshold.
+      if (conjunct->kind != Expr::Kind::kBinary ||
+          (conjunct->op != BinaryOp::kLt && conjunct->op != BinaryOp::kLe) ||
+          conjunct->lhs->kind != Expr::Kind::kVectorDist) {
+        return Status::SemanticError(
+            "VECTOR_DIST in WHERE must have the form VECTOR_DIST(v.attr, $q) < t");
+      }
+      const Expr& dist = *conjunct->lhs;
+      if (dist.lhs->kind != Expr::Kind::kAttrRef) {
+        return Status::SemanticError("VECTOR_DIST first argument must be v.attr");
+      }
+      RangeSpec spec;
+      spec.node = alias_index(dist.lhs->alias);
+      if (spec.node < 0) {
+        return Status::SemanticError("unknown alias '" + dist.lhs->alias + "'");
+      }
+      spec.attr = dist.lhs->attr;
+      spec.query_operand = dist.rhs.get();
+      spec.threshold_operand = conjunct->rhs.get();
+      ranges.push_back(spec);
+      continue;
+    }
+    std::vector<std::string> aliases;
+    CollectAliases(*conjunct, &aliases);
+    if (aliases.size() > 1) {
+      return Status::SemanticError("predicates across aliases are not supported: " +
+                                   ExprToString(*conjunct));
+    }
+    if (aliases.empty()) {
+      return Status::SemanticError("predicate references no alias: " +
+                                   ExprToString(*conjunct));
+    }
+    const int idx = alias_index(aliases[0]);
+    if (idx < 0) {
+      return Status::SemanticError("unknown alias '" + aliases[0] + "'");
+    }
+    nodes[idx].predicates.push_back(conjunct);
+  }
+
+  // ---- Resolve edge types ----
+  std::vector<const EdgeTypeDef*> edge_defs;
+  for (const EdgePattern& ep : stmt.pattern.edges) {
+    auto et = db_->schema()->GetEdgeType(ep.edge_type);
+    if (!et.ok()) return et.status();
+    edge_defs.push_back(*et);
+  }
+
+  // ---- Candidate sets: forward then backward semi-join ----
+  std::vector<VertexSet> cand(nodes.size());
+  {
+    auto base0 = BaseSet(nodes[0], read_tid, params);
+    if (!base0.ok()) return base0.status();
+    cand[0] = std::move(base0).value();
+  }
+  for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+    auto base_next = BaseSet(nodes[i + 1], read_tid, params);
+    if (!base_next.ok()) return base_next.status();
+    const VertexSet& allowed = *base_next;
+    VertexSet next;
+    const Direction dir = stmt.pattern.edges[i].dir;
+    for (VertexId vid : cand[i]) {
+      db_->store()->ForEachNeighbor(vid, edge_defs[i]->id, dir, read_tid,
+                                    [&](VertexId peer) {
+                                      if (allowed.count(peer) > 0) next.insert(peer);
+                                    });
+    }
+    cand[i + 1] = std::move(next);
+  }
+  for (size_t ri = nodes.size(); ri-- > 1;) {
+    // Keep cand[ri-1] entries with at least one neighbor in cand[ri].
+    const Direction dir = stmt.pattern.edges[ri - 1].dir;
+    VertexSet kept;
+    for (VertexId vid : cand[ri - 1]) {
+      bool has = false;
+      db_->store()->ForEachNeighbor(vid, edge_defs[ri - 1]->id, dir, read_tid,
+                                    [&](VertexId peer) {
+                                      if (!has && cand[ri].count(peer) > 0) has = true;
+                                    });
+      if (has) kept.insert(vid);
+    }
+    cand[ri - 1] = std::move(kept);
+  }
+
+  // ---- Plan text (bottom-up) ----
+  SelectResult result;
+  {
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      std::string preds;
+      for (const Expr* p : nodes[i].predicates) {
+        if (!preds.empty()) preds += " AND ";
+        preds += ExprToString(*p);
+      }
+      std::string type_name = nodes[i].type_id >= 0
+                                  ? db_->schema()->vertex_type(nodes[i].type_id).name
+                                  : (nodes[i].var != nullptr ? "<var>" : "<any>");
+      lines.push_back("VertexAction[" + type_name + ":" + nodes[i].alias +
+                      (preds.empty() ? "" : " {" + preds + "}") + "]");
+      if (i < stmt.pattern.edges.size()) {
+        lines.push_back("EdgeAction[" + nodes[i].alias + " -" +
+                        stmt.pattern.edges[i].edge_type + "- " +
+                        nodes[i + 1].alias + "]");
+      }
+    }
+    std::reverse(lines.begin(), lines.end());
+    std::string plan;
+    if (stmt.order_dist != nullptr) {
+      const std::string k_str =
+          stmt.has_limit ? (stmt.limit_param.empty() ? std::to_string(stmt.limit)
+                                                     : "$" + stmt.limit_param)
+                         : "all";
+      plan = "EmbeddingAction[Top " + k_str + ", {" +
+             ExprToString(*stmt.order_dist->lhs) + "}, " +
+             ExprToString(*stmt.order_dist->rhs) + "]\n";
+    }
+    for (const RangeSpec& spec : ranges) {
+      plan += "EmbeddingAction[Range, {" + nodes[spec.node].alias + "." + spec.attr +
+              "}, " + ExprToString(*spec.query_operand) + " < " +
+              ExprToString(*spec.threshold_operand) + "]\n";
+    }
+    for (const std::string& line : lines) plan += line + "\n";
+    result.plan = std::move(plan);
+  }
+
+  // ---- Range search conjuncts ----
+  for (const RangeSpec& spec : ranges) {
+    if (spec.query_operand->kind != Expr::Kind::kParam) {
+      return Status::SemanticError("VECTOR_DIST query operand must be a $parameter");
+    }
+    auto query = ParamAsVector(params, spec.query_operand->param);
+    if (!query.ok()) return query.status();
+    double threshold;
+    if (spec.threshold_operand->kind == Expr::Kind::kLiteral) {
+      const Value& v = spec.threshold_operand->literal;
+      if (std::holds_alternative<double>(v)) {
+        threshold = std::get<double>(v);
+      } else if (std::holds_alternative<int64_t>(v)) {
+        threshold = static_cast<double>(std::get<int64_t>(v));
+      } else {
+        return Status::SemanticError("range threshold must be numeric");
+      }
+    } else if (spec.threshold_operand->kind == Expr::Kind::kParam) {
+      auto t = ParamAsDouble(params, spec.threshold_operand->param);
+      if (!t.ok()) return t.status();
+      threshold = *t;
+    } else {
+      return Status::SemanticError("range threshold must be a literal or $parameter");
+    }
+    const ResolvedNode& node = nodes[spec.node];
+    if (node.type_id < 0) {
+      return Status::SemanticError("range search alias must have a vertex type");
+    }
+    VectorSearchRequest request;
+    request.attrs = {{db_->schema()->vertex_type(node.type_id).name, spec.attr}};
+    request.query = (*query)->data();
+    request.k = 16;
+    request.pool = db_->pool();
+    // Pre-filter: pure single-node range scans skip the bitmap entirely.
+    Bitmap bitmap;
+    const bool pure = nodes.size() == 1 && node.predicates.empty() &&
+                      node.var == nullptr;
+    if (!pure) {
+      bitmap = VertexSetToBitmap(cand[spec.node], db_->store()->vid_upper_bound());
+      request.filter = FilterView(&bitmap);
+    }
+    auto hits = db_->embeddings()->RangeSearch(request, static_cast<float>(threshold));
+    if (!hits.ok()) return hits.status();
+    VertexSet in_range;
+    for (const SearchHit& h : hits->hits) {
+      in_range.insert(h.label);
+      result.distances[h.label] = h.distance;
+    }
+    if (pure) {
+      cand[spec.node] = std::move(in_range);
+    } else {
+      VertexSet kept;
+      for (VertexId vid : cand[spec.node]) {
+        if (in_range.count(vid) > 0) kept.insert(vid);
+      }
+      cand[spec.node] = std::move(kept);
+    }
+  }
+
+  // ---- ORDER BY VECTOR_DIST ----
+  if (stmt.order_dist != nullptr) {
+    size_t k = 10;
+    if (stmt.has_limit) {
+      if (!stmt.limit_param.empty()) {
+        auto kd = ParamAsDouble(params, stmt.limit_param);
+        if (!kd.ok()) return kd.status();
+        k = static_cast<size_t>(*kd);
+      } else {
+        k = static_cast<size_t>(stmt.limit);
+      }
+    }
+    const Expr& dist = *stmt.order_dist;
+    const bool join = dist.lhs->kind == Expr::Kind::kAttrRef &&
+                      dist.rhs->kind == Expr::Kind::kAttrRef;
+    if (join) {
+      // ---- Vector similarity join on the pattern (Sec. 5.4) ----
+      const int s_idx = alias_index(dist.lhs->alias);
+      const int t_idx = alias_index(dist.rhs->alias);
+      if (s_idx < 0 || t_idx < 0) {
+        return Status::SemanticError("join aliases must appear in the pattern");
+      }
+      if (!(s_idx == 0 && t_idx == static_cast<int>(nodes.size()) - 1)) {
+        return Status::SemanticError(
+            "similarity join aliases must be the pattern endpoints");
+      }
+      if (stmt.select_aliases.size() != 2) {
+        return Status::SemanticError("similarity join requires SELECT s, t");
+      }
+      if (nodes[s_idx].type_id < 0 || nodes[t_idx].type_id < 0) {
+        return Status::SemanticError("join endpoints must have vertex types");
+      }
+      const std::string s_type = db_->schema()->vertex_type(nodes[s_idx].type_id).name;
+      const std::string t_type = db_->schema()->vertex_type(nodes[t_idx].type_id).name;
+      // Compatibility check across the two embedding attributes.
+      const auto* s_def = db_->schema()
+                              ->vertex_type(nodes[s_idx].type_id)
+                              .FindEmbeddingAttr(dist.lhs->attr);
+      const auto* t_def = db_->schema()
+                              ->vertex_type(nodes[t_idx].type_id)
+                              .FindEmbeddingAttr(dist.rhs->attr);
+      if (s_def == nullptr || t_def == nullptr) {
+        return Status::SemanticError("join attributes must be embedding attributes");
+      }
+      TV_RETURN_NOT_OK_STMT(CheckCompatible(s_def->info, t_def->info));
+
+      // Enumerate matched (s, t) pairs by walking the chain from each s;
+      // brute-force distances with a global top-k heap accumulator.
+      std::unordered_map<VertexId, std::vector<float>> s_vecs, t_vecs;
+      auto vec_of = [&](std::unordered_map<VertexId, std::vector<float>>& cache,
+                        const std::string& type, const std::string& attr,
+                        VertexId vid) -> const std::vector<float>* {
+        auto it = cache.find(vid);
+        if (it != cache.end()) return &it->second;
+        std::vector<float> v(s_def->info.dimension);
+        if (!db_->embeddings()->GetEmbedding(type, attr, vid, v.data()).ok()) {
+          return nullptr;
+        }
+        return &cache.emplace(vid, std::move(v)).first->second;
+      };
+      struct PairKey {
+        VertexId s, t;
+        bool operator==(const PairKey& o) const { return s == o.s && t == o.t; }
+      };
+      struct PairHash {
+        size_t operator()(const PairKey& p) const {
+          return std::hash<uint64_t>()(p.s * 0x9e3779b97f4a7c15ULL ^ p.t);
+        }
+      };
+      std::unordered_set<PairKey, PairHash> seen;
+      struct PairEntry {
+        float distance;
+        VertexId s, t;
+        bool operator<(const PairEntry& o) const {
+          if (distance != o.distance) return distance < o.distance;
+          if (s != o.s) return s < o.s;
+          return t < o.t;
+        }
+      };
+      std::priority_queue<PairEntry> heap;  // max-heap keeps k smallest
+      for (VertexId s : cand[s_idx]) {
+        // Walk the chain to find reachable t's under the candidate sets.
+        VertexSet frontier{s};
+        for (size_t e = 0; e < edge_defs.size(); ++e) {
+          VertexSet next;
+          for (VertexId vid : frontier) {
+            db_->store()->ForEachNeighbor(
+                vid, edge_defs[e]->id, stmt.pattern.edges[e].dir, read_tid,
+                [&](VertexId peer) {
+                  if (cand[e + 1].count(peer) > 0) next.insert(peer);
+                });
+          }
+          frontier = std::move(next);
+        }
+        if (frontier.empty()) continue;
+        const std::vector<float>* sv = vec_of(s_vecs, s_type, dist.lhs->attr, s);
+        if (sv == nullptr) continue;
+        for (VertexId t : frontier) {
+          if (s == t) continue;
+          if (!seen.insert(PairKey{s, t}).second) continue;
+          const std::vector<float>* tv = vec_of(t_vecs, t_type, dist.rhs->attr, t);
+          if (tv == nullptr) continue;
+          const float d = ComputeDistance(s_def->info.metric, sv->data(), tv->data(),
+                                          s_def->info.dimension);
+          if (heap.size() < k) {
+            heap.push(PairEntry{d, s, t});
+          } else if (k > 0 && PairEntry{d, s, t} < heap.top()) {
+            heap.pop();
+            heap.push(PairEntry{d, s, t});
+          }
+        }
+      }
+      result.is_join = true;
+      while (!heap.empty()) {
+        result.pairs.push_back(
+            SelectResult::Pair{heap.top().s, heap.top().t, heap.top().distance});
+        heap.pop();
+      }
+      std::reverse(result.pairs.begin(), result.pairs.end());
+      std::sort(result.pairs.begin(), result.pairs.end(),
+                [](const SelectResult::Pair& a, const SelectResult::Pair& b) {
+                  return a.distance < b.distance;
+                });
+      return result;
+    }
+
+    // ---- Top-k vector search (pure or filtered, Sec. 5.1-5.3) ----
+    if (dist.lhs->kind != Expr::Kind::kAttrRef ||
+        dist.rhs->kind != Expr::Kind::kParam) {
+      return Status::SemanticError(
+          "ORDER BY VECTOR_DIST expects (alias.attr, $query_vector)");
+    }
+    const int idx = alias_index(dist.lhs->alias);
+    if (idx < 0) {
+      return Status::SemanticError("unknown alias '" + dist.lhs->alias + "'");
+    }
+    if (stmt.select_aliases.size() != 1 ||
+        alias_index(stmt.select_aliases[0]) < 0) {
+      return Status::SemanticError("select alias must appear in the pattern");
+    }
+    if (stmt.select_aliases[0] != dist.lhs->alias) {
+      return Status::SemanticError(
+          "top-k vector search must select the searched alias '" +
+          dist.lhs->alias + "'");
+    }
+    if (nodes[idx].type_id < 0) {
+      return Status::SemanticError("vector search alias must have a vertex type");
+    }
+    auto query = ParamAsVector(params, dist.rhs->param);
+    if (!query.ok()) return query.status();
+    VectorSearchRequest request;
+    request.attrs = {{db_->schema()->vertex_type(nodes[idx].type_id).name,
+                      dist.lhs->attr}};
+    request.query = (*query)->data();
+    request.k = k;
+    request.pool = db_->pool();
+    Bitmap bitmap;
+    const bool pure = nodes.size() == 1 && nodes[idx].predicates.empty() &&
+                      nodes[idx].var == nullptr && ranges.empty();
+    if (!pure) {
+      // Pre-filter: the graph pattern + predicates become the bitmap
+      // consumed by one EmbeddingAction (Sec. 5.2/5.3).
+      bitmap = VertexSetToBitmap(cand[idx], db_->store()->vid_upper_bound());
+      request.filter = FilterView(&bitmap);
+    }
+    auto hits = db_->embeddings()->TopKSearch(request);
+    if (!hits.ok()) return hits.status();
+    result.vertices.clear();
+    for (const SearchHit& h : hits->hits) {
+      result.vertices.insert(h.label);
+      result.distances[h.label] = h.distance;
+    }
+    return result;
+  }
+
+  // ---- Plain graph query: return the selected alias's candidates ----
+  if (stmt.select_aliases.size() != 1) {
+    return Status::SemanticError("SELECT of two aliases requires a similarity join");
+  }
+  const int out_idx = alias_index(stmt.select_aliases[0]);
+  if (out_idx < 0) {
+    return Status::SemanticError("unknown select alias '" + stmt.select_aliases[0] +
+                                 "'");
+  }
+  result.vertices = cand[out_idx];
+  if (stmt.has_limit && result.vertices.size() > static_cast<size_t>(stmt.limit)) {
+    // Deterministic truncation by vid.
+    std::vector<VertexId> sorted(result.vertices.begin(), result.vertices.end());
+    std::sort(sorted.begin(), sorted.end());
+    sorted.resize(stmt.limit);
+    result.vertices = VertexSet(sorted.begin(), sorted.end());
+  }
+  return result;
+}
+
+Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
+    const VectorSearchStmt& stmt, const QueryParams& params, const VarMap& vars,
+    std::unordered_map<VertexId, float>* distance_map) {
+  auto query = ParamAsVector(params, stmt.query_param);
+  if (!query.ok()) return query.status();
+  size_t k = static_cast<size_t>(stmt.k);
+  if (!stmt.k_param.empty()) {
+    auto kd = ParamAsDouble(params, stmt.k_param);
+    if (!kd.ok()) return kd.status();
+    k = static_cast<size_t>(*kd);
+  }
+  Database::VectorSearchFnOptions options;
+  if (stmt.ef > 0) options.ef = static_cast<size_t>(stmt.ef);
+  options.distance_map = distance_map;
+  options.role = role_;
+  const VertexSet* filter = nullptr;
+  if (!stmt.filter_var.empty()) {
+    auto it = vars.find(stmt.filter_var);
+    if (it == vars.end()) {
+      return Status::SemanticError("unknown vertex set variable '" + stmt.filter_var +
+                                   "'");
+    }
+    filter = &it->second;
+  }
+  options.filter = filter;
+  return db_->VectorSearch(stmt.attrs, **query, k, options);
+}
+
+}  // namespace tigervector

@@ -1,0 +1,94 @@
+#ifndef TIGERVECTOR_QUERY_EXECUTOR_H_
+#define TIGERVECTOR_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/database.h"
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace tigervector {
+
+// Runtime query parameter ($name bindings): scalar or query vector.
+using QueryParam = std::variant<int64_t, double, std::string, std::vector<float>>;
+using QueryParams = std::unordered_map<std::string, QueryParam>;
+
+// Vertex-set variables from prior query blocks (GSQL query composition).
+using VarMap = std::unordered_map<std::string, VertexSet>;
+
+// Result of one SELECT block.
+struct SelectResult {
+  // Single-alias selects fill `vertices` (+ `distances` when the block ran
+  // a vector search).
+  VertexSet vertices;
+  std::unordered_map<VertexId, float> distances;
+  // Similarity joins fill `pairs` sorted by ascending distance.
+  struct Pair {
+    VertexId source;
+    VertexId target;
+    float distance;
+  };
+  std::vector<Pair> pairs;
+  bool is_join = false;
+  // Bottom-up plan rendering (paper Sec. 5.1-5.4 style):
+  //   EmbeddingAction[Top k, {t.content_emb}, query_vector]
+  //   VertexAction[Post:t {...}]
+  std::string plan;
+};
+
+// Executes parsed SELECT blocks and VectorSearch() calls against a
+// Database. Pattern evaluation follows the pre-filter design of the paper:
+// graph predicates and pattern connectivity produce a candidate bitmap
+// first, then a single EmbeddingAction consumes it (Sec. 5.2-5.3).
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(Database* db) : db_(db) {}
+
+  // Role all subsequent queries run under (empty = superuser). Scans of or
+  // searches over vertex types the role cannot read are rejected/filtered.
+  void SetRole(std::string role) { role_ = std::move(role); }
+  const std::string& role() const { return role_; }
+
+  Result<SelectResult> ExecuteSelect(const SelectStmt& stmt, const QueryParams& params,
+                                     const VarMap& vars);
+
+  // Executes a parsed VectorSearch() statement; returns the top-k vertex
+  // set and optionally fills `distance_map`.
+  Result<VertexSet> ExecuteVectorSearch(const VectorSearchStmt& stmt,
+                                        const QueryParams& params, const VarMap& vars,
+                                        std::unordered_map<VertexId, float>* distance_map);
+
+ private:
+  struct ResolvedNode {
+    std::string alias;
+    int type_id = -1;            // -1 = untyped
+    const VertexSet* var = nullptr;  // non-null when bound to a variable
+    std::vector<const Expr*> predicates;
+  };
+
+  Result<std::vector<ResolvedNode>> ResolveNodes(const SelectStmt& stmt,
+                                                 const VarMap& vars) const;
+
+  // Evaluates a scalar predicate for one vertex.
+  Result<bool> EvalPredicate(const Expr& expr, VertexId vid, Tid read_tid,
+                             const QueryParams& params) const;
+  Result<Value> EvalValue(const Expr& expr, VertexId vid, Tid read_tid,
+                          const QueryParams& params) const;
+
+  // Base candidate set of a node (type scan or variable), with predicates.
+  Result<VertexSet> BaseSet(const ResolvedNode& node, Tid read_tid,
+                            const QueryParams& params) const;
+
+  Database* db_;
+  std::string role_;
+};
+
+// Renders an expression back to text (used in plan output and errors).
+std::string ExprToString(const Expr& expr);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_QUERY_EXECUTOR_H_

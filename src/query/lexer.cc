@@ -1,0 +1,203 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace tigervector {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "CREATE",  "VERTEX",   "EDGE",     "DIRECTED", "UNDIRECTED", "FROM",
+      "TO",      "EMBEDDING", "SPACE",   "ATTRIBUTE", "ALTER",     "ADD",
+      "IN",      "SELECT",   "WHERE",    "ORDER",    "BY",         "LIMIT",
+      "AND",     "OR",       "NOT",      "PRINT",    "TRUE",       "FALSE",
+      "INT",     "UINT",     "FLOAT",    "DOUBLE",   "STRING",     "BOOL",
+      "PRIMARY", "KEY",      "VECTOR_DIST", "DIMENSION", "MODEL",  "INDEX",
+      "DATATYPE", "METRIC",  "HNSW",     "FLAT",     "IVF_FLAT",   "COSINE",     "L2",
+      "IP",      "VECTORSEARCH", "UNION", "INTERSECT", "MINUS",
+      "LOADING", "JOB",      "GRAPH",    "LOAD",     "VALUES",     "ON",
+      "SPLIT",   "FOR",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+bool IsKeyword(const Token& token, const char* keyword) {
+  return token.kind == TokenKind::kKeyword && token.text == keyword;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1, column = 1;
+  const size_t n = input.size();
+
+  auto advance = [&](size_t count) {
+    for (size_t j = 0; j < count && i < n; ++j) {
+      if (input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto make = [&](TokenKind kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '@') {
+      // @/@@ accumulator names are lexed as part of identifiers.
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_' || input[j] == '@')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      Token t = Keywords().count(upper) ? make(TokenKind::kKeyword, upper)
+                                        : make(TokenKind::kIdent, std::move(word));
+      tokens.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.' || input[j] == 'e' || input[j] == 'E' ||
+                       ((input[j] == '+' || input[j] == '-') && j > i &&
+                        (input[j - 1] == 'e' || input[j - 1] == 'E')))) {
+        if (input[j] == '.' || input[j] == 'e' || input[j] == 'E') is_float = true;
+        ++j;
+      }
+      const std::string num = input.substr(i, j - i);
+      Token t = make(is_float ? TokenKind::kFloatLit : TokenKind::kIntLit, num);
+      if (is_float) {
+        t.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      advance(j - i);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && input[j] != quote) {
+        if (input[j] == '\\' && j + 1 < n) ++j;  // simple escape
+        text.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      tokens.push_back(make(TokenKind::kStringLit, std::move(text)));
+      advance(j + 1 - i);
+      continue;
+    }
+    if (c == '$') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      if (j == i + 1) {
+        return Status::ParseError("empty parameter name at line " +
+                                  std::to_string(line));
+      }
+      tokens.push_back(make(TokenKind::kParam, input.substr(i + 1, j - i - 1)));
+      advance(j - i);
+      continue;
+    }
+    // Two-character operators first.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('-', '>')) {
+      tokens.push_back(make(TokenKind::kArrowRight));
+      advance(2);
+      continue;
+    }
+    if (two('<', '-')) {
+      tokens.push_back(make(TokenKind::kArrowLeft));
+      advance(2);
+      continue;
+    }
+    if (two('=', '=')) {
+      tokens.push_back(make(TokenKind::kEq));
+      advance(2);
+      continue;
+    }
+    if (two('!', '=') || two('<', '>')) {
+      tokens.push_back(make(TokenKind::kNe));
+      advance(2);
+      continue;
+    }
+    if (two('<', '=')) {
+      tokens.push_back(make(TokenKind::kLe));
+      advance(2);
+      continue;
+    }
+    if (two('>', '=')) {
+      tokens.push_back(make(TokenKind::kGe));
+      advance(2);
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ',': kind = TokenKind::kComma; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ':': kind = TokenKind::kColon; break;
+      case '.': kind = TokenKind::kDot; break;
+      case '=': kind = TokenKind::kAssign; break;
+      case '<': kind = TokenKind::kLt; break;
+      case '>': kind = TokenKind::kGt; break;
+      case '-': kind = TokenKind::kDash; break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+    tokens.push_back(make(kind));
+    advance(1);
+  }
+  tokens.push_back(make(TokenKind::kEnd));
+  return tokens;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,60 @@
+#ifndef TIGERVECTOR_QUERY_LEXER_H_
+#define TIGERVECTOR_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tigervector {
+
+// Token kinds of the GSQL subset. Keywords are recognized case-insensitively
+// and carry their canonical upper-case text.
+enum class TokenKind {
+  kIdent,
+  kKeyword,
+  kIntLit,
+  kFloatLit,
+  kStringLit,
+  kParam,      // $name
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kAssign,     // =
+  kEq,         // ==
+  kNe,         // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kDash,       // -
+  kArrowRight, // ->
+  kArrowLeft,  // <-
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;     // identifier/keyword/string/param name
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t line = 1;
+  size_t column = 1;
+};
+
+// Tokenizes a GSQL script. `--` starts a comment to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+// True when the token is the given (upper-case) keyword.
+bool IsKeyword(const Token& token, const char* keyword);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_QUERY_LEXER_H_

@@ -1,0 +1,654 @@
+#include "query/parser.h"
+
+#include "query/lexer.h"
+
+namespace tigervector {
+
+namespace {
+
+// Like TV_RETURN_NOT_OK, but usable in functions returning Result<T>: the
+// error Status converts implicitly into the Result.
+#define TV_RETURN_NOT_OK_STMT(expr)      \
+  do {                                   \
+    ::tigervector::Status _st = (expr);  \
+    if (!_st.ok()) return _st;           \
+  } while (false)
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> Parse() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      if (Peek().kind == TokenKind::kSemicolon) {
+        Advance();
+        continue;
+      }
+      auto stmt = ParseStatement();
+      if (!stmt.ok()) return stmt.status();
+      out.push_back(std::move(stmt).value());
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Peek().line) +
+                              ", column " + std::to_string(Peek().column));
+  }
+
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!IsKeyword(Peek(), kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) return Error(std::string("expected ") + what);
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent && Peek().kind != TokenKind::kKeyword) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Result<Statement> ParseStatement() {
+    if (IsKeyword(Peek(), "CREATE")) return ParseCreate();
+    if (IsKeyword(Peek(), "ALTER")) return ParseAlter();
+    if (IsKeyword(Peek(), "PRINT")) return ParsePrint();
+    if (IsKeyword(Peek(), "SELECT")) {
+      auto s = ParseSelect("");
+      if (!s.ok()) return s.status();
+      return Statement(std::move(s).value());
+    }
+    if (IsKeyword(Peek(), "VECTORSEARCH")) {
+      auto s = ParseVectorSearch("");
+      if (!s.ok()) return s.status();
+      return Statement(std::move(s).value());
+    }
+    // Assignment: Var = SELECT ... | Var = VectorSearch(...)
+    if (Peek().kind == TokenKind::kIdent && Peek(1).kind == TokenKind::kAssign) {
+      std::string var = Advance().text;
+      Advance();  // '='
+      if (IsKeyword(Peek(), "SELECT")) {
+        auto s = ParseSelect(var);
+        if (!s.ok()) return s.status();
+        return Statement(std::move(s).value());
+      }
+      if (IsKeyword(Peek(), "VECTORSEARCH")) {
+        auto s = ParseVectorSearch(var);
+        if (!s.ok()) return s.status();
+        return Statement(std::move(s).value());
+      }
+      // Vertex-set algebra: Out = A UNION|INTERSECT|MINUS B;
+      if (Peek().kind == TokenKind::kIdent &&
+          (IsKeyword(Peek(1), "UNION") || IsKeyword(Peek(1), "INTERSECT") ||
+           IsKeyword(Peek(1), "MINUS"))) {
+        SetOpStmt stmt;
+        stmt.out_var = std::move(var);
+        stmt.lhs = Advance().text;
+        if (MatchKeyword("UNION")) {
+          stmt.op = SetOpStmt::Op::kUnion;
+        } else if (MatchKeyword("INTERSECT")) {
+          stmt.op = SetOpStmt::Op::kIntersect;
+        } else {
+          Advance();  // MINUS
+          stmt.op = SetOpStmt::Op::kMinus;
+        }
+        auto rhs = ExpectIdent("vertex set variable");
+        if (!rhs.ok()) return rhs.status();
+        stmt.rhs = std::move(rhs).value();
+        return Statement(std::move(stmt));
+      }
+      return Error("expected SELECT, VectorSearch or a set expression after '='");
+    }
+    return Error("unexpected token '" + Peek().text + "'");
+  }
+
+  Result<Statement> ParseCreate() {
+    Advance();  // CREATE
+    if (MatchKeyword("VERTEX")) return ParseCreateVertex();
+    bool directed = true;
+    bool has_dir = false;
+    if (MatchKeyword("DIRECTED")) {
+      has_dir = true;
+    } else if (MatchKeyword("UNDIRECTED")) {
+      directed = false;
+      has_dir = true;
+    }
+    if (MatchKeyword("EDGE")) return ParseCreateEdge(directed);
+    if (has_dir) return Error("expected EDGE");
+    if (MatchKeyword("LOADING")) return ParseLoadingJob();
+    if (MatchKeyword("EMBEDDING")) {
+      TV_RETURN_NOT_OK_STMT(ExpectKeyword("SPACE"));
+      CreateEmbeddingSpaceStmt stmt;
+      auto name = ExpectIdent("embedding space name");
+      if (!name.ok()) return name.status();
+      stmt.name = std::move(name).value();
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+      TV_RETURN_NOT_OK_STMT(ParseEmbeddingParams(&stmt.info));
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+      return Statement(std::move(stmt));
+    }
+    return Error("expected VERTEX, EDGE or EMBEDDING SPACE");
+  }
+
+  // CREATE LOADING JOB name FOR GRAPH g { LOAD ...; LOAD ...; }
+  // (the CREATE and LOADING tokens are already consumed).
+  Result<Statement> ParseLoadingJob() {
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("JOB"));
+    LoadingJobStmt stmt;
+    auto name = ExpectIdent("loading job name");
+    if (!name.ok()) return name.status();
+    stmt.name = std::move(name).value();
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("FOR"));
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("GRAPH"));
+    auto graph = ExpectIdent("graph name");
+    if (!graph.ok()) return graph.status();
+    stmt.graph = std::move(graph).value();
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLBrace, "'{'"));
+    while (!Match(TokenKind::kRBrace)) {
+      if (Match(TokenKind::kSemicolon)) continue;
+      TV_RETURN_NOT_OK_STMT(ExpectKeyword("LOAD"));
+      std::string file;
+      if (Peek().kind == TokenKind::kStringLit ||
+          Peek().kind == TokenKind::kIdent) {
+        file = Advance().text;
+      } else {
+        return Error("expected file name");
+      }
+      TV_RETURN_NOT_OK_STMT(ExpectKeyword("TO"));
+      if (MatchKeyword("VERTEX")) {
+        VertexLoadStep step;
+        step.file = std::move(file);
+        auto vtype = ExpectIdent("vertex type");
+        if (!vtype.ok()) return vtype.status();
+        step.vertex_type = std::move(vtype).value();
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("VALUES"));
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+        for (;;) {
+          auto col = ExpectIdent("column name");
+          if (!col.ok()) return col.status();
+          step.columns.push_back(std::move(col).value());
+          if (!Match(TokenKind::kComma)) break;
+        }
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+        stmt.steps.push_back(std::move(step));
+      } else {
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("EMBEDDING"));
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("ATTRIBUTE"));
+        EmbeddingLoadStep step;
+        step.file = std::move(file);
+        auto attr = ExpectIdent("embedding attribute");
+        if (!attr.ok()) return attr.status();
+        step.attr = std::move(attr).value();
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("ON"));
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("VERTEX"));
+        auto vtype = ExpectIdent("vertex type");
+        if (!vtype.ok()) return vtype.status();
+        step.vertex_type = std::move(vtype).value();
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("VALUES"));
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+        auto id_col = ExpectIdent("id column");
+        if (!id_col.ok()) return id_col.status();
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kComma, "','"));
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("SPLIT"));
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+        auto vec_col = ExpectIdent("vector column");
+        if (!vec_col.ok()) return vec_col.status();
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kComma, "','"));
+        if (Peek().kind != TokenKind::kStringLit || Peek().text.size() != 1) {
+          return Error("expected one-character separator string");
+        }
+        step.vector_separator = Advance().text[0];
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+        stmt.steps.push_back(std::move(step));
+      }
+      (void)Match(TokenKind::kSemicolon);
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateVertex() {
+    CreateVertexStmt stmt;
+    auto name = ExpectIdent("vertex type name");
+    if (!name.ok()) return name.status();
+    stmt.name = std::move(name).value();
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+    for (;;) {
+      auto attr_name = ExpectIdent("attribute name");
+      if (!attr_name.ok()) return attr_name.status();
+      AttrDef def;
+      def.name = std::move(attr_name).value();
+      if (MatchKeyword("INT") || MatchKeyword("UINT")) {
+        def.type = AttrType::kInt;
+      } else if (MatchKeyword("FLOAT") || MatchKeyword("DOUBLE")) {
+        def.type = AttrType::kDouble;
+      } else if (MatchKeyword("STRING")) {
+        def.type = AttrType::kString;
+      } else if (MatchKeyword("BOOL")) {
+        def.type = AttrType::kBool;
+      } else {
+        return Error("expected attribute type");
+      }
+      if (MatchKeyword("PRIMARY")) {
+        TV_RETURN_NOT_OK_STMT(ExpectKeyword("KEY"));
+      }
+      stmt.attrs.push_back(std::move(def));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateEdge(bool directed) {
+    CreateEdgeStmt stmt;
+    stmt.directed = directed;
+    auto name = ExpectIdent("edge type name");
+    if (!name.ok()) return name.status();
+    stmt.name = std::move(name).value();
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("FROM"));
+    auto from = ExpectIdent("source vertex type");
+    if (!from.ok()) return from.status();
+    stmt.from = std::move(from).value();
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kComma, "','"));
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("TO"));
+    auto to = ExpectIdent("target vertex type");
+    if (!to.ok()) return to.status();
+    stmt.to = std::move(to).value();
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+    return Statement(std::move(stmt));
+  }
+
+  Status ParseEmbeddingParams(EmbeddingTypeInfo* info) {
+    for (;;) {
+      if (MatchKeyword("DIMENSION")) {
+        TV_RETURN_NOT_OK(Expect(TokenKind::kAssign, "'='"));
+        if (Peek().kind != TokenKind::kIntLit) return Error("expected dimension");
+        info->dimension = static_cast<size_t>(Advance().int_value);
+      } else if (MatchKeyword("MODEL")) {
+        TV_RETURN_NOT_OK(Expect(TokenKind::kAssign, "'='"));
+        auto model = ExpectIdent("model name");
+        if (!model.ok()) return model.status();
+        info->model = std::move(model).value();
+      } else if (MatchKeyword("INDEX")) {
+        TV_RETURN_NOT_OK(Expect(TokenKind::kAssign, "'='"));
+        if (MatchKeyword("HNSW")) {
+          info->index = VectorIndexType::kHnsw;
+        } else if (MatchKeyword("FLAT")) {
+          info->index = VectorIndexType::kFlat;
+        } else if (MatchKeyword("IVF_FLAT")) {
+          info->index = VectorIndexType::kIvfFlat;
+        } else {
+          return Error("expected HNSW, FLAT or IVF_FLAT");
+        }
+      } else if (MatchKeyword("DATATYPE")) {
+        TV_RETURN_NOT_OK(Expect(TokenKind::kAssign, "'='"));
+        if (!MatchKeyword("FLOAT")) return Error("expected FLOAT");
+        info->data_type = VectorDataType::kFloat32;
+      } else if (MatchKeyword("METRIC")) {
+        TV_RETURN_NOT_OK(Expect(TokenKind::kAssign, "'='"));
+        if (MatchKeyword("COSINE")) {
+          info->metric = Metric::kCosine;
+        } else if (MatchKeyword("L2")) {
+          info->metric = Metric::kL2;
+        } else if (MatchKeyword("IP")) {
+          info->metric = Metric::kIp;
+        } else {
+          return Error("expected COSINE, L2 or IP");
+        }
+      } else {
+        return Error("expected embedding parameter");
+      }
+      if (!Match(TokenKind::kComma)) break;
+    }
+    return Status::OK();
+  }
+
+  Result<Statement> ParseAlter() {
+    Advance();  // ALTER
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("VERTEX"));
+    AlterAddEmbeddingStmt stmt;
+    auto vtype = ExpectIdent("vertex type name");
+    if (!vtype.ok()) return vtype.status();
+    stmt.vertex_type = std::move(vtype).value();
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("ADD"));
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("EMBEDDING"));
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("ATTRIBUTE"));
+    auto attr = ExpectIdent("embedding attribute name");
+    if (!attr.ok()) return attr.status();
+    stmt.attr = std::move(attr).value();
+    if (MatchKeyword("IN")) {
+      TV_RETURN_NOT_OK_STMT(ExpectKeyword("EMBEDDING"));
+      TV_RETURN_NOT_OK_STMT(ExpectKeyword("SPACE"));
+      auto space = ExpectIdent("embedding space name");
+      if (!space.ok()) return space.status();
+      stmt.in_space = true;
+      stmt.space = std::move(space).value();
+    } else {
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+      TV_RETURN_NOT_OK_STMT(ParseEmbeddingParams(&stmt.info));
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParsePrint() {
+    Advance();  // PRINT
+    PrintStmt stmt;
+    auto name = ExpectIdent("variable name");
+    if (!name.ok()) return name.status();
+    stmt.name = std::move(name).value();
+    return Statement(std::move(stmt));
+  }
+
+  Result<SelectStmt> ParseSelect(std::string out_var) {
+    Advance();  // SELECT
+    SelectStmt stmt;
+    stmt.out_var = std::move(out_var);
+    auto first = ExpectIdent("select alias");
+    if (!first.ok()) return first.status();
+    stmt.select_aliases.push_back(std::move(first).value());
+    if (Match(TokenKind::kComma)) {
+      auto second = ExpectIdent("select alias");
+      if (!second.ok()) return second.status();
+      stmt.select_aliases.push_back(std::move(second).value());
+    }
+    TV_RETURN_NOT_OK_STMT(ExpectKeyword("FROM"));
+    TV_RETURN_NOT_OK_STMT(ParsePattern(&stmt.pattern));
+    if (MatchKeyword("WHERE")) {
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      stmt.where = std::move(expr).value();
+    }
+    if (MatchKeyword("ORDER")) {
+      TV_RETURN_NOT_OK_STMT(ExpectKeyword("BY"));
+      if (!MatchKeyword("VECTOR_DIST")) {
+        return Error("ORDER BY supports only VECTOR_DIST");
+      }
+      auto dist = ParseVectorDistCall();
+      if (!dist.ok()) return dist.status();
+      stmt.order_dist = std::move(dist).value();
+    }
+    if (MatchKeyword("LIMIT")) {
+      stmt.has_limit = true;
+      if (Peek().kind == TokenKind::kIntLit) {
+        stmt.limit = Advance().int_value;
+      } else if (Peek().kind == TokenKind::kParam) {
+        stmt.limit_param = Advance().text;
+      } else {
+        return Error("expected LIMIT count");
+      }
+    }
+    return stmt;
+  }
+
+  Status ParsePattern(PathPattern* pattern) {
+    TV_RETURN_NOT_OK(ParseNode(pattern));
+    while (Peek().kind == TokenKind::kDash || Peek().kind == TokenKind::kArrowLeft) {
+      EdgePattern edge;
+      if (Match(TokenKind::kDash)) {
+        TV_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "'['"));
+        TV_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+        auto etype = ExpectIdent("edge type");
+        if (!etype.ok()) return etype.status();
+        edge.edge_type = std::move(etype).value();
+        TV_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+        if (Match(TokenKind::kArrowRight)) {
+          edge.dir = Direction::kOut;
+        } else if (Match(TokenKind::kDash)) {
+          edge.dir = Direction::kAny;
+        } else {
+          return Error("expected '->' or '-' after edge pattern");
+        }
+      } else {
+        Advance();  // '<-'
+        TV_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "'['"));
+        TV_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+        auto etype = ExpectIdent("edge type");
+        if (!etype.ok()) return etype.status();
+        edge.edge_type = std::move(etype).value();
+        edge.dir = Direction::kIn;
+        TV_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+        TV_RETURN_NOT_OK(Expect(TokenKind::kDash, "'-'"));
+      }
+      pattern->edges.push_back(std::move(edge));
+      TV_RETURN_NOT_OK(ParseNode(pattern));
+    }
+    return Status::OK();
+  }
+
+  Status ParseNode(PathPattern* pattern) {
+    TV_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    NodePattern node;
+    if (Peek().kind == TokenKind::kIdent) {
+      node.alias = Advance().text;
+    }
+    if (Match(TokenKind::kColon)) {
+      auto source = ExpectIdent("vertex type or variable");
+      if (!source.ok()) return source.status();
+      node.source = std::move(source).value();
+    }
+    TV_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    pattern->nodes.push_back(std::move(node));
+    return Status::OK();
+  }
+
+  // --- expressions ---
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    while (MatchKeyword("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      out = Expr::MakeBinary(BinaryOp::kOr, std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    while (MatchKeyword("AND")) {
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      out = Expr::MakeBinary(BinaryOp::kAnd, std::move(out), std::move(rhs).value());
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchKeyword("NOT")) {
+      auto child = ParseUnary();
+      if (!child.ok()) return child;
+      return Expr::MakeNot(std::move(child).value());
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParseOperand();
+    if (!lhs.ok()) return lhs;
+    ExprPtr out = std::move(lhs).value();
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+      case TokenKind::kAssign:  // GSQL allows single '=' in predicates
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      default:
+        return out;  // bare operand (e.g. boolean attribute)
+    }
+    Advance();
+    auto rhs = ParseOperand();
+    if (!rhs.ok()) return rhs;
+    return Expr::MakeBinary(op, std::move(out), std::move(rhs).value());
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    if (Match(TokenKind::kLParen)) {
+      auto inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    if (MatchKeyword("VECTOR_DIST")) return ParseVectorDistCall();
+    if (Peek().kind == TokenKind::kParam) {
+      return Expr::MakeParam(Advance().text);
+    }
+    if (Peek().kind == TokenKind::kIntLit) {
+      return Expr::MakeLiteral(Value{Advance().int_value});
+    }
+    if (Peek().kind == TokenKind::kFloatLit) {
+      return Expr::MakeLiteral(Value{Advance().float_value});
+    }
+    if (Peek().kind == TokenKind::kStringLit) {
+      return Expr::MakeLiteral(Value{Advance().text});
+    }
+    if (Match(TokenKind::kDash)) {
+      // Unary minus on a numeric literal.
+      if (Peek().kind == TokenKind::kIntLit) {
+        return Expr::MakeLiteral(Value{-Advance().int_value});
+      }
+      if (Peek().kind == TokenKind::kFloatLit) {
+        return Expr::MakeLiteral(Value{-Advance().float_value});
+      }
+      return Error("expected number after '-'");
+    }
+    if (MatchKeyword("TRUE")) return Expr::MakeLiteral(Value{true});
+    if (MatchKeyword("FALSE")) return Expr::MakeLiteral(Value{false});
+    if (Peek().kind == TokenKind::kIdent) {
+      std::string alias = Advance().text;
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kDot, "'.' (attribute reference)"));
+      auto attr = ExpectIdent("attribute name");
+      if (!attr.ok()) return attr.status();
+      return Expr::MakeAttrRef(std::move(alias), std::move(attr).value());
+    }
+    return Error("expected expression operand");
+  }
+
+  // Parses the parenthesized argument list of VECTOR_DIST.
+  Result<ExprPtr> ParseVectorDistCall() {
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+    auto a = ParseOperand();
+    if (!a.ok()) return a;
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kComma, "','"));
+    auto b = ParseOperand();
+    if (!b.ok()) return b;
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+    return Expr::MakeVectorDist(std::move(a).value(), std::move(b).value());
+  }
+
+  Result<VectorSearchStmt> ParseVectorSearch(std::string out_var) {
+    Advance();  // VectorSearch
+    VectorSearchStmt stmt;
+    stmt.out_var = std::move(out_var);
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLParen, "'('"));
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLBrace, "'{'"));
+    for (;;) {
+      auto type = ExpectIdent("vertex type");
+      if (!type.ok()) return type.status();
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kDot, "'.'"));
+      auto attr = ExpectIdent("embedding attribute");
+      if (!attr.ok()) return attr.status();
+      stmt.attrs.emplace_back(std::move(type).value(), std::move(attr).value());
+      if (!Match(TokenKind::kComma)) break;
+    }
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRBrace, "'}'"));
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kComma, "','"));
+    if (Peek().kind != TokenKind::kParam) {
+      return Error("expected $param query vector");
+    }
+    stmt.query_param = Advance().text;
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kComma, "','"));
+    if (Peek().kind == TokenKind::kIntLit) {
+      stmt.k = Advance().int_value;
+    } else if (Peek().kind == TokenKind::kParam) {
+      stmt.k_param = Advance().text;
+    } else {
+      return Error("expected k");
+    }
+    if (Match(TokenKind::kComma)) {
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kLBrace, "'{' (options)"));
+      for (;;) {
+        auto key = ExpectIdent("option name");
+        if (!key.ok()) return key.status();
+        TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kColon, "':'"));
+        const std::string k = std::move(key).value();
+        if (k == "filter") {
+          auto var = ExpectIdent("vertex set variable");
+          if (!var.ok()) return var.status();
+          stmt.filter_var = std::move(var).value();
+        } else if (k == "ef") {
+          if (Peek().kind != TokenKind::kIntLit) return Error("expected ef value");
+          stmt.ef = Advance().int_value;
+        } else if (k == "distanceMap") {
+          auto var = ExpectIdent("distance map name");
+          if (!var.ok()) return var.status();
+          stmt.distance_map = std::move(var).value();
+        } else {
+          return Error("unknown VectorSearch option '" + k + "'");
+        }
+        if (!Match(TokenKind::kComma)) break;
+      }
+      TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRBrace, "'}'"));
+    }
+    TV_RETURN_NOT_OK_STMT(Expect(TokenKind::kRParen, "')'"));
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> ParseScript(const std::string& script) {
+  auto tokens = Tokenize(script);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace tigervector

@@ -1,0 +1,22 @@
+#ifndef TIGERVECTOR_QUERY_PARSER_H_
+#define TIGERVECTOR_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace tigervector {
+
+// Parses a GSQL-subset script into statements. The subset covers the
+// statement forms used throughout the paper: DDL (CREATE VERTEX/EDGE,
+// CREATE EMBEDDING SPACE, ALTER ... ADD EMBEDDING ATTRIBUTE), declarative
+// vector search (SELECT ... ORDER BY VECTOR_DIST ... LIMIT k, WHERE
+// VECTOR_DIST < t), graph patterns with filters, vector similarity joins,
+// the VectorSearch() function with query-composition options, and PRINT.
+Result<std::vector<Statement>> ParseScript(const std::string& script);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_QUERY_PARSER_H_

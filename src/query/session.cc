@@ -1,0 +1,113 @@
+#include "query/session.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+
+namespace tigervector {
+
+Result<ScriptResult> GsqlSession::Run(const std::string& script,
+                                      const QueryParams& params) {
+  auto statements = ParseScript(script);
+  if (!statements.ok()) return statements.status();
+  ScriptResult result;
+
+  for (const Statement& statement : *statements) {
+    if (const auto* s = std::get_if<CreateVertexStmt>(&statement)) {
+      auto r = db_->schema()->CreateVertexType(s->name, s->attrs);
+      if (!r.ok()) return r.status();
+    } else if (const auto* s = std::get_if<CreateEdgeStmt>(&statement)) {
+      auto r = db_->schema()->CreateEdgeType(s->name, s->from, s->to, s->directed);
+      if (!r.ok()) return r.status();
+    } else if (const auto* s = std::get_if<CreateEmbeddingSpaceStmt>(&statement)) {
+      TV_RETURN_NOT_OK(db_->schema()->CreateEmbeddingSpace(s->name, s->info));
+    } else if (const auto* s = std::get_if<AlterAddEmbeddingStmt>(&statement)) {
+      if (s->in_space) {
+        TV_RETURN_NOT_OK(
+            db_->schema()->AddEmbeddingAttrInSpace(s->vertex_type, s->attr, s->space));
+      } else {
+        TV_RETURN_NOT_OK(db_->schema()->AddEmbeddingAttr(s->vertex_type, s->attr,
+                                                         s->info));
+      }
+    } else if (const auto* s = std::get_if<SelectStmt>(&statement)) {
+      auto r = executor_.ExecuteSelect(*s, params, vars_);
+      if (!r.ok()) return r.status();
+      result.last_plan = r->plan;
+      if (r->is_join) {
+        result.last_join_pairs = r->pairs;
+        // A join's pair list is not a vertex set; store the union of the
+        // endpoints if an output variable was requested.
+        if (!s->out_var.empty()) {
+          VertexSet endpoints;
+          for (const auto& p : r->pairs) {
+            endpoints.insert(p.source);
+            endpoints.insert(p.target);
+          }
+          vars_[s->out_var] = std::move(endpoints);
+        }
+      } else if (!s->out_var.empty()) {
+        vars_[s->out_var] = r->vertices;
+        if (!r->distances.empty()) {
+          dist_maps_["@@" + s->out_var + "_dist"] = r->distances;
+        }
+      }
+    } else if (const auto* s = std::get_if<VectorSearchStmt>(&statement)) {
+      std::unordered_map<VertexId, float> dist_map;
+      auto r = executor_.ExecuteVectorSearch(
+          *s, params, vars_, s->distance_map.empty() ? nullptr : &dist_map);
+      if (!r.ok()) return r.status();
+      if (!s->out_var.empty()) vars_[s->out_var] = std::move(r).value();
+      if (!s->distance_map.empty()) dist_maps_[s->distance_map] = std::move(dist_map);
+    } else if (const auto* s = std::get_if<LoadingJobStmt>(&statement)) {
+      // Loading jobs run eagerly on creation in this reproduction.
+      LoadingJob job(s->name, s->graph);
+      for (const LoadStep& step : s->steps) job.AddStep(step);
+      auto report = job.Run(db_);
+      if (!report.ok()) return report.status();
+      result.last_load_report = std::move(report).value();
+    } else if (const auto* s = std::get_if<SetOpStmt>(&statement)) {
+      auto lhs = vars_.find(s->lhs);
+      auto rhs = vars_.find(s->rhs);
+      if (lhs == vars_.end() || rhs == vars_.end()) {
+        return Status::SemanticError("set operation on unknown variable");
+      }
+      VertexSet out;
+      switch (s->op) {
+        case SetOpStmt::Op::kUnion:
+          out = lhs->second;
+          out.insert(rhs->second.begin(), rhs->second.end());
+          break;
+        case SetOpStmt::Op::kIntersect:
+          for (VertexId v : lhs->second) {
+            if (rhs->second.count(v) > 0) out.insert(v);
+          }
+          break;
+        case SetOpStmt::Op::kMinus:
+          for (VertexId v : lhs->second) {
+            if (rhs->second.count(v) == 0) out.insert(v);
+          }
+          break;
+      }
+      vars_[s->out_var] = std::move(out);
+    } else if (const auto* s = std::get_if<PrintStmt>(&statement)) {
+      ScriptResult::Printed printed;
+      printed.name = s->name;
+      auto var_it = vars_.find(s->name);
+      if (var_it != vars_.end()) {
+        printed.vertices.assign(var_it->second.begin(), var_it->second.end());
+        std::sort(printed.vertices.begin(), printed.vertices.end());
+      } else {
+        auto map_it = dist_maps_.find(s->name);
+        if (map_it == dist_maps_.end()) {
+          return Status::SemanticError("PRINT: unknown name '" + s->name + "'");
+        }
+        printed.is_distance_map = true;
+        printed.distances = map_it->second;
+      }
+      result.prints.push_back(std::move(printed));
+    }
+  }
+  return result;
+}
+
+}  // namespace tigervector

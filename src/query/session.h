@@ -1,0 +1,64 @@
+#ifndef TIGERVECTOR_QUERY_SESSION_H_
+#define TIGERVECTOR_QUERY_SESSION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/executor.h"
+
+namespace tigervector {
+
+// Output of one script run: everything PRINTed, plus the final variable
+// bindings for programmatic inspection.
+struct ScriptResult {
+  struct Printed {
+    std::string name;
+    std::vector<VertexId> vertices;  // sorted; empty for pure distance maps
+    std::unordered_map<VertexId, float> distances;
+    bool is_distance_map = false;
+  };
+  std::vector<Printed> prints;
+  // Plan text of the last SELECT executed (for inspection/tests).
+  std::string last_plan;
+  // Pairs of the last similarity join.
+  std::vector<SelectResult::Pair> last_join_pairs;
+  // Report of the last CREATE LOADING JOB executed.
+  LoadReport last_load_report;
+};
+
+// A GSQL session: executes scripts statement by statement, maintaining
+// vertex-set variables and distance-map accumulators across statements
+// (and across Run calls), which is the query-composition mechanism of the
+// paper's Sec. 5.5 (Q2/Q3-style procedures).
+class GsqlSession {
+ public:
+  explicit GsqlSession(Database* db) : db_(db), executor_(db) {}
+
+  // Parses and executes a script with the given $parameter bindings.
+  Result<ScriptResult> Run(const std::string& script,
+                           const QueryParams& params = QueryParams());
+
+  // Role all subsequent statements run under (empty = superuser).
+  void SetRole(std::string role) { executor_.SetRole(std::move(role)); }
+
+  // Injects a vertex set variable from C++ (e.g. produced by a graph
+  // algorithm such as Louvain) for use in subsequent scripts.
+  void SetVariable(const std::string& name, VertexSet value) {
+    vars_[name] = std::move(value);
+  }
+  const VertexSet* GetVariable(const std::string& name) const {
+    auto it = vars_.find(name);
+    return it == vars_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  Database* db_;
+  QueryExecutor executor_;
+  VarMap vars_;
+  std::unordered_map<std::string, std::unordered_map<VertexId, float>> dist_maps_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_QUERY_SESSION_H_

@@ -1,0 +1,91 @@
+#include "simd/distance.h"
+
+#include <cmath>
+
+namespace tigervector {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "L2";
+    case Metric::kIp:
+      return "IP";
+    case Metric::kCosine:
+      return "COSINE";
+  }
+  return "?";
+}
+
+float L2SquaredDistance(const float* a, const float* b, size_t dim) {
+  // Four accumulators break the dependency chain so the compiler can
+  // vectorize and pipeline the loop.
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc0 += d * d;
+  }
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+float InnerProduct(const float* a, const float* b, size_t dim) {
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < dim; ++i) acc0 += a[i] * b[i];
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+float CosineDistance(const float* a, const float* b, size_t dim) {
+  float dot = 0.f, na = 0.f, nb = 0.f;
+  for (size_t i = 0; i < dim; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom == 0.f) return 1.f;
+  return 1.f - dot / denom;
+}
+
+float ComputeDistance(Metric metric, const float* a, const float* b, size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2SquaredDistance(a, b, dim);
+    case Metric::kIp:
+      return 1.f - InnerProduct(a, b, dim);
+    case Metric::kCosine:
+      return CosineDistance(a, b, dim);
+  }
+  return 0.f;
+}
+
+float L2Norm(const float* a, size_t dim) {
+  float acc = 0.f;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * a[i];
+  return std::sqrt(acc);
+}
+
+void NormalizeInPlace(float* a, size_t dim) {
+  const float norm = L2Norm(a, dim);
+  if (norm == 0.f) return;
+  const float inv = 1.f / norm;
+  for (size_t i = 0; i < dim; ++i) a[i] *= inv;
+}
+
+}  // namespace tigervector

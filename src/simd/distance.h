@@ -1,0 +1,35 @@
+#ifndef TIGERVECTOR_SIMD_DISTANCE_H_
+#define TIGERVECTOR_SIMD_DISTANCE_H_
+
+#include <cstddef>
+
+namespace tigervector {
+
+// Distance metric for an embedding attribute (paper Sec. 4.1, METRIC=...).
+// All metrics are expressed as distances (smaller is closer):
+//   kL2      -> squared Euclidean distance
+//   kIp      -> 1 - <a, b>            (assumes roughly normalized data)
+//   kCosine  -> 1 - cos(a, b)
+enum class Metric { kL2 = 0, kIp = 1, kCosine = 2 };
+
+const char* MetricName(Metric metric);
+
+// Raw kernels. Unrolled scalar implementations; gcc auto-vectorizes them
+// with -O2 -ftree-vectorize on this target.
+float L2SquaredDistance(const float* a, const float* b, size_t dim);
+float InnerProduct(const float* a, const float* b, size_t dim);
+float CosineDistance(const float* a, const float* b, size_t dim);
+
+// Dispatches on `metric`. This is the single distance entry point used by
+// the HNSW index, brute-force search, and delta scans.
+float ComputeDistance(Metric metric, const float* a, const float* b, size_t dim);
+
+// L2 norm of a vector; used to pre-normalize cosine data.
+float L2Norm(const float* a, size_t dim);
+
+// In-place normalization to unit length (no-op for zero vectors).
+void NormalizeInPlace(float* a, size_t dim);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_SIMD_DISTANCE_H_

@@ -1,0 +1,46 @@
+#ifndef TIGERVECTOR_UTIL_LOGGING_H_
+#define TIGERVECTOR_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace tigervector {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Defaults to
+// kWarn so library users are not spammed; tests and benches may lower it.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Stream-style single-line logger; the full line is emitted atomically in
+// the destructor.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define TV_LOG(level)                                                     \
+  ::tigervector::internal::LogMessage(::tigervector::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef TIGERVECTOR_UTIL_RESULT_H_
+#define TIGERVECTOR_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tigervector {
+
+// Result<T> carries either a value of type T or an error Status, in the
+// style of arrow::Result. An OK Result always holds a value.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return value;` or `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define TV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define TV_ASSIGN_OR_RETURN(lhs, expr) \
+  TV_ASSIGN_OR_RETURN_IMPL(TV_CONCAT(_tv_result_, __LINE__), lhs, expr)
+
+#define TV_CONCAT_INNER(a, b) a##b
+#define TV_CONCAT(a, b) TV_CONCAT_INNER(a, b)
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_RESULT_H_

@@ -1,0 +1,17 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace tigervector {
+
+float Rng::NextGaussian() {
+  // Box-Muller; discard the second value to keep the generator stateless
+  // beyond its 64-bit counter.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-12) u1 = 1e-12;
+  return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                            std::cos(2.0 * 3.14159265358979323846 * u2));
+}
+
+}  // namespace tigervector

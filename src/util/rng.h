@@ -1,0 +1,48 @@
+#ifndef TIGERVECTOR_UTIL_RNG_H_
+#define TIGERVECTOR_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace tigervector {
+
+// Deterministic splitmix64/xoshiro-style PRNG so datasets, HNSW level
+// draws, and workloads are reproducible across runs and platforms
+// (std::mt19937 distributions are not portable across standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {
+    // Avoid the all-zero state.
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ULL;
+    Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  uint64_t NextBounded(uint64_t bound) { return bound == 0 ? 0 : Next64() % bound; }
+
+  // Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(Next64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Standard normal via Box-Muller (one value per call; cheap enough here).
+  float NextGaussian();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_RNG_H_

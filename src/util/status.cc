@@ -1,0 +1,47 @@
+#include "util/status.h"
+
+namespace tigervector {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kIncompatible:
+      return "Incompatible";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kSemanticError:
+      return "SemanticError";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,90 @@
+#ifndef TIGERVECTOR_UTIL_STATUS_H_
+#define TIGERVECTOR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace tigervector {
+
+// Error handling follows the RocksDB/Arrow idiom: functions that can fail
+// return a Status (or Result<T>, see result.h) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kAborted,         // transaction aborted (e.g., write-write conflict)
+  kIncompatible,    // embedding metadata compatibility check failed
+  kIOError,
+  kParseError,      // GSQL syntax error
+  kSemanticError,   // GSQL semantic analysis error
+};
+
+// A Status holds a code plus a human-readable message. The OK status carries
+// no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+// Returns the Status if it is an error; usable only in functions returning
+// Status.
+#define TV_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::tigervector::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_STATUS_H_

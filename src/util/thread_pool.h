@@ -1,0 +1,52 @@
+#ifndef TIGERVECTOR_UTIL_THREAD_POOL_H_
+#define TIGERVECTOR_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tigervector {
+
+// A fixed-size worker pool used for parallel segment searches and parallel
+// index builds. Tasks are plain std::function<void()>; completion is tracked
+// with WaitIdle() or by the caller's own latch.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // Work is chunked so that each task covers a contiguous range.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_THREAD_POOL_H_

@@ -1,0 +1,72 @@
+#ifndef TIGERVECTOR_UTIL_TOPK_HEAP_H_
+#define TIGERVECTOR_UTIL_TOPK_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace tigervector {
+
+// A fixed-capacity max-heap keeping the k smallest (distance, id) pairs.
+// Used for local per-segment top-k, the coordinator's global merge, and the
+// similarity-join global heap accumulator.
+template <typename Id = uint64_t>
+class TopKHeap {
+ public:
+  struct Entry {
+    float distance;
+    Id id;
+    bool operator<(const Entry& other) const {
+      // Max-heap by distance; tie-break on id for determinism.
+      if (distance != other.distance) return distance < other.distance;
+      return id < other.id;
+    }
+  };
+
+  explicit TopKHeap(size_t k) : k_(k) {}
+
+  // Offers a candidate; keeps it only if it beats the current worst.
+  void Push(float distance, Id id) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push(Entry{distance, id});
+    } else if (Entry{distance, id} < heap_.top()) {
+      heap_.pop();
+      heap_.push(Entry{distance, id});
+    }
+  }
+
+  // True when the heap is full and `distance` cannot enter it.
+  bool WouldReject(float distance) const {
+    return heap_.size() == k_ && k_ > 0 && distance >= heap_.top().distance;
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return k_; }
+  bool full() const { return heap_.size() == k_; }
+
+  // Current worst distance retained (undefined when empty).
+  float WorstDistance() const { return heap_.top().distance; }
+
+  // Drains the heap into a vector sorted by ascending distance.
+  std::vector<Entry> TakeSorted() {
+    std::vector<Entry> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::priority_queue<Entry> heap_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_TOPK_HEAP_H_

@@ -1,0 +1,58 @@
+#ifndef TIGERVECTOR_WORKLOAD_DATASETS_H_
+#define TIGERVECTOR_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simd/distance.h"
+
+namespace tigervector {
+
+class ThreadPool;
+
+// A synthetic ANN benchmark dataset. Stands in for SIFT100M/1B and
+// Deep100M/1B (Table 1), which cannot be downloaded here; the generators
+// below produce clustered data whose recall-vs-ef curves have the same
+// qualitative shape as the real corpora.
+struct VectorDataset {
+  std::string name;
+  size_t dim = 0;
+  Metric metric = Metric::kL2;
+  size_t num_base = 0;
+  size_t num_queries = 0;
+  std::vector<float> base;     // num_base x dim
+  std::vector<float> queries;  // num_queries x dim
+  // ground_truth[q] holds the exact top-gt_k base indices for query q.
+  size_t gt_k = 0;
+  std::vector<std::vector<uint64_t>> ground_truth;
+
+  const float* BaseVector(size_t i) const { return base.data() + i * dim; }
+  const float* QueryVector(size_t q) const { return queries.data() + q * dim; }
+};
+
+// SIFT-like: dim=128, non-negative clustered histogram-style values in
+// [0, 218], L2 metric. Deterministic in `seed`.
+VectorDataset MakeSiftLike(size_t num_base, size_t num_queries, uint64_t seed = 1);
+
+// Deep-like: dim=96, unit-normalized Gaussian cluster mixtures, L2 metric
+// (Deep1B vectors are produced L2-normalized).
+VectorDataset MakeDeepLike(size_t num_base, size_t num_queries, uint64_t seed = 2);
+
+// SIFT-like generator with a custom dimensionality (used by the SNB-like
+// hybrid dataset, which samples message embeddings from a SIFT-shaped
+// distribution at a laptop-scale dimension).
+VectorDataset MakeSiftLikeWithDim(size_t dim, size_t num_base, size_t num_queries,
+                                  uint64_t seed = 3);
+
+// Fills dataset.ground_truth with the exact top-k for every query
+// (parallel over queries when pool != nullptr).
+void ComputeGroundTruth(VectorDataset* dataset, size_t k, ThreadPool* pool);
+
+// recall@k of one result list against the ground truth of query q.
+double RecallAtK(const VectorDataset& dataset, size_t q,
+                 const std::vector<uint64_t>& result_ids, size_t k);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_WORKLOAD_DATASETS_H_

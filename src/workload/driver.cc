@@ -1,0 +1,106 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace tigervector {
+
+DriverResult RunClosedLoop(size_t num_threads, size_t queries_per_thread,
+                           const std::function<void(size_t, size_t)>& query_fn) {
+  std::vector<std::vector<double>> latencies(num_threads);
+  std::vector<std::thread> threads;
+  Timer total;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      latencies[t].reserve(queries_per_thread);
+      for (size_t i = 0; i < queries_per_thread; ++i) {
+        Timer timer;
+        query_fn(t, i);
+        latencies[t].push_back(timer.ElapsedMillis());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  DriverResult result;
+  result.seconds = total.ElapsedSeconds();
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  result.queries = all.size();
+  result.qps = result.seconds > 0 ? result.queries / result.seconds : 0;
+  if (!all.empty()) {
+    double sum = 0;
+    for (double v : all) sum += v;
+    result.mean_latency_ms = sum / all.size();
+    std::sort(all.begin(), all.end());
+    auto pct = [&](double p) {
+      const size_t idx = std::min(all.size() - 1,
+                                  static_cast<size_t>(p * (all.size() - 1)));
+      return all[idx];
+    };
+    result.p50_ms = pct(0.50);
+    result.p95_ms = pct(0.95);
+    result.p99_ms = pct(0.99);
+  }
+  return result;
+}
+
+DriverResult RunOpenLoop(size_t num_threads, size_t queries_per_thread,
+                         double rate_per_thread,
+                         const std::function<void(size_t, size_t)>& query_fn) {
+  if (rate_per_thread <= 0) {
+    return RunClosedLoop(num_threads, queries_per_thread, query_fn);
+  }
+  std::vector<std::vector<double>> latencies(num_threads);
+  std::vector<std::thread> threads;
+  Timer total;
+  const double interval_s = 1.0 / rate_per_thread;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      latencies[t].reserve(queries_per_thread);
+      Timer clock;
+      for (size_t i = 0; i < queries_per_thread; ++i) {
+        // The i-th query is *scheduled* at i * interval; latency counts
+        // from the schedule, not from when the thread got around to it.
+        const double scheduled = i * interval_s;
+        while (clock.ElapsedSeconds() < scheduled) {
+          std::this_thread::yield();
+        }
+        query_fn(t, i);
+        latencies[t].push_back((clock.ElapsedSeconds() - scheduled) * 1e3);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  DriverResult result;
+  result.seconds = total.ElapsedSeconds();
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  result.queries = all.size();
+  result.qps = result.seconds > 0 ? result.queries / result.seconds : 0;
+  if (!all.empty()) {
+    double sum = 0;
+    for (double v : all) sum += v;
+    result.mean_latency_ms = sum / all.size();
+    std::sort(all.begin(), all.end());
+    auto pct = [&](double p) {
+      const size_t idx = std::min(all.size() - 1,
+                                  static_cast<size_t>(p * (all.size() - 1)));
+      return all[idx];
+    };
+    result.p50_ms = pct(0.50);
+    result.p95_ms = pct(0.95);
+    result.p99_ms = pct(0.99);
+  }
+  return result;
+}
+
+}  // namespace tigervector

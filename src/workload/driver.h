@@ -1,0 +1,37 @@
+#ifndef TIGERVECTOR_WORKLOAD_DRIVER_H_
+#define TIGERVECTOR_WORKLOAD_DRIVER_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace tigervector {
+
+// Closed-loop load generator (the in-process analog of the paper's wrk2
+// setup, Sec. 6.3): each client thread issues queries back-to-back; the
+// harness reports aggregate throughput and latency percentiles.
+struct DriverResult {
+  double seconds = 0;
+  size_t queries = 0;
+  double qps = 0;
+  double mean_latency_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+// Runs `queries_per_thread` queries on each of `num_threads` client
+// threads. query_fn(thread, i) executes one query; it must be thread-safe.
+DriverResult RunClosedLoop(size_t num_threads, size_t queries_per_thread,
+                           const std::function<void(size_t, size_t)>& query_fn);
+
+// Open-loop driver in the style of wrk2: each thread issues queries on a
+// fixed schedule of `rate_per_thread` queries/second and measures latency
+// from the *intended* send time, so coordinated omission does not hide
+// queueing delay. Stops after `queries_per_thread` queries per thread.
+DriverResult RunOpenLoop(size_t num_threads, size_t queries_per_thread,
+                         double rate_per_thread,
+                         const std::function<void(size_t, size_t)>& query_fn);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_WORKLOAD_DRIVER_H_

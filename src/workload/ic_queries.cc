@@ -1,0 +1,111 @@
+#include "workload/ic_queries.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace tigervector {
+
+IcQueryRunner::IcQueryRunner(Database* db, const SnbStats* stats, uint64_t seed)
+    : db_(db), stats_(stats), seed_(seed) {}
+
+VertexSet IcQueryRunner::MessagesOf(const VertexSet& persons, Tid read_tid) const {
+  auto et = db_->schema()->GetEdgeType("hasCreator");
+  VertexSet messages;
+  for (VertexId person : persons) {
+    // hasCreator points Message -> Person, so walk it inbound.
+    db_->store()->ForEachNeighbor(person, (*et)->id, Direction::kIn, read_tid,
+                                  [&](VertexId msg) { messages.insert(msg); });
+  }
+  return messages;
+}
+
+Result<IcRunResult> IcQueryRunner::Run(const std::string& query_name, int hops,
+                                       const std::vector<float>& query_vec,
+                                       size_t k) {
+  IcRunResult result;
+  result.query = query_name;
+  result.hops = hops;
+  Rng rng(seed_ + hops * 131 + std::hash<std::string>()(query_name));
+  const Tid read_tid = db_->store()->visible_tid();
+  Timer total;
+
+  // Seed person and its knows-neighborhood (the IC query backbone).
+  const VertexId seed_person =
+      stats_->persons[rng.NextBounded(stats_->persons.size())];
+  VertexSet friends =
+      KHopNeighborhood(*db_->store(), {seed_person}, "knows", Direction::kAny, hops,
+                       read_tid);
+  friends.erase(seed_person);
+
+  VertexSet candidates;
+  auto located_in = [&](VertexId vid, VertexId country) {
+    auto et = db_->schema()->GetEdgeType("isLocatedIn");
+    bool yes = false;
+    db_->store()->ForEachNeighbor(vid, (*et)->id, Direction::kOut, read_tid,
+                                  [&](VertexId c) { yes = yes || c == country; });
+    return yes;
+  };
+
+  if (query_name == "IC5") {
+    // Broadest traversal: every message by anyone in the neighborhood.
+    candidates = MessagesOf(friends, read_tid);
+  } else if (query_name == "IC6") {
+    // Tag-filtered messages of friends (moderate selectivity).
+    const int64_t tag = static_cast<int64_t>(rng.NextBounded(8));
+    for (VertexId msg : MessagesOf(friends, read_tid)) {
+      auto v = db_->store()->GetAttr(msg, "tag", read_tid);
+      if (v.ok() && std::get<int64_t>(*v) == tag) candidates.insert(msg);
+    }
+  } else if (query_name == "IC3") {
+    // Doubly selective: messages of friends posted in a specific country
+    // AND carrying a specific tag (paper IC3 candidates: 0..71).
+    const VertexId country =
+        stats_->countries[rng.NextBounded(stats_->countries.size())];
+    const int64_t tag = static_cast<int64_t>(rng.NextBounded(8));
+    for (VertexId msg : MessagesOf(friends, read_tid)) {
+      auto v = db_->store()->GetAttr(msg, "tag", read_tid);
+      if (!v.ok() || std::get<int64_t>(*v) != tag) continue;
+      if (located_in(msg, country)) candidates.insert(msg);
+    }
+  } else if (query_name == "IC9") {
+    // Top-20 most recent messages of friends (fixed candidate count).
+    std::vector<std::pair<int64_t, VertexId>> dated;
+    for (VertexId msg : MessagesOf(friends, read_tid)) {
+      auto v = db_->store()->GetAttr(msg, "creationDate", read_tid);
+      if (v.ok()) dated.push_back({std::get<int64_t>(*v), msg});
+    }
+    std::sort(dated.begin(), dated.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (dated.size() > 20) dated.resize(20);
+    for (const auto& [date, msg] : dated) candidates.insert(msg);
+  } else if (query_name == "IC11") {
+    // Messages of friends who live in a specific country (moderate-large).
+    const VertexId country =
+        stats_->countries[rng.NextBounded(stats_->countries.size())];
+    VertexSet friends_in_country;
+    for (VertexId f : friends) {
+      if (located_in(f, country)) friends_in_country.insert(f);
+    }
+    candidates = MessagesOf(friends_in_country, read_tid);
+  } else {
+    return Status::InvalidArgument("unknown IC query " + query_name);
+  }
+  result.num_candidates = candidates.size();
+
+  // Top-k vector search over the collected Message set (timed separately).
+  Timer vs_timer;
+  if (!candidates.empty()) {
+    Database::VectorSearchFnOptions options;
+    options.filter = &candidates;
+    auto topk = db_->VectorSearch(
+        {{"Post", "content_emb"}, {"Comment", "content_emb"}}, query_vec, k, options);
+    if (!topk.ok()) return topk.status();
+  }
+  result.vector_search_seconds = vs_timer.ElapsedSeconds();
+  result.end_to_end_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tigervector

@@ -1,0 +1,45 @@
+#ifndef TIGERVECTOR_WORKLOAD_IC_QUERIES_H_
+#define TIGERVECTOR_WORKLOAD_IC_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/snb.h"
+
+namespace tigervector {
+
+// Hybrid-search analogs of the LDBC SNB Interactive Complex queries the
+// paper modifies in Sec. 6.5 (IC3, IC5, IC6, IC9, IC11): each query walks
+// KNOWS up to `hops`, collects a Message (Post/Comment) candidate set whose
+// size profile mirrors the paper's (IC5 huge, IC9 tiny top-20, IC3 highly
+// selective, IC6/IC11 moderate), then runs a top-k vector search over the
+// candidates. Timings are split so Tables 3/4 can be regenerated.
+struct IcRunResult {
+  std::string query;
+  int hops = 0;
+  double end_to_end_seconds = 0;
+  size_t num_candidates = 0;
+  double vector_search_seconds = 0;
+};
+
+class IcQueryRunner {
+ public:
+  IcQueryRunner(Database* db, const SnbStats* stats, uint64_t seed = 5);
+
+  // query_name in {"IC3","IC5","IC6","IC9","IC11"}.
+  Result<IcRunResult> Run(const std::string& query_name, int hops,
+                          const std::vector<float>& query_vec, size_t k);
+
+ private:
+  // Messages (posts + comments) created by any person in `persons`.
+  VertexSet MessagesOf(const VertexSet& persons, Tid read_tid) const;
+
+  Database* db_;
+  const SnbStats* stats_;
+  uint64_t seed_;
+};
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_WORKLOAD_IC_QUERIES_H_

@@ -1,0 +1,228 @@
+#include "workload/snb.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tigervector {
+
+namespace {
+
+const char* kFirstNames[] = {"Alice", "Bob",   "Carol", "Dave",  "Erin",
+                             "Frank", "Grace", "Heidi", "Ivan",  "Judy",
+                             "Mallory", "Niaj", "Olivia", "Peggy", "Rupert",
+                             "Sybil", "Trent", "Uma",   "Victor", "Wendy"};
+const char* kLanguages[] = {"English", "Chinese", "Spanish", "German", "Hindi"};
+
+}  // namespace
+
+Status CreateSnbSchema(Database* db, const SnbConfig& config) {
+  Schema* schema = db->schema();
+  TV_RETURN_NOT_OK(schema
+                       ->CreateVertexType("Person",
+                                          {{"firstName", AttrType::kString},
+                                           {"lastName", AttrType::kString},
+                                           {"cid", AttrType::kInt}})
+                       .status());
+  TV_RETURN_NOT_OK(schema
+                       ->CreateVertexType("Post",
+                                          {{"content", AttrType::kString},
+                                           {"language", AttrType::kString},
+                                           {"length", AttrType::kInt},
+                                           {"creationDate", AttrType::kInt},
+                                           {"tag", AttrType::kInt}})
+                       .status());
+  TV_RETURN_NOT_OK(schema
+                       ->CreateVertexType("Comment",
+                                          {{"content", AttrType::kString},
+                                           {"length", AttrType::kInt},
+                                           {"creationDate", AttrType::kInt},
+                                           {"tag", AttrType::kInt}})
+                       .status());
+  TV_RETURN_NOT_OK(
+      schema->CreateVertexType("Country", {{"name", AttrType::kString}}).status());
+
+  TV_RETURN_NOT_OK(
+      schema->CreateEdgeType("knows", "Person", "Person", /*directed=*/false)
+          .status());
+  TV_RETURN_NOT_OK(
+      schema->CreateEdgeType("hasCreator", "Post", "Person").status());
+  TV_RETURN_NOT_OK(schema->CreateEdgeType("replyOf", "Comment", "Post").status());
+  TV_RETURN_NOT_OK(
+      schema->CreateEdgeType("isLocatedIn", "Person", "Country").status());
+
+  // One embedding space shared by Post and Comment content embeddings
+  // (paper Sec. 4.1, Figure 2) so multi-type vector search is allowed.
+  EmbeddingTypeInfo info;
+  info.dimension = config.embedding_dim;
+  info.model = "SIFT";
+  info.index = VectorIndexType::kHnsw;
+  info.data_type = VectorDataType::kFloat32;
+  info.metric = Metric::kL2;
+  TV_RETURN_NOT_OK(schema->CreateEmbeddingSpace("snb_space", info));
+  TV_RETURN_NOT_OK(
+      schema->AddEmbeddingAttrInSpace("Post", "content_emb", "snb_space"));
+  TV_RETURN_NOT_OK(
+      schema->AddEmbeddingAttrInSpace("Comment", "content_emb", "snb_space"));
+  return Status::OK();
+}
+
+Status LoadSnb(Database* db, const SnbConfig& config, SnbStats* stats) {
+  Rng rng(config.seed);
+  const size_t num_messages =
+      config.num_persons * config.posts_per_person * (1 + config.comments_per_post);
+  VectorDataset vectors =
+      MakeSiftLikeWithDim(config.embedding_dim, num_messages, 0, config.seed + 1);
+  size_t next_vector = 0;
+  auto next_embedding = [&]() {
+    std::vector<float> v(vectors.BaseVector(next_vector % vectors.num_base),
+                         vectors.BaseVector(next_vector % vectors.num_base) +
+                             config.embedding_dim);
+    ++next_vector;
+    return v;
+  };
+
+  // Countries.
+  {
+    Transaction txn = db->Begin();
+    for (size_t i = 0; i < config.num_countries; ++i) {
+      auto vid = txn.InsertVertex("Country", {std::string("Country") +
+                                              std::to_string(i)});
+      if (!vid.ok()) return vid.status();
+      stats->countries.push_back(*vid);
+    }
+    TV_RETURN_NOT_OK(txn.Commit().status());
+  }
+
+  // Persons (community-structured), batched.
+  const size_t communities = std::max<size_t>(1, config.communities);
+  auto community_of = [&](size_t i) {
+    return i * communities / std::max<size_t>(1, config.num_persons);
+  };
+  {
+    Transaction txn = db->Begin();
+    for (size_t i = 0; i < config.num_persons; ++i) {
+      const char* first =
+          i == 0 ? "Alice"
+                 : kFirstNames[rng.NextBounded(sizeof(kFirstNames) /
+                                               sizeof(kFirstNames[0]))];
+      auto vid = txn.InsertVertex(
+          "Person",
+          {std::string(first), std::string("P") + std::to_string(i), int64_t{-1}});
+      if (!vid.ok()) return vid.status();
+      stats->persons.push_back(*vid);
+      TV_RETURN_NOT_OK(txn.InsertEdge(
+          "isLocatedIn", *vid,
+          stats->countries[rng.NextBounded(config.num_countries)]));
+      if ((i + 1) % config.batch_size == 0) {
+        TV_RETURN_NOT_OK(txn.Commit().status());
+        txn = db->Begin();
+      }
+    }
+    TV_RETURN_NOT_OK(txn.Commit().status());
+  }
+
+  // knows edges: mostly intra-community.
+  {
+    Transaction txn = db->Begin();
+    size_t edges = 0;
+    for (size_t i = 0; i < config.num_persons; ++i) {
+      const size_t degree = config.avg_knows / 2 + rng.NextBounded(2);
+      for (size_t e = 0; e < degree; ++e) {
+        size_t j;
+        if (rng.NextBounded(10) < 9) {
+          // Peer within the same community block.
+          const size_t c = community_of(i);
+          const size_t begin = c * config.num_persons / communities;
+          const size_t end =
+              std::min(config.num_persons, (c + 1) * config.num_persons / communities);
+          if (end - begin < 2) continue;
+          j = begin + rng.NextBounded(end - begin);
+        } else {
+          j = rng.NextBounded(config.num_persons);
+        }
+        if (j == i) continue;
+        TV_RETURN_NOT_OK(
+            txn.InsertEdge("knows", stats->persons[i], stats->persons[j]));
+        ++edges;
+        if (edges % (config.batch_size * 4) == 0) {
+          TV_RETURN_NOT_OK(txn.Commit().status());
+          txn = db->Begin();
+        }
+      }
+    }
+    TV_RETURN_NOT_OK(txn.Commit().status());
+    stats->num_knows_edges = edges;
+  }
+
+  // Posts with embeddings (atomically committed with their vertex).
+  int64_t date = 1'000'000;
+  {
+    Transaction txn = db->Begin();
+    size_t count = 0;
+    for (size_t i = 0; i < config.num_persons; ++i) {
+      for (size_t p = 0; p < config.posts_per_person; ++p) {
+        const std::string lang =
+            kLanguages[rng.NextBounded(10) < 6 ? 0
+                                               : 1 + rng.NextBounded(4)];
+        auto vid = txn.InsertVertex(
+            "Post", {std::string("post by ") + std::to_string(i), lang,
+                     static_cast<int64_t>(rng.NextBounded(2000)), date++,
+                     static_cast<int64_t>(rng.NextBounded(config.num_tags))});
+        if (!vid.ok()) return vid.status();
+        stats->posts.push_back(*vid);
+        TV_RETURN_NOT_OK(txn.InsertEdge("hasCreator", *vid, stats->persons[i]));
+        TV_RETURN_NOT_OK(txn.InsertEdge(
+            "isLocatedIn", *vid,
+            stats->countries[rng.NextBounded(config.num_countries)]));
+        TV_RETURN_NOT_OK(
+            txn.SetEmbedding(*vid, "Post", "content_emb", next_embedding()));
+        if (++count % config.batch_size == 0) {
+          TV_RETURN_NOT_OK(txn.Commit().status());
+          txn = db->Begin();
+        }
+      }
+    }
+    TV_RETURN_NOT_OK(txn.Commit().status());
+  }
+
+  // Comments replying to posts, created by random friends-of-author.
+  {
+    Transaction txn = db->Begin();
+    size_t count = 0;
+    for (size_t pi = 0; pi < stats->posts.size(); ++pi) {
+      for (size_t c = 0; c < config.comments_per_post; ++c) {
+        const size_t author = rng.NextBounded(config.num_persons);
+        auto vid = txn.InsertVertex(
+            "Comment", {std::string("re: ") + std::to_string(pi),
+                        static_cast<int64_t>(rng.NextBounded(500)), date++,
+                        static_cast<int64_t>(rng.NextBounded(config.num_tags))});
+        if (!vid.ok()) return vid.status();
+        stats->comments.push_back(*vid);
+        TV_RETURN_NOT_OK(
+            txn.InsertEdge("hasCreator", *vid, stats->persons[author]));
+        TV_RETURN_NOT_OK(txn.InsertEdge("replyOf", *vid, stats->posts[pi]));
+        TV_RETURN_NOT_OK(txn.InsertEdge(
+            "isLocatedIn", *vid,
+            stats->countries[rng.NextBounded(config.num_countries)]));
+        TV_RETURN_NOT_OK(
+            txn.SetEmbedding(*vid, "Comment", "content_emb", next_embedding()));
+        if (++count % config.batch_size == 0) {
+          TV_RETURN_NOT_OK(txn.Commit().status());
+          txn = db->Begin();
+        }
+      }
+    }
+    TV_RETURN_NOT_OK(txn.Commit().status());
+  }
+
+  stats->num_persons = stats->persons.size();
+  stats->num_posts = stats->posts.size();
+  stats->num_comments = stats->comments.size();
+
+  // Fold all vector deltas into the per-segment indexes before queries.
+  TV_RETURN_NOT_OK(db->Vacuum().status());
+  return Status::OK();
+}
+
+}  // namespace tigervector

@@ -1,0 +1,53 @@
+#ifndef TIGERVECTOR_WORKLOAD_SNB_H_
+#define TIGERVECTOR_WORKLOAD_SNB_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "workload/datasets.h"
+
+namespace tigervector {
+
+// LDBC-SNB-like social network generator (paper Sec. 6.5 builds its hybrid
+// dataset by adding content embeddings to SNB Posts/Comments). Entities:
+// Person, Post, Comment, Country; edges: knows (Person-Person, undirected),
+// hasCreator (Message->Person), replyOf (Comment->Post), isLocatedIn
+// (Person->Country and Message->Country). Persons form communities so the
+// knows graph has Louvain-friendly structure; message embeddings are
+// sampled from a SIFT-like distribution, matching the paper's setup.
+struct SnbConfig {
+  size_t num_persons = 1000;
+  size_t num_countries = 20;
+  size_t communities = 12;
+  // Average knows-degree; ~90% of edges stay within a community.
+  size_t avg_knows = 12;
+  size_t posts_per_person = 4;
+  size_t comments_per_post = 2;
+  size_t embedding_dim = 64;
+  size_t num_tags = 40;        // Posts/Comments carry a tag id (IC6 analog)
+  uint64_t seed = 99;
+  size_t batch_size = 512;     // vertices per commit
+};
+
+struct SnbStats {
+  size_t num_persons = 0;
+  size_t num_posts = 0;
+  size_t num_comments = 0;
+  size_t num_knows_edges = 0;
+  std::vector<VertexId> persons;
+  std::vector<VertexId> posts;
+  std::vector<VertexId> comments;
+  std::vector<VertexId> countries;
+};
+
+// Creates the SNB schema (vertex/edge types + a shared embedding space for
+// Post.content_emb and Comment.content_emb) on an empty database.
+Status CreateSnbSchema(Database* db, const SnbConfig& config);
+
+// Generates and loads the dataset; fills `stats`.
+Status LoadSnb(Database* db, const SnbConfig& config, SnbStats* stats);
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_WORKLOAD_SNB_H_

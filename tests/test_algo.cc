@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algo/louvain.h"
+#include "algo/traversal.h"
+#include "core/database.h"
+#include "workload/snb.h"
+
+namespace tigervector {
+namespace {
+
+class AlgoFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->schema()->CreateVertexType("Node", {{"x", AttrType::kInt}}).ok());
+    ASSERT_TRUE(
+        db_->schema()->CreateEdgeType("link", "Node", "Node", /*directed=*/false)
+            .ok());
+  }
+
+  VertexId Add(int64_t x) {
+    Transaction txn = db_->Begin();
+    auto vid = txn.InsertVertex("Node", {x});
+    EXPECT_TRUE(vid.ok());
+    EXPECT_TRUE(txn.Commit().ok());
+    return *vid;
+  }
+
+  void Link(VertexId a, VertexId b) {
+    Transaction txn = db_->Begin();
+    ASSERT_TRUE(txn.InsertEdge("link", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(AlgoFixture, KHopNeighborhoodGrowsWithDepth) {
+  // Chain: 0-1-2-3-4
+  std::vector<VertexId> v;
+  for (int i = 0; i < 5; ++i) v.push_back(Add(i));
+  for (int i = 0; i + 1 < 5; ++i) Link(v[i], v[i + 1]);
+  const Tid tid = db_->store()->visible_tid();
+  auto h1 = KHopNeighborhood(*db_->store(), {v[0]}, "link", Direction::kAny, 1, tid);
+  auto h2 = KHopNeighborhood(*db_->store(), {v[0]}, "link", Direction::kAny, 2, tid);
+  auto h4 = KHopNeighborhood(*db_->store(), {v[0]}, "link", Direction::kAny, 4, tid);
+  EXPECT_EQ(h1.size(), 2u);  // {0,1}
+  EXPECT_EQ(h2.size(), 3u);
+  EXPECT_EQ(h4.size(), 5u);
+}
+
+TEST_F(AlgoFixture, ExpandPatternFollowsHops) {
+  // star: center connected to 3 leaves
+  VertexId center = Add(0);
+  VertexSet leaves;
+  for (int i = 1; i <= 3; ++i) {
+    VertexId leaf = Add(i);
+    Link(center, leaf);
+    leaves.insert(leaf);
+  }
+  const Tid tid = db_->store()->visible_tid();
+  auto out = ExpandPattern(*db_->store(), {center},
+                           {{"link", Direction::kAny, "Node"}}, tid);
+  EXPECT_EQ(out, leaves);
+  // Two hops from a leaf: back to leaves (through center).
+  auto two = ExpandPattern(*db_->store(), {*leaves.begin()},
+                           {{"link", Direction::kAny, ""},
+                            {"link", Direction::kAny, ""}},
+                           tid);
+  EXPECT_EQ(two.size(), 3u);  // all leaves reachable via center
+}
+
+TEST_F(AlgoFixture, ExpandPatternUnknownEdgeTypeEmpty) {
+  VertexId a = Add(0);
+  auto out = ExpandPattern(*db_->store(), {a}, {{"nope", Direction::kAny, ""}},
+                           db_->store()->visible_tid());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AlgoFixture, VertexSetToBitmapRoundTrip) {
+  VertexSet set = {1, 5, 9};
+  Bitmap bm = VertexSetToBitmap(set, 10);
+  EXPECT_EQ(bm.Count(), 3u);
+  EXPECT_TRUE(bm.Test(5));
+  EXPECT_FALSE(bm.Test(2));
+  // Out-of-bound ids are dropped.
+  Bitmap bm2 = VertexSetToBitmap({3, 100}, 10);
+  EXPECT_EQ(bm2.Count(), 1u);
+}
+
+TEST_F(AlgoFixture, CollectVerticesOfType) {
+  for (int i = 0; i < 7; ++i) Add(i);
+  auto all = CollectVerticesOfType(*db_->store(), "Node",
+                                   db_->store()->visible_tid());
+  EXPECT_EQ(all.size(), 7u);
+  EXPECT_TRUE(
+      CollectVerticesOfType(*db_->store(), "Nope", db_->store()->visible_tid())
+          .empty());
+}
+
+TEST_F(AlgoFixture, LouvainFindsPlantedCommunities) {
+  // Two dense cliques joined by a single bridge edge.
+  std::vector<VertexId> a, b;
+  for (int i = 0; i < 8; ++i) a.push_back(Add(i));
+  for (int i = 0; i < 8; ++i) b.push_back(Add(100 + i));
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      Link(a[i], a[j]);
+      Link(b[i], b[j]);
+    }
+  }
+  Link(a[0], b[0]);  // bridge
+  auto result = RunLouvain(*db_->store(), "Node", "link");
+  EXPECT_GE(result.num_communities, 2);
+  // All of clique A in one community, all of clique B in another.
+  const int ca = result.community[a[0]];
+  const int cb = result.community[b[0]];
+  EXPECT_NE(ca, cb);
+  for (VertexId v : a) EXPECT_EQ(result.community[v], ca);
+  for (VertexId v : b) EXPECT_EQ(result.community[v], cb);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST_F(AlgoFixture, LouvainSingletonGraph) {
+  Add(1);
+  auto result = RunLouvain(*db_->store(), "Node", "link");
+  EXPECT_EQ(result.num_communities, 1);
+}
+
+TEST(AlgoSnbTest, LouvainRecoversSnbCommunityStructure) {
+  Database db;
+  SnbConfig config;
+  config.num_persons = 200;
+  config.communities = 4;
+  config.posts_per_person = 1;
+  config.comments_per_post = 0;
+  config.embedding_dim = 8;
+  ASSERT_TRUE(CreateSnbSchema(&db, config).ok());
+  SnbStats stats;
+  ASSERT_TRUE(LoadSnb(&db, config, &stats).ok());
+  auto result = RunLouvain(*db.store(), "Person", "knows");
+  // The generator plants 4 community blocks with 90% intra-community
+  // edges; Louvain should find a clearly modular partition.
+  EXPECT_GE(result.num_communities, 3);
+  EXPECT_LE(result.num_communities, 12);
+  EXPECT_GT(result.modularity, 0.4);
+}
+
+}  // namespace
+}  // namespace tigervector

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/database.h"
+#include "workload/driver.h"
+
+namespace tigervector {
+namespace {
+
+// Stress tests for the concurrency contract: searches may run concurrently
+// with commits and with both vacuum stages; results must always be
+// internally consistent (sorted, no tombstoned or invisible vertices).
+
+class ConcurrencyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Database::Options options;
+    options.store.segment_capacity = 128;
+    options.embeddings.index_params.m = 8;
+    options.embeddings.index_params.ef_construction = 48;
+    db_ = std::make_unique<Database>(options);
+    EmbeddingTypeInfo info;
+    info.dimension = 8;
+    info.model = "M";
+    info.metric = Metric::kL2;
+    ASSERT_TRUE(db_->schema()->CreateVertexType("Item", {}).ok());
+    ASSERT_TRUE(db_->schema()->AddEmbeddingAttr("Item", "emb", info).ok());
+    // Seed data.
+    for (int i = 0; i < 400; ++i) {
+      Transaction txn = db_->Begin();
+      auto vid = txn.InsertVertex("Item", {});
+      ASSERT_TRUE(vid.ok());
+      ASSERT_TRUE(txn.SetEmbedding(*vid, "Item", "emb", Vec(i)).ok());
+      ASSERT_TRUE(txn.Commit().ok());
+      vids_.push_back(*vid);
+    }
+    ASSERT_TRUE(db_->Vacuum().ok());
+  }
+
+  std::vector<float> Vec(int i) {
+    std::vector<float> v(8, 0.f);
+    v[0] = static_cast<float>(i);
+    v[1] = static_cast<float>(i % 13);
+    return v;
+  }
+
+  void SearchLoop(std::atomic<bool>* stop, std::atomic<int>* errors) {
+    int i = 0;
+    while (!stop->load()) {
+      std::vector<float> q = Vec(i++ % 500);
+      VectorSearchRequest request;
+      request.attrs = {{"Item", "emb"}};
+      request.query = q.data();
+      request.k = 5;
+      request.ef = 32;
+      auto result = db_->embeddings()->TopKSearch(request);
+      if (!result.ok()) {
+        errors->fetch_add(1);
+        continue;
+      }
+      // Sorted ascending and within k.
+      for (size_t j = 1; j < result->hits.size(); ++j) {
+        if (result->hits[j - 1].distance > result->hits[j].distance) {
+          errors->fetch_add(1);
+        }
+      }
+      if (result->hits.size() > 5) errors->fetch_add(1);
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+  std::vector<VertexId> vids_;
+};
+
+TEST_F(ConcurrencyFixture, SearchesConcurrentWithCommits) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread reader1([&] { SearchLoop(&stop, &errors); });
+  std::thread reader2([&] { SearchLoop(&stop, &errors); });
+  // Writer: 200 update transactions.
+  for (int round = 0; round < 200; ++round) {
+    Transaction txn = db_->Begin();
+    const VertexId target = vids_[round % vids_.size()];
+    ASSERT_TRUE(txn.SetEmbedding(target, "Item", "emb", Vec(1000 + round)).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  stop.store(true);
+  reader1.join();
+  reader2.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST_F(ConcurrencyFixture, SearchesConcurrentWithVacuum) {
+  // Build a delta backlog, then vacuum while searching.
+  for (int round = 0; round < 100; ++round) {
+    Transaction txn = db_->Begin();
+    ASSERT_TRUE(txn.SetEmbedding(vids_[round % vids_.size()], "Item", "emb",
+                                 Vec(2000 + round))
+                    .ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread reader([&] { SearchLoop(&stop, &errors); });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_->Vacuum().ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(db_->embeddings()->TotalPendingDeltas(), 0u);
+}
+
+TEST_F(ConcurrencyFixture, ConcurrentWritersSerializeCleanly) {
+  // Multiple threads committing transactions concurrently: every commit
+  // must succeed and each gets a distinct tid.
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < 50; ++i) {
+        Transaction txn = db_->Begin();
+        auto vid = txn.InsertVertex("Item", {});
+        if (!vid.ok() ||
+            !txn.SetEmbedding(*vid, "Item", "emb", Vec(w * 1000 + i)).ok() ||
+            !txn.Commit().ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All 200 new vertices are visible.
+  size_t count = 0;
+  db_->store()->ForEachVertexOfType(0, db_->store()->visible_tid(), nullptr,
+                                    [&](VertexId) { ++count; });
+  EXPECT_EQ(count, 400u + 200u);
+}
+
+TEST_F(ConcurrencyFixture, DeleteDuringSearchNeverReturnsDeleted) {
+  // Delete vertices one by one while verifying they never appear after
+  // their deletion is visible.
+  for (int i = 0; i < 50; ++i) {
+    const VertexId victim = vids_[i];
+    {
+      Transaction txn = db_->Begin();
+      ASSERT_TRUE(txn.DeleteVertex(victim).ok());
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+    std::vector<float> q = Vec(i);
+    VectorSearchRequest request;
+    request.attrs = {{"Item", "emb"}};
+    request.query = q.data();
+    request.k = 3;
+    request.ef = 64;
+    auto result = db_->embeddings()->TopKSearch(request);
+    ASSERT_TRUE(result.ok());
+    for (const auto& hit : result->hits) EXPECT_NE(hit.label, victim);
+  }
+}
+
+TEST(OpenLoopDriverTest, MeasuresFromSchedule) {
+  // A 1ms query at a 100/s schedule should show ~1ms latency, not more.
+  auto result = RunOpenLoop(2, 20, 200.0, [](size_t, size_t) {
+    volatile double x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + i;
+    (void)x;
+  });
+  EXPECT_EQ(result.queries, 40u);
+  EXPECT_GT(result.qps, 0.0);
+  EXPECT_GE(result.p99_ms, result.p50_ms);
+}
+
+TEST(OpenLoopDriverTest, ZeroRateFallsBackToClosedLoop) {
+  std::atomic<int> count{0};
+  auto result = RunOpenLoop(2, 10, 0.0, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 20);
+  EXPECT_EQ(result.queries, 20u);
+}
+
+TEST(OpenLoopDriverTest, OverloadShowsQueueingDelay) {
+  // Each query takes ~2ms but the schedule demands 5000/s: latency from
+  // the schedule must blow up well past the service time (coordinated
+  // omission would hide this).
+  auto result = RunOpenLoop(1, 30, 5000.0, [](size_t, size_t) {
+    volatile double x = 0;
+    for (int i = 0; i < 300000; ++i) x = x + i;
+    (void)x;
+  });
+  EXPECT_GT(result.p99_ms, result.p50_ms);
+  EXPECT_GT(result.p99_ms, 1.0);
+}
+
+}  // namespace
+}  // namespace tigervector

@@ -1,0 +1,627 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "graph/graph_store.h"
+#include "graph/schema.h"
+#include "graph/transaction.h"
+#include "graph/wal.h"
+#include "util/thread_pool.h"
+
+namespace tigervector {
+namespace {
+
+// ---------------- Schema ----------------
+
+TEST(SchemaTest, CreateVertexType) {
+  Schema schema;
+  auto id = schema.CreateVertexType("Post", {{"author", AttrType::kString},
+                                             {"length", AttrType::kInt}});
+  ASSERT_TRUE(id.ok());
+  auto def = schema.GetVertexType("Post");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ((*def)->name, "Post");
+  EXPECT_EQ((*def)->attrs.size(), 2u);
+  EXPECT_EQ((*def)->AttrIndex("length"), 1);
+  EXPECT_EQ((*def)->AttrIndex("nope"), -1);
+}
+
+TEST(SchemaTest, DuplicateVertexTypeRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateVertexType("A", {}).ok());
+  EXPECT_EQ(schema.CreateVertexType("A", {}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, DuplicateAttrRejected) {
+  Schema schema;
+  EXPECT_EQ(schema
+                .CreateVertexType("A", {{"x", AttrType::kInt},
+                                        {"x", AttrType::kString}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, EdgeTypeRequiresEndpoints) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateVertexType("A", {}).ok());
+  EXPECT_EQ(schema.CreateEdgeType("e", "A", "Missing").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(schema.CreateVertexType("B", {}).ok());
+  auto et = schema.CreateEdgeType("e", "A", "B", /*directed=*/true);
+  ASSERT_TRUE(et.ok());
+  EXPECT_TRUE(schema.edge_type(*et).directed);
+}
+
+TEST(SchemaTest, EmbeddingSpaceAndAttr) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateVertexType("Post", {}).ok());
+  ASSERT_TRUE(schema.CreateVertexType("Comment", {}).ok());
+  EmbeddingTypeInfo info;
+  info.dimension = 8;
+  info.model = "GPT4";
+  ASSERT_TRUE(schema.CreateEmbeddingSpace("gpt4_space", info).ok());
+  EXPECT_EQ(schema.CreateEmbeddingSpace("gpt4_space", info).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(schema.AddEmbeddingAttrInSpace("Post", "emb", "gpt4_space").ok());
+  ASSERT_TRUE(schema.AddEmbeddingAttrInSpace("Comment", "emb", "gpt4_space").ok());
+  auto post = schema.GetVertexType("Post");
+  const EmbeddingAttrDef* def = (*post)->FindEmbeddingAttr("emb");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->info.dimension, 8u);
+  EXPECT_EQ(def->space, "gpt4_space");
+}
+
+TEST(SchemaTest, InlineEmbeddingAttr) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateVertexType("Post", {}).ok());
+  EmbeddingTypeInfo info;
+  info.dimension = 16;
+  info.model = "M";
+  ASSERT_TRUE(schema.AddEmbeddingAttr("Post", "emb", info).ok());
+  EXPECT_EQ(schema.AddEmbeddingAttr("Post", "emb", info).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddEmbeddingAttr("Nope", "emb", info).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ZeroDimensionRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateVertexType("Post", {}).ok());
+  EmbeddingTypeInfo info;  // dimension 0
+  EXPECT_EQ(schema.AddEmbeddingAttr("Post", "emb", info).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.CreateEmbeddingSpace("s", info).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------- Values ----------------
+
+TEST(ValueTest, EqualsAndLess) {
+  EXPECT_TRUE(ValueEquals(Value{int64_t{3}}, Value{int64_t{3}}));
+  EXPECT_TRUE(ValueEquals(Value{int64_t{3}}, Value{3.0}));  // promotion
+  EXPECT_FALSE(ValueEquals(Value{int64_t{3}}, Value{std::string("3")}));
+  EXPECT_TRUE(ValueLess(Value{int64_t{2}}, Value{2.5}));
+  EXPECT_TRUE(ValueLess(Value{std::string("a")}, Value{std::string("b")}));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(ValueToString(Value{int64_t{7}}), "7");
+  EXPECT_EQ(ValueToString(Value{std::string("x")}), "\"x\"");
+  EXPECT_EQ(ValueToString(Value{true}), "true");
+}
+
+// ---------------- Store fixture ----------------
+
+class GraphStoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(schema_
+                    .CreateVertexType("Person", {{"name", AttrType::kString},
+                                                 {"age", AttrType::kInt}})
+                    .ok());
+    ASSERT_TRUE(schema_.CreateVertexType("Post", {{"length", AttrType::kInt}}).ok());
+    ASSERT_TRUE(
+        schema_.CreateEdgeType("knows", "Person", "Person", /*directed=*/false).ok());
+    ASSERT_TRUE(
+        schema_.CreateEdgeType("hasCreator", "Post", "Person", /*directed=*/true)
+            .ok());
+    GraphStore::Options options;
+    options.segment_capacity = 64;  // small to force multiple segments
+    store_ = std::make_unique<GraphStore>(&schema_, options);
+  }
+
+  VertexId AddPerson(const std::string& name, int64_t age) {
+    Transaction txn(store_.get());
+    auto vid = txn.InsertVertex("Person", {name, age});
+    EXPECT_TRUE(vid.ok());
+    EXPECT_TRUE(txn.Commit().ok());
+    return *vid;
+  }
+
+  Schema schema_;
+  std::unique_ptr<GraphStore> store_;
+};
+
+TEST_F(GraphStoreFixture, InsertAndReadAttrs) {
+  const VertexId v = AddPerson("Alice", 30);
+  const Tid tid = store_->visible_tid();
+  EXPECT_TRUE(store_->IsVisible(v, tid));
+  auto name = store_->GetAttr(v, "name", tid);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(std::get<std::string>(*name), "Alice");
+  auto age = store_->GetAttr(v, "age", tid);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(std::get<int64_t>(*age), 30);
+}
+
+TEST_F(GraphStoreFixture, UncommittedInvisible) {
+  Transaction txn(store_.get());
+  auto vid = txn.InsertVertex("Person", {std::string("Bob"), int64_t{20}});
+  ASSERT_TRUE(vid.ok());
+  EXPECT_FALSE(store_->IsVisible(*vid, store_->visible_tid()));
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(store_->IsVisible(*vid, store_->visible_tid()));
+}
+
+TEST_F(GraphStoreFixture, RollbackDiscardsWrites) {
+  Transaction txn(store_.get());
+  auto vid = txn.InsertVertex("Person", {std::string("Bob"), int64_t{20}});
+  ASSERT_TRUE(vid.ok());
+  txn.Rollback();
+  EXPECT_EQ(txn.num_buffered(), 0u);
+  ASSERT_TRUE(txn.Commit().ok());  // empty commit
+  EXPECT_FALSE(store_->IsVisible(*vid, store_->visible_tid()));
+}
+
+TEST_F(GraphStoreFixture, AttrTypeValidationAtBufferTime) {
+  Transaction txn(store_.get());
+  EXPECT_EQ(txn.InsertVertex("Person", {int64_t{5}, int64_t{5}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(txn.InsertVertex("Person", {std::string("x")}).status().code(),
+            StatusCode::kInvalidArgument);  // wrong arity
+  EXPECT_EQ(txn.InsertVertex("Nope", {}).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GraphStoreFixture, SetAttrCreatesDeltaThenVacuumFolds) {
+  const VertexId v = AddPerson("Carol", 25);
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.SetAttr(v, "Person", "age", int64_t{26}).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const Tid tid = store_->visible_tid();
+  auto age = store_->GetAttr(v, "age", tid);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(std::get<int64_t>(*age), 26);
+  // Old snapshot still visible at the older tid.
+  auto old_age = store_->GetAttr(v, "age", tid - 1);
+  ASSERT_TRUE(old_age.ok());
+  EXPECT_EQ(std::get<int64_t>(*old_age), 25);
+  // Vacuum folds the delta; latest value must survive.
+  EXPECT_EQ(store_->VacuumGraph(), 1u);
+  auto after = store_->GetAttr(v, "age", store_->visible_tid());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(std::get<int64_t>(*after), 26);
+  EXPECT_EQ(store_->SegmentAt(0)->pending_attr_deltas(), 0u);
+}
+
+TEST_F(GraphStoreFixture, MultipleSetAttrsLatestWins) {
+  const VertexId v = AddPerson("D", 1);
+  for (int64_t age = 2; age <= 5; ++age) {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.SetAttr(v, "Person", "age", age).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  auto age = store_->GetAttr(v, "age", store_->visible_tid());
+  EXPECT_EQ(std::get<int64_t>(*age), 5);
+  store_->VacuumGraph();
+  age = store_->GetAttr(v, "age", store_->visible_tid());
+  EXPECT_EQ(std::get<int64_t>(*age), 5);
+}
+
+TEST_F(GraphStoreFixture, DirectedEdgesTraverseBothWays) {
+  const VertexId alice = AddPerson("Alice", 30);
+  VertexId post;
+  {
+    Transaction txn(store_.get());
+    auto p = txn.InsertVertex("Post", {int64_t{100}});
+    ASSERT_TRUE(p.ok());
+    post = *p;
+    ASSERT_TRUE(txn.InsertEdge("hasCreator", post, alice).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const Tid tid = store_->visible_tid();
+  auto et = schema_.GetEdgeType("hasCreator");
+  std::set<VertexId> out, in;
+  store_->ForEachNeighbor(post, (*et)->id, Direction::kOut, tid,
+                          [&](VertexId p) { out.insert(p); });
+  store_->ForEachNeighbor(alice, (*et)->id, Direction::kIn, tid,
+                          [&](VertexId p) { in.insert(p); });
+  EXPECT_EQ(out, std::set<VertexId>{alice});
+  EXPECT_EQ(in, std::set<VertexId>{post});
+  // Wrong directions yield nothing.
+  std::set<VertexId> wrong;
+  store_->ForEachNeighbor(post, (*et)->id, Direction::kIn, tid,
+                          [&](VertexId p) { wrong.insert(p); });
+  EXPECT_TRUE(wrong.empty());
+}
+
+TEST_F(GraphStoreFixture, UndirectedEdgesSymmetric) {
+  const VertexId a = AddPerson("A", 1);
+  const VertexId b = AddPerson("B", 2);
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.InsertEdge("knows", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const Tid tid = store_->visible_tid();
+  auto et = schema_.GetEdgeType("knows");
+  std::set<VertexId> from_a, from_b;
+  store_->ForEachNeighbor(a, (*et)->id, Direction::kAny, tid,
+                          [&](VertexId p) { from_a.insert(p); });
+  store_->ForEachNeighbor(b, (*et)->id, Direction::kAny, tid,
+                          [&](VertexId p) { from_b.insert(p); });
+  EXPECT_EQ(from_a, std::set<VertexId>{b});
+  EXPECT_EQ(from_b, std::set<VertexId>{a});
+}
+
+TEST_F(GraphStoreFixture, EdgeDeleteHidesEdge) {
+  const VertexId a = AddPerson("A", 1);
+  const VertexId b = AddPerson("B", 2);
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.InsertEdge("knows", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.DeleteEdge("knows", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const Tid tid = store_->visible_tid();
+  auto et = schema_.GetEdgeType("knows");
+  int count = 0;
+  store_->ForEachNeighbor(a, (*et)->id, Direction::kAny, tid,
+                          [&](VertexId) { ++count; });
+  EXPECT_EQ(count, 0);
+  // But the edge is still visible at the pre-delete tid.
+  count = 0;
+  store_->ForEachNeighbor(a, (*et)->id, Direction::kAny, tid - 1,
+                          [&](VertexId) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(GraphStoreFixture, DeleteVertexHidesIt) {
+  const VertexId v = AddPerson("Gone", 9);
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.DeleteVertex(v).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const Tid tid = store_->visible_tid();
+  EXPECT_FALSE(store_->IsVisible(v, tid));
+  EXPECT_TRUE(store_->IsVisible(v, tid - 1));
+  EXPECT_EQ(store_->GetAttr(v, "age", tid).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GraphStoreFixture, EdgeToMissingVertexRejected) {
+  const VertexId a = AddPerson("A", 1);
+  Transaction txn(store_.get());
+  ASSERT_TRUE(txn.InsertEdge("knows", a, 424242).ok());  // buffered fine
+  EXPECT_EQ(txn.Commit().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GraphStoreFixture, IntraTransactionEdgeBetweenNewVertices) {
+  Transaction txn(store_.get());
+  auto a = txn.InsertVertex("Person", {std::string("X"), int64_t{1}});
+  auto b = txn.InsertVertex("Person", {std::string("Y"), int64_t{2}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(txn.InsertEdge("knows", *a, *b).ok());
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(GraphStoreFixture, SegmentsGrowAcrossCapacity) {
+  for (int i = 0; i < 200; ++i) AddPerson("P" + std::to_string(i), i);
+  EXPECT_GE(store_->NumSegments(), 200u / 64);
+  // All vertices visible via type scan.
+  auto vt = schema_.GetVertexType("Person");
+  size_t count = 0;
+  store_->ForEachVertexOfType((*vt)->id, store_->visible_tid(), nullptr,
+                              [&](VertexId) { ++count; });
+  EXPECT_EQ(count, 200u);
+}
+
+TEST_F(GraphStoreFixture, VertexActionParallelMatchesSequential) {
+  for (int i = 0; i < 300; ++i) AddPerson("P" + std::to_string(i), i);
+  auto vt = schema_.GetVertexType("Person");
+  ThreadPool pool(4);
+  std::atomic<size_t> parallel_count{0};
+  store_->ForEachVertexOfType((*vt)->id, store_->visible_tid(), &pool,
+                              [&](VertexId) { parallel_count.fetch_add(1); });
+  EXPECT_EQ(parallel_count.load(), 300u);
+}
+
+TEST_F(GraphStoreFixture, TypeBitmapTracksInsertAndDelete) {
+  const VertexId a = AddPerson("A", 1);
+  const VertexId b = AddPerson("B", 2);
+  {
+    auto guard = store_->LatestTypeBitmap(0);
+    EXPECT_TRUE(guard.get().Test(a));
+    EXPECT_TRUE(guard.get().Test(b));
+  }
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.DeleteVertex(a).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  auto guard = store_->LatestTypeBitmap(0);
+  EXPECT_FALSE(guard.get().Test(a));
+  EXPECT_TRUE(guard.get().Test(b));
+}
+
+TEST_F(GraphStoreFixture, CommitsAreAtomicAllOrNothing) {
+  const VertexId a = AddPerson("A", 1);
+  Transaction txn(store_.get());
+  ASSERT_TRUE(txn.SetAttr(a, "Person", "age", int64_t{50}).ok());
+  ASSERT_TRUE(txn.InsertEdge("knows", a, 999999).ok());  // will fail validation
+  ASSERT_FALSE(txn.Commit().ok());
+  // The SetAttr in the failed transaction must not be visible.
+  auto age = store_->GetAttr(a, "age", store_->visible_tid());
+  EXPECT_EQ(std::get<int64_t>(*age), 1);
+}
+
+TEST_F(GraphStoreFixture, UndirectedEdgeDeleteRemovesBothDirections) {
+  const VertexId a = AddPerson("A", 1);
+  const VertexId b = AddPerson("B", 2);
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.InsertEdge("knows", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.DeleteEdge("knows", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const Tid tid = store_->visible_tid();
+  auto et = schema_.GetEdgeType("knows");
+  int count = 0;
+  store_->ForEachNeighbor(a, (*et)->id, Direction::kAny, tid,
+                          [&](VertexId) { ++count; });
+  store_->ForEachNeighbor(b, (*et)->id, Direction::kAny, tid,
+                          [&](VertexId) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(GraphStoreFixture, VacuumPhysicallyRemovesDeletedEdges) {
+  const VertexId a = AddPerson("A", 1);
+  const VertexId b = AddPerson("B", 2);
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.InsertEdge("knows", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.DeleteEdge("knows", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  store_->VacuumGraph();
+  // After vacuum the tombstoned edge is gone even for historical reads
+  // at-or-after the vacuum horizon; the re-inserted edge works.
+  Transaction txn(store_.get());
+  ASSERT_TRUE(txn.InsertEdge("knows", a, b).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  int count = 0;
+  auto et = schema_.GetEdgeType("knows");
+  store_->ForEachNeighbor(a, (*et)->id, Direction::kAny, store_->visible_tid(),
+                          [&](VertexId) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(GraphStoreFixture, DuplicateEdgesAllowed) {
+  // The property graph model allows multiple edges between two nodes
+  // (paper Sec. 2.1).
+  const VertexId a = AddPerson("A", 1);
+  const VertexId b = AddPerson("B", 2);
+  Transaction txn(store_.get());
+  ASSERT_TRUE(txn.InsertEdge("knows", a, b).ok());
+  ASSERT_TRUE(txn.InsertEdge("knows", a, b).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  int count = 0;
+  auto et = schema_.GetEdgeType("knows");
+  store_->ForEachNeighbor(a, (*et)->id, Direction::kAny, store_->visible_tid(),
+                          [&](VertexId) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(GraphStoreFixture, GetAttrErrors) {
+  const VertexId a = AddPerson("A", 1);
+  const Tid tid = store_->visible_tid();
+  EXPECT_EQ(store_->GetAttr(a, "nope", tid).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_->GetAttrByIndex(a, 99, tid).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(store_->GetAttr(999999, "name", tid).ok());
+}
+
+TEST_F(GraphStoreFixture, EmptyCommitIsVisibleNoop) {
+  const Tid before = store_->visible_tid();
+  Transaction txn(store_.get());
+  auto tid = txn.Commit();
+  ASSERT_TRUE(tid.ok());
+  EXPECT_GT(*tid, before);
+  EXPECT_EQ(store_->visible_tid(), *tid);
+}
+
+TEST_F(GraphStoreFixture, ReinsertVertexAfterDeleteReusesSlot) {
+  const VertexId v = AddPerson("Gone", 9);
+  {
+    Transaction txn(store_.get());
+    ASSERT_TRUE(txn.DeleteVertex(v).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // A brand-new vertex gets a fresh vid; the old slot stays dead.
+  const VertexId w = AddPerson("New", 10);
+  EXPECT_NE(v, w);
+  EXPECT_FALSE(store_->IsVisible(v, store_->visible_tid()));
+  EXPECT_TRUE(store_->IsVisible(w, store_->visible_tid()));
+}
+
+// ---------------- WAL ----------------
+
+TEST(WalTest, EncodeDecodeRoundTripAllKinds) {
+  std::vector<Mutation> in;
+  {
+    Mutation m;
+    m.kind = Mutation::Kind::kInsertVertex;
+    m.vid = 7;
+    m.vtype = 1;
+    m.attrs = {Value{int64_t{42}}, Value{std::string("hi")}, Value{true},
+               Value{2.75}};
+    in.push_back(m);
+  }
+  {
+    Mutation m;
+    m.kind = Mutation::Kind::kSetAttr;
+    m.vid = 7;
+    m.attr_idx = 2;
+    m.value = Value{std::string("updated")};
+    in.push_back(m);
+  }
+  {
+    Mutation m;
+    m.kind = Mutation::Kind::kInsertEdge;
+    m.vid = 7;
+    m.dst = 9;
+    m.etype = 3;
+    in.push_back(m);
+  }
+  {
+    Mutation m;
+    m.kind = Mutation::Kind::kDeleteEdge;
+    m.vid = 7;
+    m.dst = 9;
+    m.etype = 3;
+    in.push_back(m);
+  }
+  {
+    Mutation m;
+    m.kind = Mutation::Kind::kDeleteVertex;
+    m.vid = 7;
+    in.push_back(m);
+  }
+  {
+    Mutation m;
+    m.kind = Mutation::Kind::kUpsertEmbedding;
+    m.vid = 7;
+    m.emb_attr = "emb";
+    m.embedding = {1.5f, -2.5f, 3.5f};
+    in.push_back(m);
+  }
+  {
+    Mutation m;
+    m.kind = Mutation::Kind::kDeleteEmbedding;
+    m.vid = 7;
+    m.emb_attr = "emb";
+    in.push_back(m);
+  }
+  auto bytes = WriteAheadLog::EncodeMutations(in);
+  auto decoded = WriteAheadLog::DecodeMutations(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), in.size());
+  EXPECT_EQ((*decoded)[0].attrs.size(), 4u);
+  EXPECT_EQ(std::get<std::string>((*decoded)[0].attrs[1]), "hi");
+  EXPECT_EQ(std::get<double>((*decoded)[0].attrs[3]), 2.75);
+  EXPECT_EQ((*decoded)[1].attr_idx, 2);
+  EXPECT_EQ((*decoded)[2].dst, 9u);
+  EXPECT_EQ((*decoded)[5].embedding.size(), 3u);
+  EXPECT_EQ((*decoded)[5].embedding[1], -2.5f);
+  EXPECT_EQ((*decoded)[6].emb_attr, "emb");
+}
+
+TEST(WalTest, TruncatedPayloadFails) {
+  Mutation m;
+  m.kind = Mutation::Kind::kUpsertEmbedding;
+  m.vid = 1;
+  m.emb_attr = "e";
+  m.embedding = {1, 2, 3};
+  auto bytes = WriteAheadLog::EncodeMutations({m});
+  auto bad = WriteAheadLog::DecodeMutations(bytes.data(), bytes.size() - 4);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(WalTest, FileAppendAndReadAll) {
+  const std::string path = ::testing::TempDir() + "/wal_test.log";
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    Mutation m;
+    m.kind = Mutation::Kind::kInsertVertex;
+    m.vid = 1;
+    m.vtype = 0;
+    ASSERT_TRUE(wal.Append(1, {m}).ok());
+    m.vid = 2;
+    ASSERT_TRUE(wal.Append(2, {m}).ok());
+    EXPECT_EQ(wal.appended_records(), 2u);
+  }
+  auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].tid, 1u);
+  EXPECT_EQ((*records)[1].mutations[0].vid, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, RecoveryRestoresGraph) {
+  const std::string path = ::testing::TempDir() + "/wal_recovery.log";
+  std::remove(path.c_str());
+  Schema schema;
+  ASSERT_TRUE(schema.CreateVertexType("P", {{"x", AttrType::kInt}}).ok());
+  ASSERT_TRUE(schema.CreateEdgeType("e", "P", "P").ok());
+  VertexId a, b;
+  {
+    GraphStore::Options options;
+    options.segment_capacity = 16;
+    options.wal_path = path;
+    GraphStore store(&schema, options);
+    Transaction txn(&store);
+    a = *txn.InsertVertex("P", {int64_t{1}});
+    b = *txn.InsertVertex("P", {int64_t{2}});
+    ASSERT_TRUE(txn.InsertEdge("e", a, b).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    Transaction txn2(&store);
+    ASSERT_TRUE(txn2.SetAttr(a, "P", "x", int64_t{7}).ok());
+    ASSERT_TRUE(txn2.Commit().ok());
+  }
+  // Fresh store, recover from the log.
+  GraphStore::Options options;
+  options.segment_capacity = 16;
+  GraphStore recovered(&schema, options);
+  ASSERT_TRUE(recovered.Recover(path).ok());
+  const Tid tid = recovered.visible_tid();
+  EXPECT_TRUE(recovered.IsVisible(a, tid));
+  EXPECT_TRUE(recovered.IsVisible(b, tid));
+  auto x = recovered.GetAttr(a, "x", tid);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(std::get<int64_t>(*x), 7);
+  auto et = schema.GetEdgeType("e");
+  int edges = 0;
+  recovered.ForEachNeighbor(a, (*et)->id, Direction::kOut, tid,
+                            [&](VertexId) { ++edges; });
+  EXPECT_EQ(edges, 1);
+  // New writes continue from the recovered tid/vid counters.
+  Transaction txn(&recovered);
+  auto c = txn.InsertVertex("P", {int64_t{3}});
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(*c, b);
+  ASSERT_TRUE(txn.Commit().ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tigervector

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "hnsw/brute_force.h"
+#include "hnsw/hnsw_index.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tigervector {
+namespace {
+
+std::vector<float> RandomPoint(Rng* rng, size_t dim) {
+  std::vector<float> v(dim);
+  for (float& x : v) x = rng->NextFloat() * 100.0f;
+  return v;
+}
+
+HnswParams SmallParams(size_t dim, size_t cap, Metric metric = Metric::kL2) {
+  HnswParams p;
+  p.dim = dim;
+  p.metric = metric;
+  p.m = 8;
+  p.ef_construction = 64;
+  p.max_elements = cap;
+  return p;
+}
+
+class HnswFixture : public ::testing::Test {
+ protected:
+  void Build(size_t n, size_t dim, Metric metric = Metric::kL2) {
+    dim_ = dim;
+    index_ = std::make_unique<HnswIndex>(SmallParams(dim, n + 16, metric));
+    brute_ = std::make_unique<BruteForceSearcher>(dim, metric);
+    Rng rng(21);
+    for (size_t i = 0; i < n; ++i) {
+      auto v = RandomPoint(&rng, dim);
+      ASSERT_TRUE(index_->AddPoint(i, v.data()).ok());
+      brute_->Add(i, v.data());
+      data_.push_back(std::move(v));
+    }
+  }
+
+  double AvgRecall(size_t num_queries, size_t k, size_t ef) {
+    Rng rng(22);
+    double total = 0;
+    for (size_t q = 0; q < num_queries; ++q) {
+      auto query = RandomPoint(&rng, dim_);
+      auto got = index_->TopKSearch(query.data(), k, ef);
+      auto want = brute_->TopKSearch(query.data(), k);
+      std::set<uint64_t> want_ids;
+      for (const auto& h : want) want_ids.insert(h.label);
+      size_t hit = 0;
+      for (const auto& h : got) hit += want_ids.count(h.label);
+      total += static_cast<double>(hit) / std::max<size_t>(1, want.size());
+    }
+    return total / num_queries;
+  }
+
+  size_t dim_ = 0;
+  std::unique_ptr<HnswIndex> index_;
+  std::unique_ptr<BruteForceSearcher> brute_;
+  std::vector<std::vector<float>> data_;
+};
+
+TEST_F(HnswFixture, EmptyIndexReturnsNothing) {
+  Build(0, 8);
+  std::vector<float> q(8, 0.0f);
+  EXPECT_TRUE(index_->TopKSearch(q.data(), 5, 32).empty());
+  EXPECT_TRUE(index_->RangeSearch(q.data(), 10.0f, 4, 32).empty());
+}
+
+TEST_F(HnswFixture, SingleElement) {
+  Build(1, 8);
+  auto hits = index_->TopKSearch(data_[0].data(), 3, 16);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].label, 0u);
+  EXPECT_FLOAT_EQ(hits[0].distance, 0.0f);
+}
+
+TEST_F(HnswFixture, ExactMatchFoundFirst) {
+  Build(500, 16);
+  for (size_t i : {0u, 123u, 499u}) {
+    auto hits = index_->TopKSearch(data_[i].data(), 1, 64);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].label, i);
+    EXPECT_NEAR(hits[0].distance, 0.0f, 1e-4);
+  }
+}
+
+TEST_F(HnswFixture, HighRecallAtLargeEf) {
+  Build(2000, 16);
+  EXPECT_GT(AvgRecall(20, 10, 200), 0.95);
+}
+
+TEST_F(HnswFixture, RecallImprovesWithEf) {
+  Build(2000, 16);
+  const double low = AvgRecall(20, 10, 10);
+  const double high = AvgRecall(20, 10, 150);
+  EXPECT_GE(high, low);
+  EXPECT_GT(high, 0.9);
+}
+
+TEST_F(HnswFixture, ResultsSortedAscending) {
+  Build(500, 8);
+  Rng rng(31);
+  auto q = RandomPoint(&rng, 8);
+  auto hits = index_->TopKSearch(q.data(), 20, 64);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].distance, hits[i].distance);
+  }
+}
+
+TEST_F(HnswFixture, FilteredSearchOnlyReturnsAccepted) {
+  Build(1000, 8);
+  Bitmap bm(1000);
+  for (size_t i = 0; i < 1000; i += 2) bm.Set(i);  // only even labels
+  FilterView fv(&bm);
+  Rng rng(32);
+  auto q = RandomPoint(&rng, 8);
+  auto hits = index_->TopKSearch(q.data(), 10, 128, fv);
+  EXPECT_FALSE(hits.empty());
+  for (const auto& h : hits) EXPECT_EQ(h.label % 2, 0u);
+}
+
+TEST_F(HnswFixture, FilteredSearchMatchesFilteredBruteForce) {
+  Build(1000, 8);
+  Bitmap bm(1000);
+  for (size_t i = 0; i < 100; ++i) bm.Set(i * 7 % 1000);
+  FilterView fv(&bm);
+  Rng rng(33);
+  auto q = RandomPoint(&rng, 8);
+  auto got = index_->TopKSearch(q.data(), 5, 400, fv);
+  auto want = brute_->TopKSearch(q.data(), 5, fv);
+  ASSERT_FALSE(want.empty());
+  // With a huge ef relative to index size, filtered recall should be high.
+  std::set<uint64_t> want_ids;
+  for (const auto& h : want) want_ids.insert(h.label);
+  size_t hit = 0;
+  for (const auto& h : got) hit += want_ids.count(h.label);
+  EXPECT_GE(hit, want.size() - 1);
+}
+
+TEST_F(HnswFixture, DeletedItemsExcluded) {
+  Build(300, 8);
+  auto q = data_[42];
+  ASSERT_EQ(index_->TopKSearch(q.data(), 1, 64)[0].label, 42u);
+  ASSERT_TRUE(index_->MarkDeleted(42).ok());
+  auto hits = index_->TopKSearch(q.data(), 10, 64);
+  for (const auto& h : hits) EXPECT_NE(h.label, 42u);
+  EXPECT_EQ(index_->size(), 299u);
+  EXPECT_TRUE(index_->IsDeleted(42));
+}
+
+TEST_F(HnswFixture, DeleteUnknownLabelFails) {
+  Build(10, 8);
+  EXPECT_EQ(index_->MarkDeleted(999).code(), StatusCode::kNotFound);
+}
+
+TEST_F(HnswFixture, ReinsertAfterDeleteRevives) {
+  Build(100, 8);
+  ASSERT_TRUE(index_->MarkDeleted(7).ok());
+  EXPECT_TRUE(index_->IsDeleted(7));
+  ASSERT_TRUE(index_->AddPoint(7, data_[7].data()).ok());
+  EXPECT_FALSE(index_->IsDeleted(7));
+  auto hits = index_->TopKSearch(data_[7].data(), 1, 64);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].label, 7u);
+}
+
+TEST_F(HnswFixture, UpdateMovesPoint) {
+  Build(400, 8);
+  // Move point 5 exactly onto point 300's location.
+  ASSERT_TRUE(index_->AddPoint(5, data_[300].data()).ok());
+  auto hits = index_->TopKSearch(data_[300].data(), 2, 128);
+  ASSERT_GE(hits.size(), 2u);
+  std::set<uint64_t> top = {hits[0].label, hits[1].label};
+  EXPECT_TRUE(top.count(5) == 1 && top.count(300) == 1)
+      << hits[0].label << "," << hits[1].label;
+  EXPECT_NEAR(hits[0].distance, 0.0f, 1e-4);
+}
+
+TEST_F(HnswFixture, GetEmbeddingRoundTrip) {
+  Build(50, 12);
+  std::vector<float> out(12);
+  ASSERT_TRUE(index_->GetEmbedding(17, out.data()).ok());
+  EXPECT_EQ(out, data_[17]);
+  EXPECT_EQ(index_->GetEmbedding(9999, out.data()).code(), StatusCode::kNotFound);
+}
+
+TEST_F(HnswFixture, RangeSearchMatchesBruteForce) {
+  Build(800, 8);
+  Rng rng(34);
+  auto q = RandomPoint(&rng, 8);
+  // Pick a threshold that captures a moderate number of points.
+  auto nearest = brute_->TopKSearch(q.data(), 30);
+  const float threshold = nearest[20].distance;
+  auto got = index_->RangeSearch(q.data(), threshold, 8, 256);
+  auto want = brute_->RangeSearch(q.data(), threshold);
+  // Approximate: allow missing at most a couple of boundary points.
+  EXPECT_GE(got.size() + 2, want.size());
+  for (const auto& h : got) EXPECT_LT(h.distance, threshold);
+}
+
+TEST_F(HnswFixture, CapacityExceededFails) {
+  HnswParams p = SmallParams(4, 2);
+  HnswIndex index(p);
+  std::vector<float> v = {1, 2, 3, 4};
+  EXPECT_TRUE(index.AddPoint(0, v.data()).ok());
+  EXPECT_TRUE(index.AddPoint(1, v.data()).ok());
+  EXPECT_EQ(index.AddPoint(2, v.data()).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(HnswFixture, StatsAccumulate) {
+  Build(200, 8);
+  index_->ResetStats();
+  Rng rng(35);
+  auto q = RandomPoint(&rng, 8);
+  index_->TopKSearch(q.data(), 5, 32);
+  HnswStats stats = index_->stats();
+  EXPECT_EQ(stats.searches, 1u);
+  EXPECT_GT(stats.distance_computations, 0u);
+  EXPECT_GT(stats.hops, 0u);
+  index_->ResetStats();
+  EXPECT_EQ(index_->stats().searches, 0u);
+}
+
+TEST_F(HnswFixture, SaveLoadRoundTrip) {
+  Build(300, 8);
+  ASSERT_TRUE(index_->MarkDeleted(10).ok());
+  const std::string path = ::testing::TempDir() + "/hnsw_roundtrip.bin";
+  ASSERT_TRUE(index_->SaveToFile(path).ok());
+  auto loaded = HnswIndex::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), index_->size());
+  Rng rng(36);
+  auto q = RandomPoint(&rng, 8);
+  auto a = index_->TopKSearch(q.data(), 10, 64);
+  auto b = (*loaded)->TopKSearch(q.data(), 10, 64);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(HnswFixture, LoadMissingFileFails) {
+  auto loaded = HnswIndex::LoadFromFile("/nonexistent/path/x.bin");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(HnswFixture, UpdateItemsAppliesUpsertsAndDeletes) {
+  Build(200, 8);
+  ThreadPool pool(3);
+  std::vector<HnswIndex::UpdateItem> items;
+  // Delete 0..9, move 10 to 50's position, insert fresh label 1000.
+  for (uint64_t i = 0; i < 10; ++i) {
+    items.push_back({i, true, {}});
+  }
+  items.push_back({10, false, data_[50]});
+  items.push_back({1000, false, data_[60]});
+  ASSERT_TRUE(index_->UpdateItems(items, &pool).ok());
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_TRUE(index_->IsDeleted(i));
+  EXPECT_TRUE(index_->Contains(1000));
+  std::vector<float> out(8);
+  ASSERT_TRUE(index_->GetEmbedding(10, out.data()).ok());
+  EXPECT_EQ(out, data_[50]);
+}
+
+TEST_F(HnswFixture, UpdateItemsDeleteOfUnknownLabelIsNoop) {
+  Build(20, 8);
+  std::vector<HnswIndex::UpdateItem> items;
+  items.push_back({555, true, {}});
+  EXPECT_TRUE(index_->UpdateItems(items, nullptr).ok());
+}
+
+TEST_F(HnswFixture, UpdateItemsPerLabelOrderPreserved) {
+  Build(50, 8);
+  ThreadPool pool(4);
+  std::vector<HnswIndex::UpdateItem> items;
+  // Two updates to the same label in one batch: the later one must win.
+  items.push_back({7, false, data_[20]});
+  items.push_back({7, false, data_[30]});
+  ASSERT_TRUE(index_->UpdateItems(items, &pool).ok());
+  std::vector<float> out(8);
+  ASSERT_TRUE(index_->GetEmbedding(7, out.data()).ok());
+  EXPECT_EQ(out, data_[30]);
+}
+
+TEST_F(HnswFixture, ParallelBuildProducesSearchableIndex) {
+  const size_t n = 1000, dim = 16;
+  HnswIndex index(SmallParams(dim, n));
+  BruteForceSearcher brute(dim, Metric::kL2);
+  Rng rng(41);
+  std::vector<std::vector<float>> data;
+  for (size_t i = 0; i < n; ++i) data.push_back(RandomPoint(&rng, dim));
+  for (size_t i = 0; i < n; ++i) brute.Add(i, data[i].data());
+  ThreadPool pool(4);
+  std::atomic<int> failures{0};
+  pool.ParallelFor(n, [&](size_t i) {
+    if (!index.AddPoint(i, data[i].data()).ok()) failures.fetch_add(1);
+  });
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(index.size(), n);
+  // Recall sanity on the concurrently built graph.
+  double total = 0;
+  for (int q = 0; q < 10; ++q) {
+    auto query = RandomPoint(&rng, dim);
+    auto got = index.TopKSearch(query.data(), 10, 150);
+    auto want = brute.TopKSearch(query.data(), 10);
+    std::set<uint64_t> want_ids;
+    for (const auto& h : want) want_ids.insert(h.label);
+    size_t hit = 0;
+    for (const auto& h : got) hit += want_ids.count(h.label);
+    total += static_cast<double>(hit) / want.size();
+  }
+  EXPECT_GT(total / 10, 0.85);
+}
+
+TEST_F(HnswFixture, LabelsListsLivePoints) {
+  Build(30, 8);
+  ASSERT_TRUE(index_->MarkDeleted(3).ok());
+  auto labels = index_->Labels();
+  EXPECT_EQ(labels.size(), 29u);
+  EXPECT_EQ(std::count(labels.begin(), labels.end(), 3u), 0);
+}
+
+// Parameterized over metric: the index must behave for all three.
+class HnswMetricTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(HnswMetricTest, SelfQueryReturnsSelf) {
+  const Metric metric = GetParam();
+  HnswIndex index(SmallParams(16, 300, metric));
+  Rng rng(51);
+  std::vector<std::vector<float>> data;
+  for (size_t i = 0; i < 200; ++i) {
+    auto v = RandomPoint(&rng, 16);
+    if (metric != Metric::kL2) NormalizeInPlace(v.data(), 16);
+    ASSERT_TRUE(index.AddPoint(i, v.data()).ok());
+    data.push_back(std::move(v));
+  }
+  for (size_t i : {0u, 57u, 199u}) {
+    auto hits = index.TopKSearch(data[i].data(), 1, 64);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].label, i) << MetricName(metric);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, HnswMetricTest,
+                         ::testing::Values(Metric::kL2, Metric::kIp,
+                                           Metric::kCosine));
+
+// Property-style sweep: recall@10 must be monotone-ish and reach a high
+// plateau as ef grows.
+class HnswEfSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HnswEfSweep, RecallFloorPerEf) {
+  static HnswIndex* index = nullptr;
+  static BruteForceSearcher* brute = nullptr;
+  static std::vector<std::vector<float>>* queries = nullptr;
+  if (index == nullptr) {
+    index = new HnswIndex(SmallParams(16, 3000));
+    brute = new BruteForceSearcher(16, Metric::kL2);
+    queries = new std::vector<std::vector<float>>();
+    Rng rng(61);
+    for (size_t i = 0; i < 3000; ++i) {
+      auto v = RandomPoint(&rng, 16);
+      ASSERT_TRUE(index->AddPoint(i, v.data()).ok());
+      brute->Add(i, v.data());
+    }
+    for (int q = 0; q < 15; ++q) queries->push_back(RandomPoint(&rng, 16));
+  }
+  const size_t ef = GetParam();
+  double total = 0;
+  for (const auto& q : *queries) {
+    auto got = index->TopKSearch(q.data(), 10, ef);
+    auto want = brute->TopKSearch(q.data(), 10);
+    std::set<uint64_t> want_ids;
+    for (const auto& h : want) want_ids.insert(h.label);
+    size_t hit = 0;
+    for (const auto& h : got) hit += want_ids.count(h.label);
+    total += static_cast<double>(hit) / want.size();
+  }
+  const double recall = total / queries->size();
+  // Loose floors: recall grows with ef.
+  if (ef >= 200) EXPECT_GT(recall, 0.95);
+  else if (ef >= 64) EXPECT_GT(recall, 0.8);
+  else EXPECT_GT(recall, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(EfValues, HnswEfSweep,
+                         ::testing::Values(16, 32, 64, 128, 200, 400));
+
+// ---------------- BruteForceSearcher ----------------
+
+TEST(BruteForceTest, ExactTopK) {
+  BruteForceSearcher brute(2, Metric::kL2);
+  float points[][2] = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  for (uint64_t i = 0; i < 4; ++i) brute.Add(i, points[i]);
+  float q[2] = {0.1f, 0};
+  auto hits = brute.TopKSearch(q, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].label, 0u);
+  EXPECT_EQ(hits[1].label, 1u);
+}
+
+TEST(BruteForceTest, RangeSearchThresholdStrict) {
+  BruteForceSearcher brute(1, Metric::kL2);
+  float v0 = 0, v1 = 1, v2 = 2;
+  brute.Add(0, &v0);
+  brute.Add(1, &v1);
+  brute.Add(2, &v2);
+  float q = 0;
+  auto hits = brute.RangeSearch(&q, 1.0f);  // squared-L2 < 1
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].label, 0u);
+}
+
+TEST(BruteForceTest, FilterApplied) {
+  BruteForceSearcher brute(1, Metric::kL2);
+  float vals[] = {0, 1, 2, 3};
+  for (uint64_t i = 0; i < 4; ++i) brute.Add(i, &vals[i]);
+  Bitmap bm(4);
+  bm.Set(2);
+  bm.Set(3);
+  FilterView fv(&bm);
+  float q = 0;
+  auto hits = brute.TopKSearch(&q, 1, fv);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].label, 2u);
+}
+
+TEST(BruteForceTest, KLargerThanData) {
+  BruteForceSearcher brute(1, Metric::kL2);
+  float v = 5;
+  brute.Add(0, &v);
+  float q = 0;
+  EXPECT_EQ(brute.TopKSearch(&q, 10).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tigervector

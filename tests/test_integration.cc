@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "algo/louvain.h"
+#include "query/session.h"
+#include "workload/datasets.h"
+#include "workload/ic_queries.h"
+#include "workload/snb.h"
+
+namespace tigervector {
+namespace {
+
+// End-to-end scenarios spanning the whole stack: GSQL -> executor ->
+// embedding service -> HNSW over an MVCC graph store, on the SNB-like
+// hybrid dataset.
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Database::Options options;
+    options.store.segment_capacity = 64;
+    options.embeddings.index_params.m = 8;
+    options.embeddings.index_params.ef_construction = 64;
+    db_ = std::make_unique<Database>(options);
+    session_ = std::make_unique<GsqlSession>(db_.get());
+    config_.num_persons = 150;
+    config_.posts_per_person = 3;
+    config_.comments_per_post = 1;
+    config_.embedding_dim = 16;
+    config_.communities = 5;
+    ASSERT_TRUE(CreateSnbSchema(db_.get(), config_).ok());
+    ASSERT_TRUE(LoadSnb(db_.get(), config_, &stats_).ok());
+  }
+
+  // Exact top-k over Post embeddings, optionally restricted to `filter`.
+  std::vector<VertexId> ExactPostTopK(const std::vector<float>& q, size_t k,
+                                      const VertexSet* filter = nullptr) {
+    std::vector<std::pair<float, VertexId>> all;
+    float buf[16];
+    for (VertexId vid : stats_.posts) {
+      if (filter != nullptr && filter->count(vid) == 0) continue;
+      if (!db_->embeddings()->GetEmbedding("Post", "content_emb", vid, buf).ok()) {
+        continue;
+      }
+      all.push_back({L2SquaredDistance(q.data(), buf, 16), vid});
+    }
+    std::sort(all.begin(), all.end());
+    std::vector<VertexId> out;
+    for (size_t i = 0; i < std::min(k, all.size()); ++i) out.push_back(all[i].second);
+    return out;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<GsqlSession> session_;
+  SnbConfig config_;
+  SnbStats stats_;
+};
+
+TEST_F(IntegrationFixture, PureVectorSearchMatchesExactAtHighEf) {
+  const std::vector<float> q(16, 80.0f);
+  QueryParams params;
+  params["qv"] = q;
+  auto result = session_->Run(
+      "R = SELECT s FROM (s:Post)"
+      " ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 10; PRINT R;",
+      params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto exact = ExactPostTopK(q, 10);
+  std::set<VertexId> got(result->prints[0].vertices.begin(),
+                         result->prints[0].vertices.end());
+  size_t hit = 0;
+  for (VertexId v : exact) hit += got.count(v);
+  EXPECT_GE(hit, 8u);  // >= 80% recall at default ef on 450 posts
+}
+
+TEST_F(IntegrationFixture, FilteredSearchRespectsLanguagePredicate) {
+  const std::vector<float> q(16, 40.0f);
+  QueryParams params;
+  params["qv"] = q;
+  auto result = session_->Run(
+      "R = SELECT s FROM (s:Post) WHERE s.language = \"English\""
+      " ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 5; PRINT R;",
+      params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Tid tid = db_->store()->visible_tid();
+  for (VertexId v : result->prints[0].vertices) {
+    auto lang = db_->store()->GetAttr(v, "language", tid);
+    ASSERT_TRUE(lang.ok());
+    EXPECT_EQ(std::get<std::string>(*lang), "English");
+  }
+}
+
+TEST_F(IntegrationFixture, HybridPatternSearchOnlyFriendsPosts) {
+  const std::vector<float> q(16, 10.0f);
+  QueryParams params;
+  params["qv"] = q;
+  auto result = session_->Run(
+      "R = SELECT t FROM (s:Person) -[:knows]- (:Person) <-[:hasCreator]- (t:Post)"
+      " WHERE s.firstName = \"Alice\""
+      " ORDER BY VECTOR_DIST(t.content_emb, $qv) LIMIT 5; PRINT R;",
+      params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Verify every returned post's creator is a direct friend of someone
+  // named Alice (the name pool repeats, so several Alices may exist).
+  const Tid tid = db_->store()->visible_tid();
+  VertexSet alices;
+  for (VertexId p : stats_.persons) {
+    auto name = db_->store()->GetAttr(p, "firstName", tid);
+    if (name.ok() && std::get<std::string>(*name) == "Alice") alices.insert(p);
+  }
+  VertexSet friends = ExpandPattern(*db_->store(), alices,
+                                    {{"knows", Direction::kAny, "Person"}}, tid);
+  auto hc = db_->schema()->GetEdgeType("hasCreator");
+  for (VertexId post : result->prints[0].vertices) {
+    bool by_friend = false;
+    db_->store()->ForEachNeighbor(post, (*hc)->id, Direction::kOut, tid,
+                                  [&](VertexId p) {
+                                    if (friends.count(p) > 0) by_friend = true;
+                                  });
+    EXPECT_TRUE(by_friend);
+  }
+}
+
+TEST_F(IntegrationFixture, CommunityDetectionPlusVectorSearchQ4) {
+  // Paper Q4 / Figure 6: Louvain communities, then per-community top-k.
+  auto louvain = RunLouvain(*db_->store(), "Person", "knows");
+  ASSERT_GE(louvain.num_communities, 2);
+  // Write community ids into Person.cid, as tg_louvain does.
+  {
+    Transaction txn = db_->Begin();
+    for (const auto& [vid, cid] : louvain.community) {
+      ASSERT_TRUE(txn.SetAttr(vid, "Person", "cid", int64_t{cid}).ok());
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  const std::vector<float> q(16, 100.0f);
+  QueryParams params;
+  params["qv"] = q;
+  size_t total = 0;
+  for (int cid = 0; cid < std::min(louvain.num_communities, 3); ++cid) {
+    QueryParams p = params;
+    p["cid"] = int64_t{cid};
+    auto result = session_->Run(
+        "CommunityPosts = SELECT t FROM (s:Person) <-[:hasCreator]- (t:Post)"
+        " WHERE s.cid = $cid;"
+        "TopK = VectorSearch({Post.content_emb}, $qv, 2, {filter: CommunityPosts});"
+        "PRINT TopK;",
+        p);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Each returned post's creator must belong to community cid.
+    const Tid tid = db_->store()->visible_tid();
+    auto hc = db_->schema()->GetEdgeType("hasCreator");
+    for (VertexId post : result->prints[0].vertices) {
+      db_->store()->ForEachNeighbor(post, (*hc)->id, Direction::kOut, tid,
+                                    [&](VertexId person) {
+                                      auto c = db_->store()->GetAttr(person, "cid", tid);
+                                      ASSERT_TRUE(c.ok());
+                                      EXPECT_EQ(std::get<int64_t>(*c), cid);
+                                    });
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST_F(IntegrationFixture, UpdateThenVacuumThenSearchSeesNewVector) {
+  const VertexId target = stats_.posts[7];
+  const std::vector<float> far(16, 5000.0f);
+  {
+    Transaction txn = db_->Begin();
+    ASSERT_TRUE(txn.SetEmbedding(target, "Post", "content_emb", far).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // Visible immediately (served from the delta overlay).
+  auto before = db_->VectorSearch({{"Post", "content_emb"}}, far, 1);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->count(target), 1u);
+  // And still after the two-stage vacuum folds it into the index.
+  ASSERT_TRUE(db_->Vacuum().ok());
+  EXPECT_EQ(db_->embeddings()->TotalPendingDeltas(), 0u);
+  auto after = db_->VectorSearch({{"Post", "content_emb"}}, far, 1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->count(target), 1u);
+}
+
+TEST_F(IntegrationFixture, DeleteVertexExcludedFromHybridSearch) {
+  const std::vector<float> q(16, 60.0f);
+  auto exact = ExactPostTopK(q, 1);
+  ASSERT_FALSE(exact.empty());
+  const VertexId best = exact[0];
+  {
+    Transaction txn = db_->Begin();
+    ASSERT_TRUE(txn.DeleteVertex(best).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  auto result = db_->VectorSearch({{"Post", "content_emb"}}, q, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count(best), 0u);
+}
+
+TEST_F(IntegrationFixture, WalRecoveryReproducesVectorSearchResults) {
+  // Rebuild the same database through a WAL and verify vector search gives
+  // identical top-1 results.
+  const std::string wal_path = ::testing::TempDir() + "/integration_wal.log";
+  std::remove(wal_path.c_str());
+  Database::Options options;
+  options.store.segment_capacity = 64;
+  options.store.wal_path = wal_path;
+  options.embeddings.index_params.m = 8;
+  SnbConfig config = config_;
+  config.num_persons = 40;
+  config.posts_per_person = 2;
+  config.comments_per_post = 0;
+  {
+    Database db(options);
+    SnbStats stats;
+    ASSERT_TRUE(CreateSnbSchema(&db, config).ok());
+    ASSERT_TRUE(LoadSnb(&db, config, &stats).ok());
+  }
+  // Recover into a fresh database (same schema created first).
+  Database::Options fresh_options;
+  fresh_options.store.segment_capacity = 64;
+  fresh_options.embeddings.index_params.m = 8;
+  Database recovered(fresh_options);
+  ASSERT_TRUE(CreateSnbSchema(&recovered, config).ok());
+  ASSERT_TRUE(recovered.store()->Recover(wal_path).ok());
+  const std::vector<float> q(16, 90.0f);
+  auto result = recovered.VectorSearch({{"Post", "content_emb"}}, q, 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 3u);
+  std::remove(wal_path.c_str());
+}
+
+TEST_F(IntegrationFixture, IndexSnapshotSaveLoadSkipsRebuild) {
+  // Save all segment indexes to disk, then bring up a fresh service over
+  // the SAME graph store and restore the indexes without re-inserting a
+  // single vector.
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(
+      db_->embeddings()->SaveIndexSnapshots(dir, db_->pool()).ok());
+  const std::vector<float> q(16, 45.0f);
+  auto before = db_->VectorSearch({{"Post", "content_emb"}}, q, 5);
+  ASSERT_TRUE(before.ok());
+
+  EmbeddingService::Options eopts;
+  eopts.index_params.m = 8;
+  eopts.index_params.ef_construction = 64;
+  EmbeddingService restored(db_->store(), eopts);
+  ASSERT_TRUE(restored.LoadIndexSnapshots(dir).ok());
+  VectorSearchRequest request;
+  request.attrs = {{"Post", "content_emb"}};
+  request.query = q.data();
+  request.k = 5;
+  request.ef = 64;
+  auto after = restored.TopKSearch(request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  std::set<VertexId> a(before->begin(), before->end());
+  std::set<VertexId> b;
+  for (const auto& hit : after->hits) b.insert(hit.label);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(IntegrationFixture, SnapshotLoadRejectsPendingDeltas) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(db_->embeddings()->SaveIndexSnapshots(dir, db_->pool()).ok());
+  // A service that has already received deltas cannot adopt snapshots.
+  Transaction txn = db_->Begin();
+  ASSERT_TRUE(txn.SetEmbedding(stats_.posts[0], "Post", "content_emb",
+                               std::vector<float>(16, 1.f))
+                  .ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(db_->embeddings()->LoadIndexSnapshots(dir).ok());
+  ASSERT_TRUE(db_->Vacuum().ok());  // restore invariant for later tests
+}
+
+TEST_F(IntegrationFixture, IcHybridQueriesRunEndToEnd) {
+  IcQueryRunner runner(db_.get(), &stats_);
+  const std::vector<float> q(16, 70.0f);
+  for (const char* name : {"IC3", "IC5", "IC6", "IC9", "IC11"}) {
+    for (int hops : {2, 3}) {
+      auto r = runner.Run(name, hops, q, 10);
+      ASSERT_TRUE(r.ok()) << name << " " << r.status().ToString();
+      EXPECT_GE(r->end_to_end_seconds, r->vector_search_seconds);
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, SimilarityJoinOnSnb) {
+  auto result = session_->Run(
+      "SELECT s, t FROM (s:Comment) -[:hasCreator]-> (u:Person)"
+      " -[:knows]- (v:Person) <-[:hasCreator]- (t:Comment)"
+      " WHERE u.firstName = \"Alice\""
+      " ORDER BY VECTOR_DIST(s.content_emb, t.content_emb) LIMIT 5;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Pairs sorted ascending; all sources created by some Alice.
+  for (size_t i = 1; i < result->last_join_pairs.size(); ++i) {
+    EXPECT_LE(result->last_join_pairs[i - 1].distance,
+              result->last_join_pairs[i].distance);
+  }
+}
+
+TEST_F(IntegrationFixture, RangeSearchViaGsqlOnSnb) {
+  float buf[16];
+  ASSERT_TRUE(db_->embeddings()
+                  ->GetEmbedding("Post", "content_emb", stats_.posts[0], buf)
+                  .ok());
+  QueryParams params;
+  params["qv"] = std::vector<float>(buf, buf + 16);
+  auto result = session_->Run(
+      "R = SELECT s FROM (s:Post) WHERE VECTOR_DIST(s.content_emb, $qv) < 1.0;"
+      "PRINT R;",
+      params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The post itself (distance 0) must be in range.
+  EXPECT_NE(std::find(result->prints[0].vertices.begin(),
+                      result->prints[0].vertices.end(), stats_.posts[0]),
+            result->prints[0].vertices.end());
+}
+
+}  // namespace
+}  // namespace tigervector

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "loader/csv.h"
+#include "loader/loading_job.h"
+#include "query/session.h"
+
+namespace tigervector {
+namespace {
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
+// ---------------- CSV ----------------
+
+TEST(CsvTest, SplitsSimpleLine) {
+  auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, HandlesQuotedFieldsAndEscapes) {
+  auto fields = SplitCsvLine("1,\"hello, world\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "hello, world");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto fields = SplitCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvTest, ReadFileSkipsHeaderAndCrLf) {
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  WriteFile(path, "id,name\r\n1,alice\r\n2,bob\n");
+  CsvOptions options;
+  options.skip_header = true;
+  auto rows = ReadCsvFile(path, options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "alice");
+  EXPECT_EQ((*rows)[1][0], "2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv").ok());
+}
+
+TEST(CsvTest, ParseVectorField) {
+  auto v = ParseVectorField("1.5:-2:0.25", ':');
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<float>{1.5f, -2.0f, 0.25f}));
+  EXPECT_FALSE(ParseVectorField("1.5::2", ':').ok());
+  EXPECT_FALSE(ParseVectorField("1.5:x", ':').ok());
+  auto single = ParseVectorField("3.25", ':');
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->size(), 1u);
+}
+
+// ---------------- LoadingJob ----------------
+
+class LoadingJobFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->schema()
+                    ->CreateVertexType("Post", {{"id", AttrType::kInt},
+                                                {"author", AttrType::kString},
+                                                {"content", AttrType::kString}})
+                    .ok());
+    EmbeddingTypeInfo info;
+    info.dimension = 3;
+    info.model = "M";
+    info.metric = Metric::kL2;
+    ASSERT_TRUE(db_->schema()->AddEmbeddingAttr("Post", "content_emb", info).ok());
+    vertex_file_ = ::testing::TempDir() + "/posts.csv";
+    emb_file_ = ::testing::TempDir() + "/post_embs.csv";
+    WriteFile(vertex_file_,
+              "1,alice,hello world\n"
+              "2,bob,graphs are great\n"
+              "3,carol,vectors too\n");
+    WriteFile(emb_file_,
+              "1,0.1:0.2:0.3\n"
+              "2,1:1:1\n"
+              "3,2:2:2\n");
+  }
+  void TearDown() override {
+    std::remove(vertex_file_.c_str());
+    std::remove(emb_file_.c_str());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::string vertex_file_;
+  std::string emb_file_;
+};
+
+TEST_F(LoadingJobFixture, LoadsVerticesAndEmbeddingsFromSeparateFiles) {
+  LoadingJob job("j1", "g1");
+  job.AddStep(VertexLoadStep{vertex_file_, "Post", {"id", "author", "content"}});
+  job.AddStep(EmbeddingLoadStep{emb_file_, "Post", "content_emb", ':'});
+  auto report = job.Run(db_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->vertices_loaded, 3u);
+  EXPECT_EQ(report->embeddings_loaded, 3u);
+  EXPECT_EQ(report->rows_skipped, 0u);
+
+  // The attributes landed.
+  const auto* ids = job.IdMap("Post");
+  ASSERT_NE(ids, nullptr);
+  const Tid tid = db_->store()->visible_tid();
+  auto author = db_->store()->GetAttr(ids->at("2"), "author", tid);
+  ASSERT_TRUE(author.ok());
+  EXPECT_EQ(std::get<std::string>(*author), "bob");
+  // The embeddings landed (searchable after vacuum).
+  ASSERT_TRUE(db_->Vacuum().ok());
+  auto hits = db_->VectorSearch({{"Post", "content_emb"}}, {1, 1, 1}, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->count(ids->at("2")), 1u);
+}
+
+TEST_F(LoadingJobFixture, UnknownExternalIdSkippedWithWarning) {
+  WriteFile(emb_file_, "1,0:0:0\n99,1:1:1\n");
+  LoadingJob job("j1", "g1");
+  job.AddStep(VertexLoadStep{vertex_file_, "Post", {"id", "author", "content"}});
+  job.AddStep(EmbeddingLoadStep{emb_file_, "Post", "content_emb", ':'});
+  auto report = job.Run(db_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->embeddings_loaded, 1u);
+  EXPECT_EQ(report->rows_skipped, 1u);
+  EXPECT_FALSE(report->warnings.empty());
+}
+
+TEST_F(LoadingJobFixture, MalformedRowsSkipped) {
+  WriteFile(vertex_file_, "1,alice,ok\nnot_an_int,bob,bad id\n3,carol,ok\n");
+  LoadingJob job("j1", "g1");
+  job.AddStep(VertexLoadStep{vertex_file_, "Post", {"id", "author", "content"}});
+  auto report = job.Run(db_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->vertices_loaded, 2u);
+  EXPECT_EQ(report->rows_skipped, 1u);
+}
+
+TEST_F(LoadingJobFixture, EmbeddingStepWithoutVertexStepFails) {
+  LoadingJob job("j1", "g1");
+  job.AddStep(EmbeddingLoadStep{emb_file_, "Post", "content_emb", ':'});
+  EXPECT_FALSE(job.Run(db_.get()).ok());
+}
+
+TEST_F(LoadingJobFixture, WrongDimensionVectorSkipsTransactionally) {
+  WriteFile(emb_file_, "1,0.1:0.2\n");  // dim 2, expected 3
+  LoadingJob job("j1", "g1");
+  job.AddStep(VertexLoadStep{vertex_file_, "Post", {"id", "author", "content"}});
+  job.AddStep(EmbeddingLoadStep{emb_file_, "Post", "content_emb", ':'});
+  // Dimension mismatch is a hard error from the transaction layer.
+  EXPECT_FALSE(job.Run(db_.get()).ok());
+}
+
+TEST_F(LoadingJobFixture, GsqlLoadingJobStatement) {
+  GsqlSession session(db_.get());
+  const std::string script =
+      "CREATE LOADING JOB j1 FOR GRAPH g1 {"
+      "  LOAD \"" + vertex_file_ + "\" TO VERTEX Post VALUES (id, author, content);"
+      "  LOAD \"" + emb_file_ + "\" TO EMBEDDING ATTRIBUTE content_emb"
+      "    ON VERTEX Post VALUES (id, split(content_emb, \":\"));"
+      "}";
+  auto result = session.Run(script);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->last_load_report.vertices_loaded, 3u);
+  EXPECT_EQ(result->last_load_report.embeddings_loaded, 3u);
+  // Loaded data is immediately queryable.
+  QueryParams params;
+  params["qv"] = std::vector<float>{2, 2, 2};
+  auto topk = session.Run(
+      "R = SELECT s FROM (s:Post) ORDER BY VECTOR_DIST(s.content_emb, $qv)"
+      " LIMIT 1; PRINT R;",
+      params);
+  ASSERT_TRUE(topk.ok()) << topk.status().ToString();
+  EXPECT_EQ(topk->prints[0].vertices.size(), 1u);
+}
+
+TEST_F(LoadingJobFixture, GsqlLoadingJobParseErrors) {
+  GsqlSession session(db_.get());
+  EXPECT_FALSE(session.Run("CREATE LOADING JOB j FOR GRAPH g { LOAD }").ok());
+  EXPECT_FALSE(
+      session.Run("CREATE LOADING JOB j FOR GRAPH g { LOAD f TO VERTEX }").ok());
+}
+
+}  // namespace
+}  // namespace tigervector

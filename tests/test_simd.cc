@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "simd/distance.h"
+#include "util/rng.h"
+
+namespace tigervector {
+namespace {
+
+float NaiveL2(const std::vector<float>& a, const std::vector<float>& b) {
+  float s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s;
+}
+
+float NaiveIp(const std::vector<float>& a, const std::vector<float>& b) {
+  float s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+std::vector<float> RandomVec(Rng* rng, size_t dim, float scale = 1.0f) {
+  std::vector<float> v(dim);
+  for (float& x : v) x = (rng->NextFloat() - 0.5f) * scale;
+  return v;
+}
+
+// Parameterized over dimension, including non-multiples of the unroll
+// factor, to exercise the tail loops.
+class DistanceDimTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DistanceDimTest, L2MatchesNaive) {
+  Rng rng(11);
+  const size_t dim = GetParam();
+  for (int it = 0; it < 10; ++it) {
+    auto a = RandomVec(&rng, dim, 4.0f);
+    auto b = RandomVec(&rng, dim, 4.0f);
+    EXPECT_NEAR(L2SquaredDistance(a.data(), b.data(), dim), NaiveL2(a, b),
+                1e-3 * (1 + NaiveL2(a, b)));
+  }
+}
+
+TEST_P(DistanceDimTest, IpMatchesNaive) {
+  Rng rng(12);
+  const size_t dim = GetParam();
+  for (int it = 0; it < 10; ++it) {
+    auto a = RandomVec(&rng, dim, 2.0f);
+    auto b = RandomVec(&rng, dim, 2.0f);
+    EXPECT_NEAR(InnerProduct(a.data(), b.data(), dim), NaiveIp(a, b),
+                1e-3 * (1 + std::fabs(NaiveIp(a, b))));
+  }
+}
+
+TEST_P(DistanceDimTest, CosineSelfDistanceIsZero) {
+  Rng rng(13);
+  const size_t dim = GetParam();
+  auto a = RandomVec(&rng, dim, 3.0f);
+  EXPECT_NEAR(CosineDistance(a.data(), a.data(), dim), 0.0f, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceDimTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64,
+                                           96, 128, 200, 1024));
+
+TEST(DistanceTest, L2Identity) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  EXPECT_FLOAT_EQ(L2SquaredDistance(a.data(), a.data(), 5), 0.0f);
+}
+
+TEST(DistanceTest, L2Symmetry) {
+  Rng rng(14);
+  auto a = RandomVec(&rng, 33);
+  auto b = RandomVec(&rng, 33);
+  EXPECT_FLOAT_EQ(L2SquaredDistance(a.data(), b.data(), 33),
+                  L2SquaredDistance(b.data(), a.data(), 33));
+}
+
+TEST(DistanceTest, CosineOppositeVectorsIsTwo) {
+  std::vector<float> a = {1, 0, 0, 0};
+  std::vector<float> b = {-1, 0, 0, 0};
+  EXPECT_NEAR(CosineDistance(a.data(), b.data(), 4), 2.0f, 1e-6);
+}
+
+TEST(DistanceTest, CosineOrthogonalIsOne) {
+  std::vector<float> a = {1, 0};
+  std::vector<float> b = {0, 1};
+  EXPECT_NEAR(CosineDistance(a.data(), b.data(), 2), 1.0f, 1e-6);
+}
+
+TEST(DistanceTest, CosineZeroVectorIsOne) {
+  std::vector<float> a = {0, 0, 0};
+  std::vector<float> b = {1, 2, 3};
+  EXPECT_FLOAT_EQ(CosineDistance(a.data(), b.data(), 3), 1.0f);
+}
+
+TEST(DistanceTest, ComputeDistanceDispatch) {
+  std::vector<float> a = {1, 2};
+  std::vector<float> b = {3, 4};
+  EXPECT_FLOAT_EQ(ComputeDistance(Metric::kL2, a.data(), b.data(), 2),
+                  L2SquaredDistance(a.data(), b.data(), 2));
+  EXPECT_FLOAT_EQ(ComputeDistance(Metric::kIp, a.data(), b.data(), 2),
+                  1.0f - InnerProduct(a.data(), b.data(), 2));
+  EXPECT_FLOAT_EQ(ComputeDistance(Metric::kCosine, a.data(), b.data(), 2),
+                  CosineDistance(a.data(), b.data(), 2));
+}
+
+TEST(DistanceTest, NormalizeProducesUnitVector) {
+  Rng rng(15);
+  auto a = RandomVec(&rng, 40, 10.0f);
+  NormalizeInPlace(a.data(), 40);
+  EXPECT_NEAR(L2Norm(a.data(), 40), 1.0f, 1e-5);
+}
+
+TEST(DistanceTest, NormalizeZeroVectorIsNoop) {
+  std::vector<float> a(8, 0.0f);
+  NormalizeInPlace(a.data(), 8);
+  for (float v : a) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(DistanceTest, MetricNames) {
+  EXPECT_STREQ(MetricName(Metric::kL2), "L2");
+  EXPECT_STREQ(MetricName(Metric::kIp), "IP");
+  EXPECT_STREQ(MetricName(Metric::kCosine), "COSINE");
+}
+
+TEST(DistanceTest, IpDistanceOrdersbyAlignment) {
+  // For IP-as-distance (1 - dot), better-aligned vectors must be closer.
+  std::vector<float> q = {1, 0};
+  std::vector<float> near = {0.9f, 0.1f};
+  std::vector<float> far = {0.1f, 0.9f};
+  EXPECT_LT(ComputeDistance(Metric::kIp, q.data(), near.data(), 2),
+            ComputeDistance(Metric::kIp, q.data(), far.data(), 2));
+}
+
+}  // namespace
+}  // namespace tigervector

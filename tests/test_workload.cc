@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/thread_pool.h"
+#include "workload/datasets.h"
+#include "workload/driver.h"
+#include "workload/ic_queries.h"
+#include "workload/snb.h"
+
+namespace tigervector {
+namespace {
+
+// ---------------- Datasets ----------------
+
+TEST(DatasetTest, SiftLikeShape) {
+  auto ds = MakeSiftLike(500, 10);
+  EXPECT_EQ(ds.dim, 128u);
+  EXPECT_EQ(ds.num_base, 500u);
+  EXPECT_EQ(ds.num_queries, 10u);
+  EXPECT_EQ(ds.base.size(), 500u * 128);
+  // SIFT-like values are non-negative.
+  for (float v : ds.base) EXPECT_GE(v, 0.0f);
+}
+
+TEST(DatasetTest, DeepLikeNormalized) {
+  auto ds = MakeDeepLike(200, 5);
+  EXPECT_EQ(ds.dim, 96u);
+  for (size_t i = 0; i < ds.num_base; ++i) {
+    EXPECT_NEAR(L2Norm(ds.BaseVector(i), ds.dim), 1.0f, 1e-4);
+  }
+}
+
+TEST(DatasetTest, DeterministicInSeed) {
+  auto a = MakeSiftLike(100, 5, 9);
+  auto b = MakeSiftLike(100, 5, 9);
+  auto c = MakeSiftLike(100, 5, 10);
+  EXPECT_EQ(a.base, b.base);
+  EXPECT_NE(a.base, c.base);
+}
+
+TEST(DatasetTest, CustomDimGenerator) {
+  auto ds = MakeSiftLikeWithDim(32, 50, 2);
+  EXPECT_EQ(ds.dim, 32u);
+  EXPECT_EQ(ds.base.size(), 50u * 32);
+}
+
+TEST(DatasetTest, GroundTruthIsExactTopK) {
+  auto ds = MakeSiftLike(300, 4);
+  ComputeGroundTruth(&ds, 5, nullptr);
+  ASSERT_EQ(ds.ground_truth.size(), 4u);
+  for (size_t q = 0; q < ds.num_queries; ++q) {
+    ASSERT_EQ(ds.ground_truth[q].size(), 5u);
+    // Verify the first entry is the global minimum by brute force.
+    float best = 1e30f;
+    uint64_t best_id = 0;
+    for (size_t i = 0; i < ds.num_base; ++i) {
+      const float d =
+          ComputeDistance(ds.metric, ds.QueryVector(q), ds.BaseVector(i), ds.dim);
+      if (d < best) {
+        best = d;
+        best_id = i;
+      }
+    }
+    EXPECT_EQ(ds.ground_truth[q][0], best_id);
+  }
+}
+
+TEST(DatasetTest, GroundTruthParallelMatchesSequential) {
+  auto a = MakeSiftLike(300, 6);
+  auto b = MakeSiftLike(300, 6);
+  ThreadPool pool(3);
+  ComputeGroundTruth(&a, 4, nullptr);
+  ComputeGroundTruth(&b, 4, &pool);
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST(DatasetTest, RecallComputation) {
+  VectorDataset ds;
+  ds.gt_k = 4;
+  ds.ground_truth = {{1, 2, 3, 4}};
+  EXPECT_DOUBLE_EQ(RecallAtK(ds, 0, {1, 2, 3, 4}, 4), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ds, 0, {1, 2, 9, 8}, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ds, 0, {}, 4), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ds, 5, {1}, 4), 0.0);  // bad query index
+}
+
+// ---------------- SNB generator ----------------
+
+class SnbFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    config_ = new SnbConfig();
+    config_->num_persons = 120;
+    config_->posts_per_person = 2;
+    config_->comments_per_post = 1;
+    config_->embedding_dim = 8;
+    config_->num_countries = 5;
+    stats_ = new SnbStats();
+    ASSERT_TRUE(CreateSnbSchema(db_, *config_).ok());
+    ASSERT_TRUE(LoadSnb(db_, *config_, stats_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    delete config_;
+    delete db_;
+  }
+
+  static Database* db_;
+  static SnbConfig* config_;
+  static SnbStats* stats_;
+};
+
+Database* SnbFixture::db_ = nullptr;
+SnbConfig* SnbFixture::config_ = nullptr;
+SnbStats* SnbFixture::stats_ = nullptr;
+
+TEST_F(SnbFixture, CountsMatchConfig) {
+  EXPECT_EQ(stats_->num_persons, 120u);
+  EXPECT_EQ(stats_->num_posts, 240u);
+  EXPECT_EQ(stats_->num_comments, 240u);
+  EXPECT_GT(stats_->num_knows_edges, 120u);
+  EXPECT_EQ(stats_->countries.size(), 5u);
+}
+
+TEST_F(SnbFixture, AliceExists) {
+  const Tid tid = db_->store()->visible_tid();
+  auto name = db_->store()->GetAttr(stats_->persons[0], "firstName", tid);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(std::get<std::string>(*name), "Alice");
+}
+
+TEST_F(SnbFixture, EveryPostHasEmbedding) {
+  float buf[8];
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(db_->embeddings()
+                    ->GetEmbedding("Post", "content_emb", stats_->posts[i], buf)
+                    .ok());
+  }
+}
+
+TEST_F(SnbFixture, VacuumLeftNoPendingDeltas) {
+  EXPECT_EQ(db_->embeddings()->TotalPendingDeltas(), 0u);
+}
+
+TEST_F(SnbFixture, MessagesSearchableAcrossBothTypes) {
+  std::vector<float> q(8, 50.0f);
+  auto result = db_->VectorSearch(
+      {{"Post", "content_emb"}, {"Comment", "content_emb"}}, q, 5);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 5u);
+}
+
+// ---------------- IC queries ----------------
+
+TEST_F(SnbFixture, IcCandidateProfilesMatchPaperShape) {
+  IcQueryRunner runner(db_, stats_);
+  std::vector<float> q(8, 30.0f);
+  auto ic5 = runner.Run("IC5", 2, q, 10);
+  auto ic6 = runner.Run("IC6", 2, q, 10);
+  auto ic3 = runner.Run("IC3", 2, q, 10);
+  auto ic9 = runner.Run("IC9", 2, q, 10);
+  auto ic11 = runner.Run("IC11", 2, q, 10);
+  ASSERT_TRUE(ic5.ok() && ic6.ok() && ic3.ok() && ic9.ok() && ic11.ok());
+  // IC5 collects the largest candidate set; IC9 caps at 20; IC3 and IC6
+  // are (much) more selective than IC5 (paper Tables 3/4 shape). The
+  // IC3-vs-IC6 ordering is only meaningful at bench scale, not here.
+  EXPECT_GT(ic5->num_candidates, ic6->num_candidates);
+  EXPECT_GT(ic5->num_candidates, ic3->num_candidates);
+  EXPECT_GT(ic5->num_candidates, ic11->num_candidates);
+  EXPECT_LE(ic9->num_candidates, 20u);
+  EXPECT_GE(ic5->end_to_end_seconds, 0.0);
+  EXPECT_LE(ic5->vector_search_seconds, ic5->end_to_end_seconds);
+}
+
+TEST_F(SnbFixture, IcCandidatesGrowWithHops) {
+  IcQueryRunner runner(db_, stats_);
+  std::vector<float> q(8, 30.0f);
+  auto h2 = runner.Run("IC5", 2, q, 10);
+  auto h4 = runner.Run("IC5", 4, q, 10);
+  ASSERT_TRUE(h2.ok() && h4.ok());
+  EXPECT_GE(h4->num_candidates, h2->num_candidates);
+}
+
+TEST_F(SnbFixture, UnknownIcQueryRejected) {
+  IcQueryRunner runner(db_, stats_);
+  std::vector<float> q(8, 0.0f);
+  EXPECT_FALSE(runner.Run("IC99", 2, q, 10).ok());
+}
+
+// ---------------- Closed-loop driver ----------------
+
+TEST(DriverTest, RunsAllQueries) {
+  std::atomic<size_t> count{0};
+  auto result = RunClosedLoop(4, 25, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+  EXPECT_EQ(result.queries, 100u);
+  EXPECT_GT(result.qps, 0.0);
+  EXPECT_GE(result.p99_ms, result.p50_ms);
+}
+
+TEST(DriverTest, SingleThread) {
+  auto result = RunClosedLoop(1, 10, [&](size_t, size_t) {});
+  EXPECT_EQ(result.queries, 10u);
+  EXPECT_GE(result.mean_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace tigervector

@@ -1,0 +1,166 @@
+// Interactive GSQL shell over an in-process TigerVector database.
+//
+//   $ gsql_shell
+//   gsql> CREATE VERTEX Doc (title STRING);
+//   gsql> ALTER VERTEX Doc ADD EMBEDDING ATTRIBUTE emb (DIMENSION = 4,
+//         MODEL = M, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);
+//   gsql> \set qv 1,0,0,0
+//   gsql> R = SELECT s FROM (s:Doc) ORDER BY VECTOR_DIST(s.emb, $qv) LIMIT 5;
+//   gsql> PRINT R;
+//
+// Shell commands: \set NAME v1,v2,...   bind a vector parameter $NAME
+//                 \seti NAME 42         bind an integer parameter
+//                 \sets NAME text       bind a string parameter
+//                 \role NAME            run as role NAME ("" = superuser)
+//                 \vacuum               run both vacuum stages
+//                 \quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "query/session.h"
+
+using namespace tigervector;
+
+namespace {
+
+bool HandleShellCommand(const std::string& line, Database* db, GsqlSession* session,
+                        QueryParams* params) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == "\\quit" || cmd == "\\q") {
+    std::exit(0);
+  }
+  if (cmd == "\\set") {
+    std::string name, values;
+    in >> name >> values;
+    std::vector<float> vec;
+    std::istringstream vs(values);
+    std::string tok;
+    while (std::getline(vs, tok, ',')) vec.push_back(std::strtof(tok.c_str(), nullptr));
+    (*params)[name] = std::move(vec);
+    std::printf("$%s = vector of %zu floats\n", name.c_str(),
+                std::get<std::vector<float>>((*params)[name]).size());
+    return true;
+  }
+  if (cmd == "\\seti") {
+    std::string name;
+    long long v;
+    in >> name >> v;
+    (*params)[name] = static_cast<int64_t>(v);
+    std::printf("$%s = %lld\n", name.c_str(), v);
+    return true;
+  }
+  if (cmd == "\\sets") {
+    std::string name, v;
+    in >> name;
+    std::getline(in, v);
+    if (!v.empty() && v[0] == ' ') v.erase(0, 1);
+    (*params)[name] = v;
+    std::printf("$%s = \"%s\"\n", name.c_str(), v.c_str());
+    return true;
+  }
+  if (cmd == "\\role") {
+    std::string role;
+    in >> role;
+    session->SetRole(role);
+    std::printf("role = '%s'\n", role.c_str());
+    return true;
+  }
+  if (cmd == "\\vacuum") {
+    auto merged = db->Vacuum();
+    if (merged.ok()) {
+      std::printf("vacuum folded %zu delta records\n", *merged);
+    } else {
+      std::printf("vacuum failed: %s\n", merged.status().ToString().c_str());
+    }
+    return true;
+  }
+  std::printf("unknown shell command %s\n", cmd.c_str());
+  return true;
+}
+
+void PrintResult(const ScriptResult& result) {
+  for (const auto& printed : result.prints) {
+    if (printed.is_distance_map) {
+      std::printf("%s: {", printed.name.c_str());
+      size_t shown = 0;
+      for (const auto& [vid, d] : printed.distances) {
+        if (shown++ > 0) std::printf(", ");
+        if (shown > 10) {
+          std::printf("...");
+          break;
+        }
+        std::printf("%llu: %.4f", static_cast<unsigned long long>(vid), d);
+      }
+      std::printf("}\n");
+    } else {
+      std::printf("%s (%zu vertices):", printed.name.c_str(),
+                  printed.vertices.size());
+      size_t shown = 0;
+      for (VertexId vid : printed.vertices) {
+        if (shown++ >= 20) {
+          std::printf(" ...");
+          break;
+        }
+        std::printf(" %llu", static_cast<unsigned long long>(vid));
+      }
+      std::printf("\n");
+    }
+  }
+  for (const auto& pair : result.last_join_pairs) {
+    std::printf("pair (%llu, %llu) distance %.4f\n",
+                static_cast<unsigned long long>(pair.source),
+                static_cast<unsigned long long>(pair.target), pair.distance);
+  }
+  if (result.last_load_report.vertices_loaded > 0 ||
+      result.last_load_report.embeddings_loaded > 0) {
+    std::printf("loaded %zu vertices, %zu embeddings (%zu rows skipped)\n",
+                result.last_load_report.vertices_loaded,
+                result.last_load_report.embeddings_loaded,
+                result.last_load_report.rows_skipped);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  GsqlSession session(&db);
+  QueryParams params;
+  std::printf("TigerVector GSQL shell. \\quit to exit, \\set NAME v1,v2,... for "
+              "vector parameters.\n");
+  std::string buffer;
+  std::string line;
+  for (;;) {
+    std::printf(buffer.empty() ? "gsql> " : "  ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!line.empty() && line[0] == '\\') {
+      HandleShellCommand(line, &db, &session, &params);
+      continue;
+    }
+    buffer += line + "\n";
+    // Execute once the statement buffer ends with ';' (or '}' for jobs).
+    std::string trimmed = buffer;
+    while (!trimmed.empty() && std::isspace(static_cast<unsigned char>(
+                                   trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty()) {
+      buffer.clear();
+      continue;
+    }
+    if (trimmed.back() != ';' && trimmed.back() != '}') continue;
+    auto result = session.Run(buffer, params);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*result);
+  }
+  return 0;
+}
