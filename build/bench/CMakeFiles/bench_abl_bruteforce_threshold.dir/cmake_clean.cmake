@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_bruteforce_threshold.dir/bench_abl_bruteforce_threshold.cc.o"
+  "CMakeFiles/bench_abl_bruteforce_threshold.dir/bench_abl_bruteforce_threshold.cc.o.d"
+  "bench_abl_bruteforce_threshold"
+  "bench_abl_bruteforce_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_bruteforce_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

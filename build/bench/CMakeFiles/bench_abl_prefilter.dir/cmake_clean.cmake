@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_prefilter.dir/bench_abl_prefilter.cc.o"
+  "CMakeFiles/bench_abl_prefilter.dir/bench_abl_prefilter.cc.o.d"
+  "bench_abl_prefilter"
+  "bench_abl_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

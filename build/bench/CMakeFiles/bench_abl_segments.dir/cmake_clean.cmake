@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_segments.dir/bench_abl_segments.cc.o"
+  "CMakeFiles/bench_abl_segments.dir/bench_abl_segments.cc.o.d"
+  "bench_abl_segments"
+  "bench_abl_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

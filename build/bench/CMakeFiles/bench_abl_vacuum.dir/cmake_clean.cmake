@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_vacuum.dir/bench_abl_vacuum.cc.o"
+  "CMakeFiles/bench_abl_vacuum.dir/bench_abl_vacuum.cc.o.d"
+  "bench_abl_vacuum"
+  "bench_abl_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tv_bench_common.dir/bench_common.cc.o.d"
+  "libtv_bench_common.a"
+  "libtv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

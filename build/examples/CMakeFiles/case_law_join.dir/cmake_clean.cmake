@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_law_join.dir/case_law_join.cpp.o"
+  "CMakeFiles/case_law_join.dir/case_law_join.cpp.o.d"
+  "case_law_join"
+  "case_law_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_law_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_search.dir/community_search.cpp.o"
+  "CMakeFiles/community_search.dir/community_search.cpp.o.d"
+  "community_search"
+  "community_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_rag.dir/hybrid_rag.cpp.o"
+  "CMakeFiles/hybrid_rag.dir/hybrid_rag.cpp.o.d"
+  "hybrid_rag"
+  "hybrid_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

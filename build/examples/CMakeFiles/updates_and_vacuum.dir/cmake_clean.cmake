@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_and_vacuum.dir/updates_and_vacuum.cpp.o"
+  "CMakeFiles/updates_and_vacuum.dir/updates_and_vacuum.cpp.o.d"
+  "updates_and_vacuum"
+  "updates_and_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_and_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

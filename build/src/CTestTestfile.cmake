@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("simd")
+subdirs("hnsw")
+subdirs("graph")
+subdirs("embedding")
+subdirs("mpp")
+subdirs("algo")
+subdirs("core")
+subdirs("loader")
+subdirs("query")
+subdirs("baselines")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_algo.dir/louvain.cc.o"
+  "CMakeFiles/tv_algo.dir/louvain.cc.o.d"
+  "CMakeFiles/tv_algo.dir/traversal.cc.o"
+  "CMakeFiles/tv_algo.dir/traversal.cc.o.d"
+  "libtv_algo.a"
+  "libtv_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_baselines.dir/competitors.cc.o"
+  "CMakeFiles/tv_baselines.dir/competitors.cc.o.d"
+  "libtv_baselines.a"
+  "libtv_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_core.dir/access_control.cc.o"
+  "CMakeFiles/tv_core.dir/access_control.cc.o.d"
+  "CMakeFiles/tv_core.dir/database.cc.o"
+  "CMakeFiles/tv_core.dir/database.cc.o.d"
+  "libtv_core.a"
+  "libtv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/embedding_segment.cc" "src/embedding/CMakeFiles/tv_embedding.dir/embedding_segment.cc.o" "gcc" "src/embedding/CMakeFiles/tv_embedding.dir/embedding_segment.cc.o.d"
+  "/root/repo/src/embedding/embedding_service.cc" "src/embedding/CMakeFiles/tv_embedding.dir/embedding_service.cc.o" "gcc" "src/embedding/CMakeFiles/tv_embedding.dir/embedding_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embedding/CMakeFiles/tv_embedding_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tv_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hnsw/CMakeFiles/tv_hnsw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/tv_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_embedding.dir/embedding_segment.cc.o"
+  "CMakeFiles/tv_embedding.dir/embedding_segment.cc.o.d"
+  "CMakeFiles/tv_embedding.dir/embedding_service.cc.o"
+  "CMakeFiles/tv_embedding.dir/embedding_service.cc.o.d"
+  "libtv_embedding.a"
+  "libtv_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

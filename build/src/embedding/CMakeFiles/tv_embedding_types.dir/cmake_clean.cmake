@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_embedding_types.dir/embedding_type.cc.o"
+  "CMakeFiles/tv_embedding_types.dir/embedding_type.cc.o.d"
+  "libtv_embedding_types.a"
+  "libtv_embedding_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_embedding_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_store.cc" "src/graph/CMakeFiles/tv_graph.dir/graph_store.cc.o" "gcc" "src/graph/CMakeFiles/tv_graph.dir/graph_store.cc.o.d"
+  "/root/repo/src/graph/schema.cc" "src/graph/CMakeFiles/tv_graph.dir/schema.cc.o" "gcc" "src/graph/CMakeFiles/tv_graph.dir/schema.cc.o.d"
+  "/root/repo/src/graph/segment.cc" "src/graph/CMakeFiles/tv_graph.dir/segment.cc.o" "gcc" "src/graph/CMakeFiles/tv_graph.dir/segment.cc.o.d"
+  "/root/repo/src/graph/transaction.cc" "src/graph/CMakeFiles/tv_graph.dir/transaction.cc.o" "gcc" "src/graph/CMakeFiles/tv_graph.dir/transaction.cc.o.d"
+  "/root/repo/src/graph/types.cc" "src/graph/CMakeFiles/tv_graph.dir/types.cc.o" "gcc" "src/graph/CMakeFiles/tv_graph.dir/types.cc.o.d"
+  "/root/repo/src/graph/wal.cc" "src/graph/CMakeFiles/tv_graph.dir/wal.cc.o" "gcc" "src/graph/CMakeFiles/tv_graph.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/tv_embedding_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/tv_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

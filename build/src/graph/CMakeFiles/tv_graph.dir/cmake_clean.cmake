@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_graph.dir/graph_store.cc.o"
+  "CMakeFiles/tv_graph.dir/graph_store.cc.o.d"
+  "CMakeFiles/tv_graph.dir/schema.cc.o"
+  "CMakeFiles/tv_graph.dir/schema.cc.o.d"
+  "CMakeFiles/tv_graph.dir/segment.cc.o"
+  "CMakeFiles/tv_graph.dir/segment.cc.o.d"
+  "CMakeFiles/tv_graph.dir/transaction.cc.o"
+  "CMakeFiles/tv_graph.dir/transaction.cc.o.d"
+  "CMakeFiles/tv_graph.dir/types.cc.o"
+  "CMakeFiles/tv_graph.dir/types.cc.o.d"
+  "CMakeFiles/tv_graph.dir/wal.cc.o"
+  "CMakeFiles/tv_graph.dir/wal.cc.o.d"
+  "libtv_graph.a"
+  "libtv_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hnsw/brute_force.cc" "src/hnsw/CMakeFiles/tv_hnsw.dir/brute_force.cc.o" "gcc" "src/hnsw/CMakeFiles/tv_hnsw.dir/brute_force.cc.o.d"
+  "/root/repo/src/hnsw/flat_index.cc" "src/hnsw/CMakeFiles/tv_hnsw.dir/flat_index.cc.o" "gcc" "src/hnsw/CMakeFiles/tv_hnsw.dir/flat_index.cc.o.d"
+  "/root/repo/src/hnsw/hnsw_index.cc" "src/hnsw/CMakeFiles/tv_hnsw.dir/hnsw_index.cc.o" "gcc" "src/hnsw/CMakeFiles/tv_hnsw.dir/hnsw_index.cc.o.d"
+  "/root/repo/src/hnsw/ivf_index.cc" "src/hnsw/CMakeFiles/tv_hnsw.dir/ivf_index.cc.o" "gcc" "src/hnsw/CMakeFiles/tv_hnsw.dir/ivf_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/tv_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_hnsw.dir/brute_force.cc.o"
+  "CMakeFiles/tv_hnsw.dir/brute_force.cc.o.d"
+  "CMakeFiles/tv_hnsw.dir/flat_index.cc.o"
+  "CMakeFiles/tv_hnsw.dir/flat_index.cc.o.d"
+  "CMakeFiles/tv_hnsw.dir/hnsw_index.cc.o"
+  "CMakeFiles/tv_hnsw.dir/hnsw_index.cc.o.d"
+  "CMakeFiles/tv_hnsw.dir/ivf_index.cc.o"
+  "CMakeFiles/tv_hnsw.dir/ivf_index.cc.o.d"
+  "libtv_hnsw.a"
+  "libtv_hnsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_hnsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_loader.dir/csv.cc.o"
+  "CMakeFiles/tv_loader.dir/csv.cc.o.d"
+  "CMakeFiles/tv_loader.dir/loading_job.cc.o"
+  "CMakeFiles/tv_loader.dir/loading_job.cc.o.d"
+  "libtv_loader.a"
+  "libtv_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_mpp.dir/cluster.cc.o"
+  "CMakeFiles/tv_mpp.dir/cluster.cc.o.d"
+  "libtv_mpp.a"
+  "libtv_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_query.dir/ast.cc.o"
+  "CMakeFiles/tv_query.dir/ast.cc.o.d"
+  "CMakeFiles/tv_query.dir/executor.cc.o"
+  "CMakeFiles/tv_query.dir/executor.cc.o.d"
+  "CMakeFiles/tv_query.dir/lexer.cc.o"
+  "CMakeFiles/tv_query.dir/lexer.cc.o.d"
+  "CMakeFiles/tv_query.dir/parser.cc.o"
+  "CMakeFiles/tv_query.dir/parser.cc.o.d"
+  "CMakeFiles/tv_query.dir/session.cc.o"
+  "CMakeFiles/tv_query.dir/session.cc.o.d"
+  "libtv_query.a"
+  "libtv_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_simd.dir/distance.cc.o"
+  "CMakeFiles/tv_simd.dir/distance.cc.o.d"
+  "libtv_simd.a"
+  "libtv_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

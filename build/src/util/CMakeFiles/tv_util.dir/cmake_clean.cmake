@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_util.dir/bitmap.cc.o"
+  "CMakeFiles/tv_util.dir/bitmap.cc.o.d"
+  "CMakeFiles/tv_util.dir/logging.cc.o"
+  "CMakeFiles/tv_util.dir/logging.cc.o.d"
+  "CMakeFiles/tv_util.dir/rng.cc.o"
+  "CMakeFiles/tv_util.dir/rng.cc.o.d"
+  "CMakeFiles/tv_util.dir/status.cc.o"
+  "CMakeFiles/tv_util.dir/status.cc.o.d"
+  "CMakeFiles/tv_util.dir/thread_pool.cc.o"
+  "CMakeFiles/tv_util.dir/thread_pool.cc.o.d"
+  "libtv_util.a"
+  "libtv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

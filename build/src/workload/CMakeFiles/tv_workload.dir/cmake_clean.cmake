@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tv_workload.dir/datasets.cc.o"
+  "CMakeFiles/tv_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/tv_workload.dir/driver.cc.o"
+  "CMakeFiles/tv_workload.dir/driver.cc.o.d"
+  "CMakeFiles/tv_workload.dir/ic_queries.cc.o"
+  "CMakeFiles/tv_workload.dir/ic_queries.cc.o.d"
+  "CMakeFiles/tv_workload.dir/snb.cc.o"
+  "CMakeFiles/tv_workload.dir/snb.cc.o.d"
+  "libtv_workload.a"
+  "libtv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

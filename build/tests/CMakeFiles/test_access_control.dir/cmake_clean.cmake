@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_control.dir/test_access_control.cc.o"
+  "CMakeFiles/test_access_control.dir/test_access_control.cc.o.d"
+  "test_access_control"
+  "test_access_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpp.dir/test_mpp.cc.o"
+  "CMakeFiles/test_mpp.dir/test_mpp.cc.o.d"
+  "test_mpp"
+  "test_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

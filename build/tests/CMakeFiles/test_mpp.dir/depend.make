@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpp.
+# This may be replaced when dependencies are built.

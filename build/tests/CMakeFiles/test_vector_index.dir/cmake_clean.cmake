@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_index.dir/test_vector_index.cc.o"
+  "CMakeFiles/test_vector_index.dir/test_vector_index.cc.o.d"
+  "test_vector_index"
+  "test_vector_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

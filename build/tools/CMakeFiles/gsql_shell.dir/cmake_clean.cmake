@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsql_shell.dir/gsql_shell.cpp.o"
+  "CMakeFiles/gsql_shell.dir/gsql_shell.cpp.o.d"
+  "gsql_shell"
+  "gsql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
