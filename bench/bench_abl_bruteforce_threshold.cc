@@ -11,7 +11,8 @@
 using namespace tigervector;
 using namespace tigervector::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const size_t n = BaseN();
   const size_t nq = std::min<size_t>(QueryN(), 30);
   const size_t k = 10;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace tigervector::bench {
@@ -15,7 +16,34 @@ size_t EnvSize(const char* name, size_t fallback) {
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
 
+std::string g_metrics_out;
+
+void WriteMetricsSnapshot() {
+  if (g_metrics_out.empty()) return;
+  FILE* f = std::fopen(g_metrics_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for metrics snapshot\n",
+                 g_metrics_out.c_str());
+    return;
+  }
+  const std::string json = obs::MetricsRegistry::Global().RenderJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote metrics snapshot to %s\n",
+               g_metrics_out.c_str());
+}
+
 }  // namespace
+
+void InitBench(int argc, char** argv) {
+  constexpr char kFlag[] = "--metrics-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      g_metrics_out = argv[i] + sizeof(kFlag) - 1;
+      std::atexit(WriteMetricsSnapshot);
+    }
+  }
+}
 
 size_t BaseN() { return EnvSize("TV_BENCH_N", 20000); }
 size_t QueryN() { return EnvSize("TV_BENCH_Q", 50); }

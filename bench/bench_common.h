@@ -23,6 +23,12 @@ size_t BaseN();
 size_t QueryN();
 size_t ClientThreads();
 
+// Parses common bench flags; call first in every bench main. Currently
+// understands --metrics-out=<file>.json, which registers an atexit hook
+// writing a JSON snapshot of the metrics registry when the bench finishes.
+// Unrecognized arguments are left in place for the bench to consume.
+void InitBench(int argc, char** argv);
+
 // A TigerVector database holding one vector dataset as `Item.emb`
 // vertices, fully vacuumed (all vectors folded into per-segment HNSW
 // indexes). vids[i] is the vertex of base vector i.

@@ -10,7 +10,8 @@
 using namespace tigervector;
 using namespace tigervector::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const size_t n = BaseN() / 2;
   VectorDataset dataset = MakeSiftLike(n, 1);
   VectorDataset updates = MakeSiftLike(n, 1, /*seed=*/777);

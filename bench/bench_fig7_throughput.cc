@@ -81,7 +81,8 @@ void RunDataset(const VectorDataset& dataset, size_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const size_t n = BaseN();
   const size_t nq = QueryN();
   const size_t k = 10;

@@ -1,10 +1,20 @@
 // Micro-benchmarks (google-benchmark) of the kernels everything else sits
 // on: distance functions, HNSW search at several ef values, filtered
-// search, and the brute-force scan.
+// search, the brute-force scan, and the observability primitives.
+//
+// The registry-overhead story: BM_CounterAdd/BM_HistogramObserve/BM_Span*
+// measure the instrumentation primitives in isolation, and BM_HnswSearch is
+// the hot-path A/B — rebuild with -DTIGERVECTOR_NO_METRICS=ON and compare
+// to see the end-to-end cost (the counters compile to nothing there).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench/bench_common.h"
 #include "hnsw/brute_force.h"
 #include "hnsw/hnsw_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simd/distance.h"
 #include "util/rng.h"
 
@@ -138,7 +148,63 @@ void BM_HnswInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_HnswInsert)->Arg(64)->Arg(128);
 
+// --- Observability primitives ---
+
+void BM_CounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    TV_COUNTER_INC("tv.bench.counter_probe");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  double v = 1e-6;
+  for (auto _ : state) {
+    TV_HISTOGRAM_OBSERVE("tv.bench.histogram_probe", v);
+    v = v < 1.0 ? v * 1.0001 : 1e-6;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanInactive(benchmark::State& state) {
+  // No trace installed: the common case on every hot path.
+  for (auto _ : state) {
+    TV_SPAN("bench.span_probe");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanInactive);
+
+void BM_SpanActive(benchmark::State& state) {
+  obs::QueryTrace trace;
+  obs::ScopedTraceActivation activation(&trace);
+  for (auto _ : state) {
+    TV_SPAN("bench.span_probe");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+  trace.Clear();
+}
+BENCHMARK(BM_SpanActive);
+
 }  // namespace
 }  // namespace tigervector
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Consume --metrics-out before google-benchmark rejects unknown flags.
+  tigervector::bench::InitBench(argc, argv);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) continue;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

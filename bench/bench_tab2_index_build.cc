@@ -51,7 +51,8 @@ void RunDataset(const VectorDataset& dataset) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const size_t n = BaseN();
   VectorDataset sift = MakeSiftLike(n, 1);
   RunDataset(sift);

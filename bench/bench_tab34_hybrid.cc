@@ -51,7 +51,8 @@ void RunScaleFactor(const char* label, const SnbConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   // "SF10" analog.
   SnbConfig sf_small;
   sf_small.num_persons = std::max<size_t>(200, BaseN() / 40);

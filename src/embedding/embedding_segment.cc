@@ -6,7 +6,10 @@
 
 #include "hnsw/flat_index.h"
 #include "hnsw/ivf_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 #include "util/topk_heap.h"
 
 namespace tigervector {
@@ -118,10 +121,13 @@ Status EmbeddingSegment::ApplyDelta(VectorDelta delta) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   pending_.first_pending_tid.try_emplace(delta.id, delta.tid);
   pending_.in_memory.push_back(std::move(delta));
+  TV_COUNTER_INC("tv.vacuum.delta_appends_total");
   return Status::OK();
 }
 
 Result<size_t> EmbeddingSegment::DeltaMerge(Tid up_to_tid, const std::string& dir) {
+  TV_SPAN("vacuum.delta_merge");
+  Timer timer;
   std::unique_lock<std::shared_mutex> lock(mu_);
   // Deltas are appended in commit order, so the prefix with tid <= up_to_tid
   // is exactly what this pass seals.
@@ -144,10 +150,15 @@ Result<size_t> EmbeddingSegment::DeltaMerge(Tid up_to_tid, const std::string& di
     TV_RETURN_NOT_OK(file.Save(path));
   }
   pending_.sealed.push_back(std::move(file));
+  TV_COUNTER_INC("tv.vacuum.delta_merges_total");
+  TV_COUNTER_ADD("tv.vacuum.delta_merge_records_total", sealed);
+  TV_HISTOGRAM_OBSERVE("tv.vacuum.delta_merge_seconds", timer.ElapsedSeconds());
   return sealed;
 }
 
 Result<size_t> EmbeddingSegment::IndexMerge(Tid up_to_tid, ThreadPool* pool) {
+  TV_SPAN("vacuum.index_merge");
+  Timer timer;
   // Copy the deltas to merge (sealed files are ordered by max_tid). A copy
   // (rather than pointers) keeps this safe against a concurrent DeltaMerge
   // reallocating the sealed list.
@@ -196,6 +207,9 @@ Result<size_t> EmbeddingSegment::IndexMerge(Tid up_to_tid, ThreadPool* pool) {
   pending_.sealed.erase(pending_.sealed.begin(), pending_.sealed.begin() + num_merged);
   merged_tid_ = new_merged;
   RebuildFirstPendingLocked();
+  TV_COUNTER_INC("tv.vacuum.index_merges_total");
+  TV_COUNTER_ADD("tv.vacuum.index_merge_records_total", merged_records);
+  TV_HISTOGRAM_OBSERVE("tv.vacuum.index_merge_seconds", timer.ElapsedSeconds());
   return merged_records;
 }
 

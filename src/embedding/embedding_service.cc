@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 #include "util/topk_heap.h"
 
 namespace tigervector {
@@ -170,7 +173,12 @@ Result<VectorSearchResult> EmbeddingService::FanOut(const VectorSearchRequest& r
   VectorSearchResult result;
   result.segments_searched = segments.size();
   std::mutex merge_mu;
-  auto run_one = [&](size_t i) {
+  // ParallelFor runs chunks on worker threads only; carry the dispatching
+  // thread's active trace into them so segment-level spans (hnsw.search)
+  // land in the profiled query's breakdown.
+  obs::QueryTrace* parent_trace = obs::CurrentTrace();
+  auto run_one = [&, parent_trace](size_t i) {
+    obs::ScopedTraceActivation trace_scope(parent_trace);
     EmbeddingSegment::SearchOutput out = segment_fn(*segments[i]);
     std::lock_guard<std::mutex> lock(merge_mu);
     if (out.used_bruteforce) ++result.bruteforce_segments;
@@ -187,6 +195,9 @@ Result<VectorSearchResult> EmbeddingService::FanOut(const VectorSearchRequest& r
 
 Result<VectorSearchResult> EmbeddingService::TopKSearch(
     const VectorSearchRequest& request) const {
+  TV_SPAN("embedding.topk");
+  Timer timer;
+  TV_COUNTER_INC("tv.query.vector_searches_total");
   EmbeddingSegment::SearchOptions seg_options;
   seg_options.k = request.k;
   seg_options.ef = request.ef;
@@ -207,11 +218,15 @@ Result<VectorSearchResult> EmbeddingService::TopKSearch(
   for (const auto& e : heap.TakeSorted()) {
     result->hits.push_back(SearchHit{e.distance, e.id});
   }
+  TV_HISTOGRAM_OBSERVE("tv.query.vector_search_seconds", timer.ElapsedSeconds());
   return result;
 }
 
 Result<VectorSearchResult> EmbeddingService::RangeSearch(
     const VectorSearchRequest& request, float threshold) const {
+  TV_SPAN("embedding.range");
+  Timer timer;
+  TV_COUNTER_INC("tv.query.vector_searches_total");
   EmbeddingSegment::SearchOptions seg_options;
   seg_options.k = std::max<size_t>(request.k, 16);
   seg_options.ef = request.ef;
@@ -230,6 +245,7 @@ Result<VectorSearchResult> EmbeddingService::RangeSearch(
               if (a.distance != b.distance) return a.distance < b.distance;
               return a.label < b.label;
             });
+  TV_HISTOGRAM_OBSERVE("tv.query.vector_search_seconds", timer.ElapsedSeconds());
   return result;
 }
 

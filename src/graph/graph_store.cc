@@ -2,8 +2,11 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace tigervector {
 
@@ -196,6 +199,8 @@ Status GraphStore::ApplyOne(const Mutation& m, Tid tid) {
 }
 
 Result<Tid> GraphStore::CommitTransaction(const std::vector<Mutation>& mutations) {
+  TV_SPAN("graph.commit");
+  Timer timer;
   std::lock_guard<std::mutex> commit_lock(commit_mu_);
   TV_RETURN_NOT_OK(ValidateMutations(mutations));
   const Tid tid = next_tid_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -212,6 +217,9 @@ Result<Tid> GraphStore::CommitTransaction(const std::vector<Mutation>& mutations
     }
   }
   visible_tid_.store(tid, std::memory_order_release);
+  TV_COUNTER_INC("tv.graph.commits_total");
+  TV_COUNTER_ADD("tv.graph.committed_mutations_total", mutations.size());
+  TV_HISTOGRAM_OBSERVE("tv.graph.commit_seconds", timer.ElapsedSeconds());
   return tid;
 }
 

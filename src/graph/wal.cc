@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace tigervector {
 
 namespace {
@@ -229,16 +233,27 @@ Status WriteAheadLog::Open(const std::string& path, bool sync_on_commit) {
 }
 
 Status WriteAheadLog::Append(Tid tid, const std::vector<Mutation>& mutations) {
+  TV_SPAN("wal.append");
+  Timer timer;
   const std::vector<uint8_t> payload = EncodeMutations(mutations);
   ++appended_;
   bytes_ += payload.size() + 12;
-  if (file_ == nullptr) return Status::OK();  // in-memory mode
+  TV_COUNTER_INC("tv.wal.appends_total");
+  TV_COUNTER_ADD("tv.wal.bytes_total", payload.size() + 12);
+  if (file_ == nullptr) {
+    TV_HISTOGRAM_OBSERVE("tv.wal.append_seconds", timer.ElapsedSeconds());
+    return Status::OK();  // in-memory mode
+  }
   const uint32_t len = static_cast<uint32_t>(payload.size());
   bool ok = std::fwrite(&len, sizeof(len), 1, file_) == 1 &&
             std::fwrite(&tid, sizeof(tid), 1, file_) == 1 &&
             (payload.empty() ||
              std::fwrite(payload.data(), 1, payload.size(), file_) == payload.size());
-  if (ok) ok = std::fflush(file_) == 0;
+  if (ok) {
+    ok = std::fflush(file_) == 0;
+    TV_COUNTER_INC("tv.wal.flushes_total");
+  }
+  TV_HISTOGRAM_OBSERVE("tv.wal.append_seconds", timer.ElapsedSeconds());
   if (!ok) return Status::IOError("wal append failed");
   return Status::OK();
 }

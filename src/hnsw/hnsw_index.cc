@@ -6,6 +6,8 @@
 #include <cstring>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace tigervector {
@@ -13,6 +15,19 @@ namespace tigervector {
 namespace {
 constexpr uint32_t kInvalidId = UINT32_MAX;
 constexpr uint64_t kFileMagic = 0x54475648'4e535731ULL;  // "TGVHNSW1"
+
+// Per-instance stats stay authoritative for per-segment attribution; the
+// same increments mirror into the process-wide registry so exporters see
+// one aggregate without walking segments.
+inline void CountDistComp(std::atomic<uint64_t>& stat) {
+  stat.fetch_add(1, std::memory_order_relaxed);
+  TV_COUNTER_INC("tv.hnsw.distance_evals_total");
+}
+
+inline void CountHop(std::atomic<uint64_t>& stat) {
+  stat.fetch_add(1, std::memory_order_relaxed);
+  TV_COUNTER_INC("tv.hnsw.hops_total");
+}
 }  // namespace
 
 HnswIndex::HnswIndex(const HnswParams& params)
@@ -27,7 +42,7 @@ HnswIndex::HnswIndex(const HnswParams& params)
 HnswIndex::~HnswIndex() = default;
 
 float HnswIndex::Dist(const float* query, uint32_t id) const {
-  stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+  CountDistComp(stat_dist_comps_);
   return ComputeDistance(params_.metric, query, DataAt(id), params_.dim);
 }
 
@@ -58,7 +73,7 @@ uint32_t HnswIndex::GreedySearchLayer(const float* query, uint32_t entry,
         improved = true;
       }
     }
-    stat_hops_.fetch_add(1, std::memory_order_relaxed);
+    CountHop(stat_hops_);
   }
   return curr;
 }
@@ -82,7 +97,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
     const Candidate c = frontier.top();
     if (top.size() >= ef && c.distance > top.top().distance) break;
     frontier.pop();
-    stat_hops_.fetch_add(1, std::memory_order_relaxed);
+    CountHop(stat_hops_);
 
     std::vector<uint32_t> neighbors;
     {
@@ -129,7 +144,7 @@ void HnswIndex::SelectNeighbors(const float* base, std::vector<Candidate>& candi
     for (const Candidate& s : selected) {
       const float d = ComputeDistance(params_.metric, DataAt(c.id), DataAt(s.id),
                                       params_.dim);
-      stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+      CountDistComp(stat_dist_comps_);
       if (d < c.distance) {
         good = false;
         break;
@@ -179,11 +194,11 @@ void HnswIndex::ConnectNode(uint32_t id, int level,
     peer_cands.reserve(links.size() + 1);
     const float* peer_vec = DataAt(c.id);
     for (uint32_t n : links) {
-      stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+      CountDistComp(stat_dist_comps_);
       peer_cands.push_back(
           Candidate{ComputeDistance(params_.metric, peer_vec, DataAt(n), params_.dim), n});
     }
-    stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+    CountDistComp(stat_dist_comps_);
     peer_cands.push_back(
         Candidate{ComputeDistance(params_.metric, peer_vec, DataAt(id), params_.dim), id});
     SelectNeighbors(peer_vec, peer_cands, max_links);
@@ -193,6 +208,7 @@ void HnswIndex::ConnectNode(uint32_t id, int level,
 }
 
 Status HnswIndex::AddPoint(uint64_t label, const float* vec) {
+  TV_SPAN("hnsw.insert");
   uint32_t existing = kInvalidId;
   {
     std::lock_guard<std::mutex> lock(global_mu_);
@@ -230,6 +246,7 @@ Status HnswIndex::InsertInternal(uint64_t label, const float* vec) {
       max_level_ = node_level;
       live_count_.fetch_add(1);
       stat_inserts_.fetch_add(1, std::memory_order_relaxed);
+      TV_COUNTER_INC("tv.hnsw.inserts_total");
       return Status::OK();
     }
   }
@@ -330,7 +347,7 @@ Status HnswIndex::UpdateInternal(uint32_t id, const float* vec) {
       std::vector<Candidate> ranked;
       ranked.reserve(pool.size());
       for (uint32_t peer : pool) {
-        stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+        CountDistComp(stat_dist_comps_);
         ranked.push_back(Candidate{
             ComputeDistance(params_.metric, vec, DataAt(peer), params_.dim), peer});
       }
@@ -345,7 +362,7 @@ Status HnswIndex::UpdateInternal(uint32_t id, const float* vec) {
       const float* peer_vec = DataAt(n);
       for (uint32_t peer : pool) {
         if (peer == n) continue;
-        stat_dist_comps_.fetch_add(1, std::memory_order_relaxed);
+        CountDistComp(stat_dist_comps_);
         peer_cands.push_back(Candidate{
             ComputeDistance(params_.metric, peer_vec, DataAt(peer), params_.dim),
             peer});
@@ -360,6 +377,7 @@ Status HnswIndex::UpdateInternal(uint32_t id, const float* vec) {
     }
   }
   stat_updates_.fetch_add(1, std::memory_order_relaxed);
+  TV_COUNTER_INC("tv.hnsw.updates_total");
   return Status::OK();
 }
 
@@ -444,7 +462,9 @@ Status HnswIndex::GetEmbedding(uint64_t label, float* out) const {
 
 std::vector<SearchHit> HnswIndex::TopKSearch(const float* query, size_t k, size_t ef,
                                              const FilterView& filter) const {
+  TV_SPAN("hnsw.search");
   stat_searches_.fetch_add(1, std::memory_order_relaxed);
+  TV_COUNTER_INC("tv.hnsw.searches_total");
   std::vector<SearchHit> out;
   uint32_t entry;
   int top_level;

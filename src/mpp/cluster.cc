@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 #include "util/topk_heap.h"
 
@@ -71,6 +73,8 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
                                                   DistributedStats* stats,
                                                   Fn local_search,
                                                   bool merge_topk) const {
+  TV_SPAN("cluster.scatter_gather");
+  TV_COUNTER_INC("tv.cluster.fanouts_total");
   Timer total_timer;
   auto shards_result = ShardSegments(request);
   if (!shards_result.ok()) return shards_result.status();
@@ -93,9 +97,14 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
     ++outstanding;
   }
   size_t remaining = outstanding;
+  // Server workers run on their own pools; hand them the coordinator's
+  // active trace so per-server spans join the profiled query.
+  obs::QueryTrace* parent_trace = obs::CurrentTrace();
   for (size_t server = 0; server < options_.num_servers; ++server) {
     if (shards[server].empty()) continue;
-    pools_[server]->Submit([&, server] {
+    pools_[server]->Submit([&, server, parent_trace] {
+      obs::ScopedTraceActivation trace_scope(parent_trace);
+      TV_SPAN("cluster.server_search");
       Timer t;
       // Each worker searches only its own shard, using its own pool for
       // intra-server segment parallelism.
@@ -144,12 +153,21 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
               });
   }
 
+  const double merge_seconds = merge_timer.ElapsedSeconds();
+  obs::RecordSpanMicros("cluster.merge", merge_seconds * 1e6);
+  TV_HISTOGRAM_OBSERVE("tv.cluster.merge_seconds", merge_seconds);
+  for (const ServerResponse& resp : responses) {
+    if (resp.participated) {
+      TV_HISTOGRAM_OBSERVE("tv.cluster.server_seconds", resp.seconds);
+    }
+  }
+  TV_HISTOGRAM_OBSERVE("tv.cluster.fanout_seconds", total_timer.ElapsedSeconds());
   if (stats != nullptr) {
     stats->server_seconds.clear();
     for (const ServerResponse& resp : responses) {
       stats->server_seconds.push_back(resp.participated ? resp.seconds : 0.0);
     }
-    stats->merge_seconds = merge_timer.ElapsedSeconds();
+    stats->merge_seconds = merge_seconds;
     stats->total_seconds = total_timer.ElapsedSeconds();
   }
   return merged;

@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace tigervector::obs {
+
+namespace {
+
+// Renders a seconds value compactly ("0.000256", "4.2", "+Inf").
+std::string FmtSeconds(double v) {
+  if (std::isinf(v)) return "+Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+// convention maps onto that by replacing every other character with '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Observe(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const uint64_t nanos = static_cast<uint64_t>(seconds * 1e9);
+  const uint64_t micros = nanos / 1000;
+  // Smallest i with micros <= 2^i; values above the last finite bound land
+  // in the +Inf bucket.
+  size_t bucket = micros <= 1 ? 0 : std::bit_width(micros - 1);
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(uint64_t{1} << i) * 1e-6;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = i == 0 ? 0 : BucketUpperBound(i - 1);
+    double upper = BucketUpperBound(i);
+    if (std::isinf(upper)) return BucketUpperBound(i - 1);
+    const double fraction =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return BucketUpperBound(kNumBuckets - 2);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metric pointers cached at call sites must outlive
+  // every static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardOf(const std::string& name) {
+  return shards_[std::hash<std::string>()(name) % kNumShards];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Shard& shard = ShardOf(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.counters.find(name);
+    if (it != shard.counters.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto [it, inserted] = shard.counters.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Shard& shard = ShardOf(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.gauges.find(name);
+    if (it != shard.gauges.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto [it, inserted] = shard.gauges.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Shard& shard = ShardOf(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.histograms.find(name);
+    if (it != shard.histograms.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto [it, inserted] = shard.histograms.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Histogram>();
+  return it->second.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  // Collect a sorted snapshot so the exposition is deterministic for a
+  // given set of values (tests pin the format).
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, const Histogram*> histograms;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) counters[name] = c->Value();
+    for (const auto& [name, g] : shard.gauges) gauges[name] = g->Value();
+    for (const auto& [name, h] : shard.histograms) histograms[name] = h.get();
+  }
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t bucket = h->BucketCount(i);
+      cumulative += bucket;
+      // Elide empty leading/intermediate buckets except the mandatory +Inf;
+      // cumulative counts stay correct because `le` buckets are cumulative.
+      if (bucket == 0 && i + 1 < Histogram::kNumBuckets) continue;
+      out << prom << "_bucket{le=\"" << FmtSeconds(Histogram::BucketUpperBound(i))
+          << "\"} " << cumulative << "\n";
+    }
+    char sum_buf[64];
+    std::snprintf(sum_buf, sizeof(sum_buf), "%.9f", h->Sum());
+    out << prom << "_sum " << sum_buf << "\n";
+    out << prom << "_count " << h->Count() << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, const Histogram*> histograms;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) counters[name] = c->Value();
+    for (const auto& [name, g] : shard.gauges) gauges[name] = g->Value();
+    for (const auto& [name, h] : shard.histograms) histograms[name] = h.get();
+  }
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %llu, \"sum\": %.9f, \"p50\": %.9f, "
+                  "\"p95\": %.9f, \"p99\": %.9f}",
+                  static_cast<unsigned long long>(h->Count()), h->Sum(), h->P50(),
+                  h->P95(), h->P99());
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": " << buf;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::ResetValues() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (auto& [name, c] : shard.counters) c->Reset();
+    for (auto& [name, g] : shard.gauges) g->Reset();
+    for (auto& [name, h] : shard.histograms) h->Reset();
+  }
+}
+
+}  // namespace tigervector::obs

@@ -1,0 +1,104 @@
+#ifndef TIGERVECTOR_OBS_TRACE_H_
+#define TIGERVECTOR_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tigervector::obs {
+
+// Per-query trace buffer: the destination of TV_SPAN stage timings while a
+// trace is active on the recording thread (PROFILE in the GSQL session
+// activates one for the duration of a script). The buffer is thread-safe so
+// spans recorded on thread-pool workers (segment fan-out, cluster scatter)
+// can land in the same query's trace; activation is propagated explicitly
+// by the fan-out sites via ScopedTraceActivation.
+class QueryTrace {
+ public:
+  struct Span {
+    std::string name;
+    uint32_t depth = 0;   // nesting depth on the recording thread
+    double micros = 0;
+  };
+
+  void RecordSpan(const char* name, uint32_t depth, double micros);
+  // Accumulates a named per-query quantity (e.g. "hnsw.distance_evals").
+  void AddCounter(const char* name, uint64_t delta);
+
+  std::vector<Span> Spans() const;
+  // Total time per span name, summed over all occurrences.
+  std::map<std::string, double> StageMicros() const;
+  std::map<std::string, uint64_t> Counters() const;
+
+  // Human-readable stage breakdown (the PROFILE output).
+  std::string Render() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::map<std::string, uint64_t> counters_;
+};
+
+// Trace active on the current thread, or null.
+QueryTrace* CurrentTrace();
+
+// Installs `trace` as the current thread's active trace for the scope (null
+// is a no-op passthrough). Used at the top of a profiled query and inside
+// thread-pool tasks to carry the parent's trace across threads.
+class ScopedTraceActivation {
+ public:
+  explicit ScopedTraceActivation(QueryTrace* trace);
+  ~ScopedTraceActivation();
+
+  ScopedTraceActivation(const ScopedTraceActivation&) = delete;
+  ScopedTraceActivation& operator=(const ScopedTraceActivation&) = delete;
+
+ private:
+  QueryTrace* prev_;
+  uint32_t prev_depth_;
+};
+
+// RAII stage timer behind TV_SPAN. When no trace is active the constructor
+// is a thread-local load and a branch; no clock is read.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  QueryTrace* trace_;
+  uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Records a completed stage by duration (for sections where RAII scoping is
+// awkward). No-op when no trace is active.
+void RecordSpanMicros(const char* name, double micros);
+
+}  // namespace tigervector::obs
+
+#if defined(TIGERVECTOR_NO_METRICS)
+
+#define TV_SPAN(name) ((void)0)
+
+#else
+
+#define TV_OBS_CONCAT2(a, b) a##b
+#define TV_OBS_CONCAT(a, b) TV_OBS_CONCAT2(a, b)
+// Times the enclosing scope as one span of the active query trace, e.g.
+//   TV_SPAN("hnsw.search");
+#define TV_SPAN(name) \
+  ::tigervector::obs::ScopedSpan TV_OBS_CONCAT(_tv_span_, __LINE__)(name)
+
+#endif  // TIGERVECTOR_NO_METRICS
+
+#endif  // TIGERVECTOR_OBS_TRACE_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 #include "util/topk_heap.h"
 
 namespace tigervector {
@@ -268,6 +271,16 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
 Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
                                                   const QueryParams& params,
                                                   const VarMap& vars) {
+  TV_SPAN("query.execute");
+  TV_COUNTER_INC("tv.query.selects_total");
+  // Records the select latency on every exit path.
+  struct SelectTimer {
+    Timer timer;
+    ~SelectTimer() {
+      TV_HISTOGRAM_OBSERVE("tv.query.select_seconds", timer.ElapsedSeconds());
+    }
+  } select_timer;
+  Timer plan_timer;
   const Tid read_tid = db_->store()->visible_tid();
   auto nodes_result = ResolveNodes(stmt, vars);
   if (!nodes_result.ok()) return nodes_result.status();
@@ -338,8 +351,10 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     if (!et.ok()) return et.status();
     edge_defs.push_back(*et);
   }
+  obs::RecordSpanMicros("query.plan", plan_timer.ElapsedMicros());
 
   // ---- Candidate sets: forward then backward semi-join ----
+  Timer cand_timer;
   std::vector<VertexSet> cand(nodes.size());
   {
     auto base0 = BaseSet(nodes[0], read_tid, params);
@@ -374,6 +389,7 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     }
     cand[ri - 1] = std::move(kept);
   }
+  obs::RecordSpanMicros("query.candidates", cand_timer.ElapsedMicros());
 
   // ---- Plan text (bottom-up) ----
   SelectResult result;
@@ -477,6 +493,7 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
 
   // ---- ORDER BY VECTOR_DIST ----
   if (stmt.order_dist != nullptr) {
+    TV_SPAN("query.topk");
     size_t k = 10;
     if (stmt.has_limit) {
       if (!stmt.limit_param.empty()) {

@@ -1,14 +1,59 @@
 #include "query/session.h"
 
 #include <algorithm>
+#include <cctype>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
+#include "util/timer.h"
 
 namespace tigervector {
 
+namespace {
+
+// Detects a leading case-insensitive PROFILE keyword and returns the script
+// body after it; the keyword is a session-level prefix, not part of the
+// GSQL grammar.
+bool StripProfilePrefix(const std::string& script, std::string* body) {
+  size_t start = script.find_first_not_of(" \t\r\n");
+  if (start == std::string::npos) return false;
+  size_t end = start;
+  while (end < script.size() &&
+         std::isalpha(static_cast<unsigned char>(script[end]))) {
+    ++end;
+  }
+  static constexpr char kKeyword[] = "PROFILE";
+  if (end - start != sizeof(kKeyword) - 1) return false;
+  for (size_t i = 0; i < sizeof(kKeyword) - 1; ++i) {
+    if (std::toupper(static_cast<unsigned char>(script[start + i])) != kKeyword[i]) {
+      return false;
+    }
+  }
+  *body = script.substr(end);
+  return true;
+}
+
+}  // namespace
+
 Result<ScriptResult> GsqlSession::Run(const std::string& script,
                                       const QueryParams& params) {
-  auto statements = ParseScript(script);
+  std::string body;
+  const bool profiled = StripProfilePrefix(script, &body);
+  // With PROFILE active, every TV_SPAN hit during the run (on this thread
+  // and, via fan-out propagation, on pool workers) lands in this trace.
+  obs::QueryTrace trace;
+  obs::ScopedTraceActivation activation(profiled ? &trace : nullptr);
+  obs::Counter* dist_evals = obs::MetricsRegistry::Global().GetCounter(
+      "tv.hnsw.distance_evals_total");
+  // Delta of the process-wide counter approximates this query's distance
+  // evaluations; exact for a single-session shell, approximate under
+  // concurrent load.
+  const uint64_t dist_before = dist_evals->Value();
+
+  Timer parse_timer;
+  auto statements = ParseScript(profiled ? body : script);
+  obs::RecordSpanMicros("query.parse", parse_timer.ElapsedMicros());
   if (!statements.ok()) return statements.status();
   ScriptResult result;
 
@@ -106,6 +151,13 @@ Result<ScriptResult> GsqlSession::Run(const std::string& script,
       }
       result.prints.push_back(std::move(printed));
     }
+  }
+  if (profiled) {
+    trace.AddCounter("hnsw.distance_evals", dist_evals->Value() - dist_before);
+    result.profiled = true;
+    result.profile_stage_micros = trace.StageMicros();
+    result.profile_counters = trace.Counters();
+    result.profile = trace.Render();
   }
   return result;
 }

@@ -1,6 +1,8 @@
 #ifndef TIGERVECTOR_QUERY_SESSION_H_
 #define TIGERVECTOR_QUERY_SESSION_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +27,13 @@ struct ScriptResult {
   std::vector<SelectResult::Pair> last_join_pairs;
   // Report of the last CREATE LOADING JOB executed.
   LoadReport last_load_report;
+  // Filled when the script was prefixed with PROFILE: per-stage timings
+  // (span name -> total microseconds), per-query counters, and the rendered
+  // breakdown table.
+  bool profiled = false;
+  std::map<std::string, double> profile_stage_micros;
+  std::map<std::string, uint64_t> profile_counters;
+  std::string profile;
 };
 
 // A GSQL session: executes scripts statement by statement, maintaining

@@ -1,11 +1,28 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
 
 namespace tigervector {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+int InitialLevel() {
+  const char* env = std::getenv("TV_LOG_LEVEL");
+  LogLevel level;
+  if (env != nullptr && ParseLogLevel(env, &level)) {
+    return static_cast<int>(level);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{InitialLevel()};
+
 std::mutex& SinkMutex() {
   static std::mutex* mu = new std::mutex;
   return *mu;
@@ -24,11 +41,50 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// ISO-8601 UTC with microseconds, e.g. "2025-03-14T09:26:53.589793Z".
+void AppendTimestamp(std::ostream& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%06ldZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<long>(micros));
+  out << buf;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 
@@ -39,7 +95,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    AppendTimestamp(stream_);
+    stream_ << " [" << LevelName(level) << " tid="
+            << std::hash<std::thread::id>()(std::this_thread::get_id()) % 100000
+            << " " << base << ":" << line << "] ";
   }
 }
 

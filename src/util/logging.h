@@ -12,8 +12,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 // Process-wide minimum level; messages below it are dropped. Defaults to
 // kWarn so library users are not spammed; tests and benches may lower it.
+// The TV_LOG_LEVEL environment variable ("debug"/"info"/"warn"/"error",
+// case-insensitive) overrides the default once at startup.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a TV_LOG_LEVEL-style string; returns false if unrecognized.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
 
 namespace internal {
 

@@ -13,12 +13,17 @@
 //                 \sets NAME text       bind a string parameter
 //                 \role NAME            run as role NAME ("" = superuser)
 //                 \vacuum               run both vacuum stages
+//                 \metrics              dump the metrics registry (Prometheus text)
 //                 \quit
+//
+// Prefixing a statement with PROFILE prints a per-stage timing breakdown
+// (parse/plan/execute, hnsw.search, distance evals) after the result.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "query/session.h"
 
 using namespace tigervector;
@@ -67,6 +72,10 @@ bool HandleShellCommand(const std::string& line, Database* db, GsqlSession* sess
     in >> role;
     session->SetRole(role);
     std::printf("role = '%s'\n", role.c_str());
+    return true;
+  }
+  if (cmd == "\\metrics") {
+    std::fputs(obs::MetricsRegistry::Global().RenderText().c_str(), stdout);
     return true;
   }
   if (cmd == "\\vacuum") {
@@ -121,6 +130,9 @@ void PrintResult(const ScriptResult& result) {
                 result.last_load_report.vertices_loaded,
                 result.last_load_report.embeddings_loaded,
                 result.last_load_report.rows_skipped);
+  }
+  if (result.profiled) {
+    std::printf("--- profile ---\n%s", result.profile.c_str());
   }
 }
 
