@@ -15,6 +15,36 @@ Database::Database(Options options) : options_(std::move(options)) {
   }
 }
 
+Result<Database::RecoveryReport> Database::Recover(const RecoveryOptions& options) {
+  RecoveryReport report;
+  // Snapshots first: they raise each segment's durable horizon so the WAL
+  // replay below skips already-captured deltas.
+  if (!options.snapshot_dir.empty()) {
+    TV_RETURN_NOT_OK(
+        embeddings_->RecoverSnapshots(options.snapshot_dir, &report.embeddings));
+  }
+  // Then sealed delta files, which extend the horizon past the snapshots.
+  const std::string& delta_dir =
+      options.delta_dir.empty() ? options_.embeddings.delta_dir : options.delta_dir;
+  if (!delta_dir.empty()) {
+    TV_RETURN_NOT_OK(embeddings_->RecoverDeltaFiles(delta_dir, &report.embeddings));
+  }
+  // WAL last: the source of truth. It is never pruned, so everything the
+  // adopted artifacts missed (including everything, when none were usable)
+  // is re-derived here.
+  const std::string& wal_path =
+      options.wal_path.empty() ? options_.store.wal_path : options.wal_path;
+  if (!wal_path.empty()) {
+    auto info = store_->RecoverWal(wal_path, options.truncate_torn_wal);
+    if (!info.ok()) return info.status();
+    report.wal_records_replayed = info->records;
+    report.recovered_tid = info->max_tid;
+    report.wal_truncated = info->truncated;
+    report.wal_valid_bytes = info->valid_bytes;
+  }
+  return report;
+}
+
 Result<size_t> Database::Vacuum() {
   TV_RETURN_NOT_OK(embeddings_->RunDeltaMerge().status());
   // The index merge is the expensive stage; use the adaptive thread count

@@ -53,6 +53,29 @@ class Database {
   // adaptive thread suggestion. Returns records folded into indexes.
   Result<size_t> Vacuum();
 
+  // --- Crash recovery ---
+  // Rebuilds a freshly constructed database from its on-disk artifacts, in
+  // order: (1) adopt valid index snapshots, (2) re-attach sealed delta
+  // files (quarantining corrupt ones), (3) replay the WAL past each
+  // segment's durable horizon, tolerating and optionally truncating a torn
+  // tail. Corrupt or missing artifacts other than the WAL prefix are never
+  // fatal — they only lengthen the replay.
+  struct RecoveryOptions {
+    std::string wal_path;       // empty -> Options::store.wal_path
+    std::string snapshot_dir;   // empty -> skip snapshot adoption
+    std::string delta_dir;      // empty -> Options::embeddings.delta_dir
+    bool truncate_torn_wal = true;
+  };
+  struct RecoveryReport {
+    size_t wal_records_replayed = 0;
+    Tid recovered_tid = 0;
+    bool wal_truncated = false;
+    uint64_t wal_valid_bytes = 0;
+    EmbeddingService::RecoveryStats embeddings;
+  };
+  Result<RecoveryReport> Recover(const RecoveryOptions& options);
+  Result<RecoveryReport> Recover() { return Recover(RecoveryOptions{}); }
+
   // The flexible VectorSearch() function (paper Sec. 5.5): searches one or
   // more compatible embedding attributes, optionally restricted to a
   // candidate vertex set from a previous query block, returning a vertex

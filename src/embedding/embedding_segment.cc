@@ -8,6 +8,7 @@
 #include "hnsw/ivf_index.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/io.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/topk_heap.h"
@@ -15,7 +16,7 @@
 namespace tigervector {
 
 namespace {
-constexpr uint64_t kDeltaFileMagic = 0x54475644'454c5431ULL;  // "TGVDELT1"
+constexpr uint64_t kDeltaFileMagic = 0x54475644'454c5432ULL;  // "TGVDELT2"
 
 // Factory over the embedding metadata's INDEX choice (paper Sec. 4.4: the
 // embedding type decides which native index backs each segment).
@@ -40,55 +41,58 @@ std::unique_ptr<VectorIndex> CreateVectorIndex(const EmbeddingTypeInfo& info,
 }  // namespace
 
 Status DeltaFile::Save(const std::string& file_path) {
-  FILE* f = std::fopen(file_path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + file_path);
-  bool ok = std::fwrite(&kDeltaFileMagic, sizeof(kDeltaFileMagic), 1, f) == 1;
-  ok = ok && std::fwrite(&max_tid, sizeof(max_tid), 1, f) == 1;
+  // Atomic tmp + fsync + rename: a crash (or injected fault) anywhere in
+  // here leaves either the previous file or none — Load never sees a torn
+  // delta file produced by this path.
+  auto create = io::AtomicFile::Create(file_path, "delta.save");
+  if (!create.ok()) return create.status();
+  io::AtomicFile f = std::move(create).value();
+  TV_RETURN_NOT_OK(f.Write(&kDeltaFileMagic, sizeof(kDeltaFileMagic)));
+  TV_RETURN_NOT_OK(f.Write(&base_tid, sizeof(base_tid)));
+  TV_RETURN_NOT_OK(f.Write(&max_tid, sizeof(max_tid)));
   const uint64_t count = deltas.size();
-  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  TV_RETURN_NOT_OK(f.Write(&count, sizeof(count)));
   for (const VectorDelta& d : deltas) {
-    if (!ok) break;
     const uint8_t action = static_cast<uint8_t>(d.action);
     const uint64_t dim = d.value.size();
-    ok = std::fwrite(&action, 1, 1, f) == 1 &&
-         std::fwrite(&d.id, sizeof(d.id), 1, f) == 1 &&
-         std::fwrite(&d.tid, sizeof(d.tid), 1, f) == 1 &&
-         std::fwrite(&dim, sizeof(dim), 1, f) == 1 &&
-         (dim == 0 ||
-          std::fwrite(d.value.data(), sizeof(float), dim, f) == dim);
+    TV_RETURN_NOT_OK(f.Write(&action, 1));
+    TV_RETURN_NOT_OK(f.Write(&d.id, sizeof(d.id)));
+    TV_RETURN_NOT_OK(f.Write(&d.tid, sizeof(d.tid)));
+    TV_RETURN_NOT_OK(f.Write(&dim, sizeof(dim)));
+    if (dim > 0) {
+      TV_RETURN_NOT_OK(f.Write(d.value.data(), dim * sizeof(float)));
+    }
   }
-  std::fclose(f);
-  if (!ok) return Status::IOError("short write to " + file_path);
+  TV_RETURN_NOT_OK(f.Commit());
   path = file_path;
   return Status::OK();
 }
 
 Result<DeltaFile> DeltaFile::Load(const std::string& file_path) {
-  FILE* f = std::fopen(file_path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + file_path);
+  auto open = io::File::Open(file_path, "rb", "delta.load");
+  if (!open.ok()) return open.status();
+  io::File f = std::move(open).value();
   DeltaFile out;
   uint64_t magic = 0, count = 0;
-  bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1 && magic == kDeltaFileMagic &&
-            std::fread(&out.max_tid, sizeof(out.max_tid), 1, f) == 1 &&
-            std::fread(&count, sizeof(count), 1, f) == 1;
+  bool ok = f.Read(&magic, sizeof(magic)).ok() && magic == kDeltaFileMagic &&
+            f.Read(&out.base_tid, sizeof(out.base_tid)).ok() &&
+            f.Read(&out.max_tid, sizeof(out.max_tid)).ok() &&
+            f.Read(&count, sizeof(count)).ok();
   for (uint64_t i = 0; ok && i < count; ++i) {
     VectorDelta d;
     uint8_t action = 0;
     uint64_t dim = 0;
-    ok = std::fread(&action, 1, 1, f) == 1 &&
-         std::fread(&d.id, sizeof(d.id), 1, f) == 1 &&
-         std::fread(&d.tid, sizeof(d.tid), 1, f) == 1 &&
-         std::fread(&dim, sizeof(dim), 1, f) == 1;
+    ok = f.Read(&action, 1).ok() && f.Read(&d.id, sizeof(d.id)).ok() &&
+         f.Read(&d.tid, sizeof(d.tid)).ok() && f.Read(&dim, sizeof(dim)).ok();
     if (ok && dim > 0) {
       d.value.resize(dim);
-      ok = std::fread(d.value.data(), sizeof(float), dim, f) == dim;
+      ok = f.Read(d.value.data(), dim * sizeof(float)).ok();
     }
     if (ok) {
       d.action = static_cast<VectorDelta::Action>(action);
       out.deltas.push_back(std::move(d));
     }
   }
-  std::fclose(f);
   if (!ok) return Status::IOError("corrupt delta file " + file_path);
   out.path = file_path;
   return out;
@@ -119,13 +123,21 @@ Status EmbeddingSegment::ApplyDelta(VectorDelta delta) {
     return Status::InvalidArgument("vector delta id out of segment range");
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (delta.tid <= DurableHorizonLocked()) {
+    // Already captured by an adopted index snapshot or sealed delta file;
+    // seen only when recovery replays the WAL over adopted artifacts. In
+    // normal operation commit tids are strictly above the horizon.
+    TV_COUNTER_INC("tv.recovery.replay_deltas_skipped_total");
+    return Status::OK();
+  }
   pending_.first_pending_tid.try_emplace(delta.id, delta.tid);
   pending_.in_memory.push_back(std::move(delta));
   TV_COUNTER_INC("tv.vacuum.delta_appends_total");
   return Status::OK();
 }
 
-Result<size_t> EmbeddingSegment::DeltaMerge(Tid up_to_tid, const std::string& dir) {
+Result<size_t> EmbeddingSegment::DeltaMerge(Tid up_to_tid, const std::string& dir,
+                                            const std::string& file_stem) {
   TV_SPAN("vacuum.delta_merge");
   Timer timer;
   std::unique_lock<std::shared_mutex> lock(mu_);
@@ -139,16 +151,26 @@ Result<size_t> EmbeddingSegment::DeltaMerge(Tid up_to_tid, const std::string& di
   }
   if (split == pending_.in_memory.begin()) return size_t{0};
   DeltaFile file;
+  file.base_tid = DurableHorizonLocked();
   file.max_tid = max_tid;
   file.deltas.assign(std::make_move_iterator(pending_.in_memory.begin()),
                      std::make_move_iterator(split));
-  pending_.in_memory.erase(pending_.in_memory.begin(), split);
   const size_t sealed = file.deltas.size();
   if (!dir.empty()) {
-    const std::string path = dir + "/emb_seg" + std::to_string(segment_id_) +
-                             "_tid" + std::to_string(max_tid) + ".delta";
-    TV_RETURN_NOT_OK(file.Save(path));
+    const std::string path = dir + "/" + file_stem + "_seg" +
+                             std::to_string(segment_id_) + "_tid" +
+                             std::to_string(max_tid) + ".delta";
+    Status st = file.Save(path);
+    if (!st.ok()) {
+      // The deltas were moved out above; put them back so an I/O failure
+      // never drops a committed delta (they stay recoverable in memory and
+      // a later pass retries the seal).
+      std::move(file.deltas.begin(), file.deltas.end(), pending_.in_memory.begin());
+      TV_COUNTER_INC("tv.vacuum.delta_merge_failures_total");
+      return st;
+    }
   }
+  pending_.in_memory.erase(pending_.in_memory.begin(), split);
   pending_.sealed.push_back(std::move(file));
   TV_COUNTER_INC("tv.vacuum.delta_merges_total");
   TV_COUNTER_ADD("tv.vacuum.delta_merge_records_total", sealed);
@@ -159,17 +181,21 @@ Result<size_t> EmbeddingSegment::DeltaMerge(Tid up_to_tid, const std::string& di
 Result<size_t> EmbeddingSegment::IndexMerge(Tid up_to_tid, ThreadPool* pool) {
   TV_SPAN("vacuum.index_merge");
   Timer timer;
-  // Copy the deltas to merge (sealed files are ordered by max_tid). A copy
-  // (rather than pointers) keeps this safe against a concurrent DeltaMerge
-  // reallocating the sealed list.
-  size_t num_files = 0;
+  // Copy the deltas to merge (sealed files are ordered by max_tid) and
+  // remember the identity of the retired prefix. A copy (rather than
+  // pointers) keeps this safe against a concurrent DeltaMerge reallocating
+  // the sealed list; the (max_tid, path) identities let the retirement step
+  // below revalidate the prefix instead of blindly erasing by count.
   size_t merged_records = 0;
+  std::vector<std::pair<Tid, std::string>> retired;
   std::unordered_map<VertexId, VectorDelta> latest;
+  std::shared_ptr<VectorIndex> index;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
+    index = index_;
     for (const DeltaFile& f : pending_.sealed) {
       if (f.max_tid > up_to_tid) break;
-      ++num_files;
+      retired.emplace_back(f.max_tid, f.path);
       // Latest-wins dedup per id across the merged batch: the whole batch
       // becomes visible in the index atomically from the reader's
       // perspective (readers keep using the delta overlay until the files
@@ -180,7 +206,7 @@ Result<size_t> EmbeddingSegment::IndexMerge(Tid up_to_tid, ThreadPool* pool) {
       }
     }
   }
-  if (num_files == 0) return size_t{0};
+  if (retired.empty()) return size_t{0};
 
   std::vector<VectorIndexUpdate> items;
   items.reserve(latest.size());
@@ -191,20 +217,38 @@ Result<size_t> EmbeddingSegment::IndexMerge(Tid up_to_tid, ThreadPool* pool) {
     item.value = d.value;
     items.push_back(std::move(item));
   }
-  TV_RETURN_NOT_OK(index_->UpdateItems(items, pool));
+  // Runs unlocked so searches and commits proceed; the shared_ptr keeps the
+  // index alive even if a concurrent RebuildIndex swaps in a fresh one.
+  TV_RETURN_NOT_OK(index->UpdateItems(items, pool));
 
   // Retire the merged files and advance the merged horizon; this is the
   // snapshot switch point (paper Fig. 4).
   std::unique_lock<std::shared_mutex> lock(mu_);
-  const size_t num_merged = num_files;
+  if (index_ != index) {
+    // A concurrent RebuildIndex (or snapshot adoption) replaced the index
+    // while we merged: it already folded every pending delta and retired
+    // the files. Our updates went to the superseded index; drop them.
+    return merged_records;
+  }
+  // Revalidate the retired prefix under the lock: only erase sealed files
+  // that are still exactly the ones we merged — a concurrent RebuildIndex
+  // or second IndexMerge may have cleared or shortened the list, and a
+  // blind erase of [0, n) would then throw away unmerged files (or walk
+  // off the end of the vector).
+  size_t matched = 0;
   Tid new_merged = merged_tid_;
-  for (size_t i = 0; i < num_merged; ++i) {
-    new_merged = std::max(new_merged, pending_.sealed[i].max_tid);
+  while (matched < retired.size() && matched < pending_.sealed.size() &&
+         pending_.sealed[matched].max_tid == retired[matched].first &&
+         pending_.sealed[matched].path == retired[matched].second) {
+    new_merged = std::max(new_merged, retired[matched].first);
+    ++matched;
+  }
+  for (size_t i = 0; i < matched; ++i) {
     if (!pending_.sealed[i].path.empty()) {
-      std::remove(pending_.sealed[i].path.c_str());
+      (void)io::RemoveFile(pending_.sealed[i].path);
     }
   }
-  pending_.sealed.erase(pending_.sealed.begin(), pending_.sealed.begin() + num_merged);
+  pending_.sealed.erase(pending_.sealed.begin(), pending_.sealed.begin() + matched);
   merged_tid_ = new_merged;
   RebuildFirstPendingLocked();
   TV_COUNTER_INC("tv.vacuum.index_merges_total");
@@ -257,7 +301,7 @@ Status EmbeddingSegment::RebuildIndex(ThreadPool* pool) {
   }
   TV_RETURN_NOT_OK(status);
   for (DeltaFile& f : pending_.sealed) {
-    if (!f.path.empty()) std::remove(f.path.c_str());
+    if (!f.path.empty()) (void)io::RemoveFile(f.path);
   }
   pending_.sealed.clear();
   pending_.in_memory.clear();
@@ -428,6 +472,45 @@ Status EmbeddingSegment::AdoptIndexSnapshot(std::unique_ptr<VectorIndex> index,
   return Status::OK();
 }
 
+Status EmbeddingSegment::AdoptSealedFile(DeltaFile file) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!pending_.in_memory.empty()) {
+    return Status::InvalidArgument(
+        "cannot adopt a sealed delta file over in-memory deltas");
+  }
+  if (file.max_tid <= DurableHorizonLocked()) {
+    return Status::InvalidArgument("sealed delta file " + file.path +
+                                   " is at or below the durable horizon");
+  }
+  if (file.base_tid != DurableHorizonLocked()) {
+    // The file was sealed against a durable horizon we failed to
+    // reconstruct (e.g. its index snapshot was rejected): between the
+    // current horizon and base_tid there are deltas only the WAL has, and
+    // adopting this file would raise the horizon over them, shadowing the
+    // replay. Refuse; the WAL covers this file's contents too.
+    return Status::InvalidArgument(
+        "sealed delta file " + file.path + " is not contiguous with the " +
+        "recovered durable horizon");
+  }
+  for (const VectorDelta& d : file.deltas) {
+    pending_.first_pending_tid.try_emplace(d.id, d.tid);
+  }
+  pending_.sealed.push_back(std::move(file));
+  TV_COUNTER_INC("tv.recovery.delta_files_adopted_total");
+  return Status::OK();
+}
+
+Tid EmbeddingSegment::DurableHorizonLocked() const {
+  return pending_.sealed.empty()
+             ? merged_tid_
+             : std::max(merged_tid_, pending_.sealed.back().max_tid);
+}
+
+Tid EmbeddingSegment::durable_horizon() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return DurableHorizonLocked();
+}
+
 Tid EmbeddingSegment::merged_tid() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return merged_tid_;
@@ -448,6 +531,16 @@ size_t EmbeddingSegment::in_memory_delta_count() const {
 size_t EmbeddingSegment::sealed_file_count() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return pending_.sealed.size();
+}
+
+size_t EmbeddingSegment::index_size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_->size();
+}
+
+std::shared_ptr<const VectorIndex> EmbeddingSegment::index() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return index_;
 }
 
 }  // namespace tigervector

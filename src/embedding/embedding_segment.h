@@ -32,10 +32,18 @@ struct VectorDelta {
 // the service is configured with a data directory, the batch is also
 // persisted to `path` ("flushing deltas from the in-memory store to disk").
 struct DeltaFile {
+  // The segment's durable horizon when this file was sealed: the file holds
+  // every delta the segment received in (base_tid, max_tid]. Recovery may
+  // only re-attach a file whose base_tid equals the horizon already
+  // reconstructed — otherwise there is a gap only WAL replay can fill, and
+  // adopting the file would shadow that replay.
+  Tid base_tid = 0;
   Tid max_tid = 0;
   std::vector<VectorDelta> deltas;
   std::string path;  // empty when in-memory only
 
+  // Atomic (tmp + fsync + rename) write; a crash at any point leaves either
+  // the previous file or no file, never a torn one.
   Status Save(const std::string& file_path);
   static Result<DeltaFile> Load(const std::string& file_path);
 };
@@ -54,13 +62,20 @@ class EmbeddingSegment {
   EmbeddingSegment& operator=(const EmbeddingSegment&) = delete;
 
   // --- Commit path (serialized by the engine commit lock) ---
+  // Deltas at or below the durable horizon (already captured by an adopted
+  // index snapshot or sealed delta file) are skipped, which makes WAL
+  // replay over recovery artifacts idempotent.
   Status ApplyDelta(VectorDelta delta);
 
   // --- Vacuum (paper Fig. 4) ---
   // Step 1 (delta merge): seals in-memory deltas with tid <= up_to_tid into
-  // a delta file; when `dir` is non-empty the file is persisted there.
+  // a delta file; when `dir` is non-empty the file is persisted there as
+  // `<file_stem>_seg<id>_tid<max>.delta` (stem defaults to "emb"). The file
+  // is saved *before* the in-memory deltas are dropped: an I/O failure
+  // leaves every committed delta in place.
   // Returns the number of deltas sealed.
-  Result<size_t> DeltaMerge(Tid up_to_tid, const std::string& dir);
+  Result<size_t> DeltaMerge(Tid up_to_tid, const std::string& dir,
+                            const std::string& file_stem = "emb");
 
   // Step 2 (index merge): folds sealed delta files with max_tid <=
   // up_to_tid into the vector index via UpdateItems, then retires them.
@@ -108,6 +123,13 @@ class EmbeddingSegment {
   // Replaces the index with a loaded snapshot; requires an empty pending
   // delta store (load happens at startup, before traffic).
   Status AdoptIndexSnapshot(std::unique_ptr<VectorIndex> index, Tid merged_tid);
+  // Recovery: re-attaches a delta file sealed before a crash. Requires an
+  // empty in-memory store and file.max_tid above the current durable
+  // horizon; callers adopt files in ascending max_tid order.
+  Status AdoptSealedFile(DeltaFile file);
+  // Highest tid captured by on-disk artifacts (index snapshot or sealed
+  // delta files); deltas at or below it are dropped by ApplyDelta.
+  Tid durable_horizon() const;
 
   // --- Introspection ---
   SegmentId segment_id() const { return segment_id_; }
@@ -118,8 +140,10 @@ class EmbeddingSegment {
   size_t pending_delta_count() const;   // in-memory + sealed, not yet merged
   size_t in_memory_delta_count() const;
   size_t sealed_file_count() const;
-  size_t index_size() const { return index_->size(); }
-  const VectorIndex& index() const { return *index_; }
+  size_t index_size() const;
+  // Shared ownership so the caller's view stays valid across a concurrent
+  // RebuildIndex swapping in a fresh index.
+  std::shared_ptr<const VectorIndex> index() const;
 
  private:
   struct PendingState {
@@ -140,12 +164,17 @@ class EmbeddingSegment {
 
   void RebuildFirstPendingLocked();
 
+  Tid DurableHorizonLocked() const;
+
   SegmentId segment_id_;
   VertexId base_vid_;
   uint32_t capacity_;
   EmbeddingTypeInfo info_;
   HnswParams index_params_;
-  std::unique_ptr<VectorIndex> index_;
+  // Shared so IndexMerge can run UpdateItems outside the segment lock while
+  // a concurrent RebuildIndex swaps in a fresh index: the merge keeps the
+  // old index alive and detects the swap before retiring delta files.
+  std::shared_ptr<VectorIndex> index_;
   Tid merged_tid_ = 0;
 
   mutable std::shared_mutex mu_;  // guards PendingState + merged_tid_

@@ -1,10 +1,13 @@
 #include "embedding/embedding_service.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <mutex>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/io.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/topk_heap.h"
@@ -274,9 +277,12 @@ Result<size_t> EmbeddingService::RunDeltaMerge() {
   size_t sealed = 0;
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (auto& [key, state] : attr_states_) {
+    // Per-attribute stem keeps delta file names unique across attributes
+    // sharing a segment id, and recovery parses them back to the attribute.
+    const std::string stem = "emb_" + std::to_string(key.vtype) + "_" + key.attr;
     for (auto& seg : state.segments) {
       if (seg == nullptr) continue;
-      auto n = seg->DeltaMerge(up_to, options_.delta_dir);
+      auto n = seg->DeltaMerge(up_to, options_.delta_dir, stem);
       if (!n.ok()) return n.status();
       sealed += *n;
     }
@@ -315,11 +321,11 @@ Status EmbeddingService::SaveIndexSnapshots(const std::string& dir,
   // Fold everything first so the snapshot is self-contained.
   TV_RETURN_NOT_OK(RunDeltaMerge().status());
   TV_RETURN_NOT_OK(RunIndexMerge(pool).status());
-  FILE* manifest = std::fopen((dir + "/embedding_snapshots.manifest").c_str(), "w");
-  if (manifest == nullptr) {
-    return Status::IOError("cannot open manifest in " + dir);
-  }
-  Status status = Status::OK();
+  // Snapshot files first, manifest last: each snapshot is written atomically
+  // (tmp + rename), and the manifest rename is the commit point for the set.
+  // A crash anywhere mid-save leaves the previous manifest naming the
+  // previous, still-intact snapshot files.
+  std::string manifest_body;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     for (const auto& [key, state] : attr_states_) {
@@ -328,21 +334,19 @@ Status EmbeddingService::SaveIndexSnapshots(const std::string& dir,
         const std::string file = "emb_" + std::to_string(key.vtype) + "_" +
                                  key.attr + "_seg" +
                                  std::to_string(seg->segment_id()) + ".hnsw";
-        Status st = seg->SaveIndexSnapshot(dir + "/" + file);
-        if (!st.ok()) {
-          status = st;
-          break;
-        }
-        std::fprintf(manifest, "%u %s %u %llu %s\n", key.vtype, key.attr.c_str(),
-                     seg->segment_id(),
-                     static_cast<unsigned long long>(seg->merged_tid()),
-                     file.c_str());
+        TV_RETURN_NOT_OK(seg->SaveIndexSnapshot(dir + "/" + file));
+        manifest_body += std::to_string(key.vtype) + " " + key.attr + " " +
+                         std::to_string(seg->segment_id()) + " " +
+                         std::to_string(seg->merged_tid()) + " " + file + "\n";
       }
-      if (!status.ok()) break;
     }
   }
-  std::fclose(manifest);
-  return status;
+  auto create = io::AtomicFile::Create(dir + "/embedding_snapshots.manifest",
+                                       "manifest.save");
+  if (!create.ok()) return create.status();
+  io::AtomicFile manifest = std::move(create).value();
+  TV_RETURN_NOT_OK(manifest.Write(manifest_body.data(), manifest_body.size()));
+  return manifest.Commit();
 }
 
 Status EmbeddingService::LoadIndexSnapshots(const std::string& dir) {
@@ -377,6 +381,179 @@ Status EmbeddingService::LoadIndexSnapshots(const std::string& dir) {
   return status;
 }
 
+Status EmbeddingService::RecoverSnapshots(const std::string& dir,
+                                          RecoveryStats* stats) {
+  FILE* manifest = std::fopen((dir + "/embedding_snapshots.manifest").c_str(), "r");
+  if (manifest == nullptr) return Status::OK();  // no snapshot set to adopt
+  char attr_buf[256];
+  char file_buf[512];
+  unsigned vtype = 0, seg_id = 0;
+  unsigned long long merged_tid = 0;
+  while (std::fscanf(manifest, "%u %255s %u %llu %511s", &vtype, attr_buf, &seg_id,
+                     &merged_tid, file_buf) == 5) {
+    // Each snapshot is best-effort: snapshots only shorten WAL replay, so a
+    // file that fails to load or adopt is skipped, never fatal.
+    auto state = GetOrCreateAttrState(static_cast<VertexTypeId>(vtype), attr_buf);
+    if (!state.ok()) {
+      ++stats->snapshots_rejected;
+      continue;
+    }
+    EmbeddingSegment* segment = GetOrCreateSegment(*state, (*state)->info,
+                                                   static_cast<SegmentId>(seg_id));
+    auto index = HnswIndex::LoadFromFile(dir + "/" + file_buf);
+    if (!index.ok() ||
+        !segment
+             ->AdoptIndexSnapshot(std::move(index).value(),
+                                  static_cast<Tid>(merged_tid))
+             .ok()) {
+      ++stats->snapshots_rejected;
+      TV_COUNTER_INC("tv.recovery.snapshots_rejected_total");
+      continue;
+    }
+    ++stats->snapshots_adopted;
+    TV_COUNTER_INC("tv.recovery.snapshots_adopted_total");
+  }
+  std::fclose(manifest);
+  return Status::OK();
+}
+
+namespace {
+
+// A RunDeltaMerge artifact name: `emb_<vtype>_<attr>_seg<id>_tid<max>.delta`.
+struct DeltaFileName {
+  VertexTypeId vtype = 0;
+  std::string attr;
+  SegmentId seg_id = 0;
+  Tid max_tid = 0;
+};
+
+bool ParseUnsigned(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Parsed from the right, since the attribute name may contain underscores.
+bool ParseDeltaFileName(const std::string& name, DeltaFileName* out) {
+  if (!EndsWith(name, ".delta")) return false;
+  const std::string base = name.substr(0, name.size() - 6);
+  const size_t tid_pos = base.rfind("_tid");
+  if (tid_pos == std::string::npos || tid_pos == 0) return false;
+  const size_t seg_pos = base.rfind("_seg", tid_pos - 1);
+  if (seg_pos == std::string::npos) return false;
+  const std::string stem = base.substr(0, seg_pos);
+  if (stem.rfind("emb_", 0) != 0) return false;
+  const std::string rest = stem.substr(4);
+  const size_t us = rest.find('_');
+  if (us == std::string::npos || us + 1 >= rest.size()) return false;
+  uint64_t vtype = 0, seg_id = 0, max_tid = 0;
+  if (!ParseUnsigned(rest.substr(0, us), &vtype) ||
+      !ParseUnsigned(base.substr(seg_pos + 4, tid_pos - seg_pos - 4), &seg_id) ||
+      !ParseUnsigned(base.substr(tid_pos + 4), &max_tid)) {
+    return false;
+  }
+  out->vtype = static_cast<VertexTypeId>(vtype);
+  out->attr = rest.substr(us + 1);
+  out->seg_id = static_cast<SegmentId>(seg_id);
+  out->max_tid = static_cast<Tid>(max_tid);
+  return true;
+}
+
+}  // namespace
+
+Status EmbeddingService::RecoverDeltaFiles(const std::string& dir,
+                                           RecoveryStats* stats) {
+  if (dir.empty()) return Status::OK();
+  auto listing = io::ListDir(dir);
+  if (!listing.ok()) return Status::OK();  // no delta directory yet
+  struct Entry {
+    DeltaFileName meta;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+  for (const std::string& name : *listing) {
+    const std::string path = dir + "/" + name;
+    if (EndsWith(name, io::kTmpSuffix)) {
+      // Staging leftover from an interrupted atomic write; never committed.
+      (void)io::RemoveFile(path);
+      ++stats->tmp_files_removed;
+      continue;
+    }
+    Entry e;
+    if (ParseDeltaFileName(name, &e.meta)) {
+      e.path = path;
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.meta.vtype != b.meta.vtype) return a.meta.vtype < b.meta.vtype;
+    if (a.meta.attr != b.meta.attr) return a.meta.attr < b.meta.attr;
+    if (a.meta.seg_id != b.meta.seg_id) return a.meta.seg_id < b.meta.seg_id;
+    return a.meta.max_tid < b.meta.max_tid;
+  });
+
+  size_t i = 0;
+  while (i < entries.size()) {
+    // One (attribute, segment) group at a time, files in ascending max_tid.
+    const DeltaFileName& head = entries[i].meta;
+    size_t end = i;
+    while (end < entries.size() && entries[end].meta.vtype == head.vtype &&
+           entries[end].meta.attr == head.attr &&
+           entries[end].meta.seg_id == head.seg_id) {
+      ++end;
+    }
+    auto state = GetOrCreateAttrState(head.vtype, head.attr);
+    if (!state.ok()) {
+      i = end;  // not in the current schema; leave the files alone
+      continue;
+    }
+    EmbeddingSegment* segment =
+        GetOrCreateSegment(*state, (*state)->info, head.seg_id);
+    bool chain_broken = false;
+    for (; i < end; ++i) {
+      const Entry& entry = entries[i];
+      if (chain_broken) {
+        // Past a quarantined file the chain has a tid gap, so adopting later
+        // files would shadow WAL replay of the gap. They are redundant with
+        // the WAL (which is never pruned past them) — drop and replay.
+        (void)io::RemoveFile(entry.path);
+        ++stats->stale_files_removed;
+        continue;
+      }
+      if (entry.meta.max_tid <= segment->durable_horizon()) {
+        // Fully captured by the adopted index snapshot (or an earlier file).
+        (void)io::RemoveFile(entry.path);
+        ++stats->stale_files_removed;
+        continue;
+      }
+      auto file = DeltaFile::Load(entry.path);
+      if (!file.ok()) {
+        (void)io::Rename(entry.path, entry.path + io::kQuarantineSuffix);
+        ++stats->delta_files_quarantined;
+        TV_COUNTER_INC("tv.recovery.delta_files_quarantined_total");
+        chain_broken = true;
+        continue;
+      }
+      if (!segment->AdoptSealedFile(std::move(file).value()).ok()) {
+        chain_broken = true;
+        continue;
+      }
+      ++stats->delta_files_adopted;
+    }
+  }
+  return Status::OK();
+}
+
 size_t EmbeddingService::SuggestVacuumThreads() const {
   const size_t active = active_searches_.load(std::memory_order_relaxed);
   const size_t max_threads = std::max<size_t>(1, options_.max_vacuum_threads);
@@ -392,7 +569,7 @@ EmbeddingService::ServiceStats EmbeddingService::AggregateStats() const {
       if (seg == nullptr) continue;
       ++out.segments;
       out.live_vectors += seg->index_size();
-      if (const auto* hnsw = dynamic_cast<const HnswIndex*>(&seg->index())) {
+      if (const auto* hnsw = dynamic_cast<const HnswIndex*>(seg->index().get())) {
         const HnswStats stats = hnsw->stats();
         out.distance_computations += stats.distance_computations;
         out.hops += stats.hops;

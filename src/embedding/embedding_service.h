@@ -98,6 +98,29 @@ class EmbeddingService : public EmbeddingSink {
   // Restores segment indexes from a snapshot directory.
   Status LoadIndexSnapshots(const std::string& dir);
 
+  // --- Crash recovery (used by Database::Recover) ---
+  struct RecoveryStats {
+    size_t snapshots_adopted = 0;
+    size_t snapshots_rejected = 0;
+    size_t delta_files_adopted = 0;
+    size_t delta_files_quarantined = 0;
+    size_t stale_files_removed = 0;
+    size_t tmp_files_removed = 0;
+  };
+  // Best-effort variant of LoadIndexSnapshots: a missing or unreadable
+  // manifest means "no snapshot" (not an error), and a snapshot file that
+  // fails to load or adopt is skipped — WAL replay covers the gap either
+  // way, snapshots only shorten it.
+  Status RecoverSnapshots(const std::string& dir, RecoveryStats* stats);
+  // Re-attaches sealed delta files left behind by a pre-crash delta merge
+  // (names `emb_<vtype>_<attr>_seg<id>_tid<max>.delta`). Files are adopted
+  // per segment in ascending max_tid order; a corrupt file is quarantined
+  // (renamed with a ".quarantined" suffix) and stops that segment's chain,
+  // leaving the rest to WAL replay. Files at or below a segment's durable
+  // horizon are stale duplicates of an adopted snapshot and are removed, as
+  // are leftover ".tmp" staging files from interrupted atomic writes.
+  Status RecoverDeltaFiles(const std::string& dir, RecoveryStats* stats);
+
   // Adaptive vacuum parallelism: back off while foreground searches are
   // active (paper Sec. 4.3: the number of index-update threads is tuned
   // dynamically to balance efficiency and query responsiveness).

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -223,12 +224,10 @@ Result<Tid> GraphStore::CommitTransaction(const std::vector<Mutation>& mutations
   return tid;
 }
 
-Status GraphStore::Recover(const std::string& wal_path) {
-  auto records = WriteAheadLog::ReadAll(wal_path);
-  if (!records.ok()) return records.status();
+Status GraphStore::ReplayRecords(const std::vector<WriteAheadLog::Record>& records) {
   Tid max_tid = 0;
   VertexId max_vid = 0;
-  for (const auto& rec : *records) {
+  for (const auto& rec : records) {
     for (const Mutation& m : rec.mutations) {
       if (m.vid != kInvalidVertexId && m.vid + 1 > max_vid) max_vid = m.vid + 1;
       if (m.kind == Mutation::Kind::kInsertEdge ||
@@ -245,6 +244,33 @@ Status GraphStore::Recover(const std::string& wal_path) {
   if (max_vid > expect) next_vid_.store(max_vid);
   if (max_vid > 0) EnsureSegmentsFor(max_vid - 1);
   return Status::OK();
+}
+
+Status GraphStore::Recover(const std::string& wal_path) {
+  auto records = WriteAheadLog::ReadAll(wal_path);
+  if (!records.ok()) return records.status();
+  return ReplayRecords(*records);
+}
+
+Result<GraphStore::WalRecoveryInfo> GraphStore::RecoverWal(
+    const std::string& wal_path, bool truncate_tail) {
+  WalRecoveryInfo info;
+  if (!io::Exists(wal_path)) return info;  // nothing committed yet
+  auto outcome = WriteAheadLog::ReadLog(wal_path);
+  if (!outcome.ok()) return outcome.status();
+  TV_RETURN_NOT_OK(ReplayRecords(outcome->records));
+  info.records = outcome->records.size();
+  info.max_tid = visible_tid();
+  info.truncated = outcome->truncated;
+  info.valid_bytes = outcome->valid_bytes;
+  TV_COUNTER_ADD("tv.recovery.wal_records_replayed_total", info.records);
+  if (info.truncated && truncate_tail) {
+    // Cut the torn record so the next Append lands on a record boundary;
+    // the prefix being truncated was never acknowledged to any client.
+    TV_RETURN_NOT_OK(io::TruncateFile(wal_path, info.valid_bytes));
+    TV_COUNTER_INC("tv.recovery.wal_truncations_total");
+  }
+  return info;
 }
 
 bool GraphStore::IsVisible(VertexId vid, Tid read_tid) const {

@@ -90,6 +90,19 @@ class GraphStore {
   // if a sink is registered). next-vid/next-tid counters are restored.
   Status Recover(const std::string& wal_path);
 
+  // Crash-tolerant WAL replay: a missing file is an empty log and a torn
+  // tail (crash mid-append) ends the replay at the last complete record
+  // instead of failing. With `truncate_tail` the file is then cut back to
+  // that boundary so subsequent appends continue from a clean record edge.
+  struct WalRecoveryInfo {
+    size_t records = 0;
+    Tid max_tid = 0;
+    bool truncated = false;       // a torn tail was found (and possibly cut)
+    uint64_t valid_bytes = 0;     // byte offset of the last complete record
+  };
+  Result<WalRecoveryInfo> RecoverWal(const std::string& wal_path,
+                                     bool truncate_tail);
+
   // Highest committed, visible transaction id. Readers snapshot this as
   // their read_tid.
   Tid visible_tid() const { return visible_tid_.load(std::memory_order_acquire); }
@@ -138,6 +151,7 @@ class GraphStore {
 
   Status ValidateMutations(const std::vector<Mutation>& mutations) const;
   Status ApplyOne(const Mutation& m, Tid tid);
+  Status ReplayRecords(const std::vector<WriteAheadLog::Record>& records);
 
   Schema* schema_;
   Options options_;

@@ -221,13 +221,10 @@ Result<std::vector<Mutation>> WriteAheadLog::DecodeMutations(const uint8_t* data
   return out;
 }
 
-WriteAheadLog::~WriteAheadLog() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
 Status WriteAheadLog::Open(const std::string& path, bool sync_on_commit) {
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) return Status::IOError("cannot open wal at " + path);
+  auto file = io::File::Open(path, "ab", "wal.append");
+  if (!file.ok()) return Status::IOError("cannot open wal at " + path);
+  file_ = std::move(file).value();
   sync_on_commit_ = sync_on_commit;
   return Status::OK();
 }
@@ -240,51 +237,80 @@ Status WriteAheadLog::Append(Tid tid, const std::vector<Mutation>& mutations) {
   bytes_ += payload.size() + 12;
   TV_COUNTER_INC("tv.wal.appends_total");
   TV_COUNTER_ADD("tv.wal.bytes_total", payload.size() + 12);
-  if (file_ == nullptr) {
+  if (!file_.is_open()) {
     TV_HISTOGRAM_OBSERVE("tv.wal.append_seconds", timer.ElapsedSeconds());
     return Status::OK();  // in-memory mode
   }
   const uint32_t len = static_cast<uint32_t>(payload.size());
-  bool ok = std::fwrite(&len, sizeof(len), 1, file_) == 1 &&
-            std::fwrite(&tid, sizeof(tid), 1, file_) == 1 &&
-            (payload.empty() ||
-             std::fwrite(payload.data(), 1, payload.size(), file_) == payload.size());
-  if (ok) {
-    ok = std::fflush(file_) == 0;
+  Status st = file_.Write(&len, sizeof(len));
+  if (st.ok()) st = file_.Write(&tid, sizeof(tid));
+  if (st.ok() && !payload.empty()) st = file_.Write(payload.data(), payload.size());
+  if (st.ok()) {
+    // sync_on_commit: the commit protocol promises the record is on stable
+    // storage before the transaction is acknowledged, so a buffered flush
+    // is not enough — fsync for real.
+    st = sync_on_commit_ ? Sync() : file_.Flush();
     TV_COUNTER_INC("tv.wal.flushes_total");
   }
   TV_HISTOGRAM_OBSERVE("tv.wal.append_seconds", timer.ElapsedSeconds());
-  if (!ok) return Status::IOError("wal append failed");
+  return st;
+}
+
+Status WriteAheadLog::Sync() {
+  if (!file_.is_open()) return Status::OK();
+  TV_RETURN_NOT_OK(file_.Sync());
+  ++fsyncs_;
+  TV_COUNTER_INC("tv.wal.fsyncs_total");
   return Status::OK();
+}
+
+Result<WriteAheadLog::ReadOutcome> WriteAheadLog::ReadLog(const std::string& path) {
+  auto open = io::File::Open(path, "rb");
+  if (!open.ok()) return Status::IOError("cannot open wal at " + path);
+  io::File f = std::move(open).value();
+  ReadOutcome out;
+  uint64_t offset = 0;
+  for (;;) {
+    // Any short read or undecodable payload from here to the end of the
+    // current record is a torn tail: keep the complete prefix, remember
+    // where it ends, and stop. A crash mid-append is expected to leave
+    // exactly this artifact, so it must not fail recovery.
+    uint32_t len;
+    Tid tid;
+    auto got = f.ReadSome(&len, sizeof(len));
+    if (!got.ok()) return got.status();
+    if (*got == 0) break;  // clean EOF on a record boundary
+    if (*got < sizeof(len)) {
+      out.truncated = true;
+      break;
+    }
+    if (!f.Read(&tid, sizeof(tid)).ok()) {
+      out.truncated = true;
+      break;
+    }
+    std::vector<uint8_t> payload(len);
+    if (len > 0 && !f.Read(payload.data(), len).ok()) {
+      out.truncated = true;
+      break;
+    }
+    auto mutations = DecodeMutations(payload.data(), payload.size());
+    if (!mutations.ok()) {
+      out.truncated = true;
+      break;
+    }
+    offset += sizeof(len) + sizeof(tid) + len;
+    out.records.push_back(Record{tid, std::move(mutations).value()});
+  }
+  out.valid_bytes = offset;
+  if (out.truncated) TV_COUNTER_INC("tv.wal.torn_tails_total");
+  return out;
 }
 
 Result<std::vector<WriteAheadLog::Record>> WriteAheadLog::ReadAll(
     const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open wal at " + path);
-  std::vector<Record> records;
-  for (;;) {
-    uint32_t len;
-    Tid tid;
-    if (std::fread(&len, sizeof(len), 1, f) != 1) break;  // clean EOF
-    if (std::fread(&tid, sizeof(tid), 1, f) != 1) {
-      std::fclose(f);
-      return Status::IOError("wal: truncated record header");
-    }
-    std::vector<uint8_t> payload(len);
-    if (len > 0 && std::fread(payload.data(), 1, len, f) != len) {
-      std::fclose(f);
-      return Status::IOError("wal: truncated record payload");
-    }
-    auto mutations = DecodeMutations(payload.data(), payload.size());
-    if (!mutations.ok()) {
-      std::fclose(f);
-      return mutations.status();
-    }
-    records.push_back(Record{tid, std::move(mutations).value()});
-  }
-  std::fclose(f);
-  return records;
+  auto outcome = ReadLog(path);
+  if (!outcome.ok()) return outcome.status();
+  return std::move(outcome->records);
 }
 
 }  // namespace tigervector

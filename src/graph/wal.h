@@ -1,12 +1,11 @@
 #ifndef TIGERVECTOR_GRAPH_WAL_H_
 #define TIGERVECTOR_GRAPH_WAL_H_
 
-#include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/mutation.h"
+#include "util/io.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -14,8 +13,8 @@ namespace tigervector {
 
 // Write-ahead log for committed transactions. Each record is
 // [payload_len u32][tid u64][mutation payload]; the commit protocol appends
-// the record (and optionally fsyncs) before the mutations are applied to
-// the stores, so recovery can replay every committed transaction
+// the record (and, with sync_on_commit, fsyncs it) before the mutations are
+// applied to the stores, so recovery can replay every committed transaction
 // (paper Sec. 4.3: "Distributed and replicated write-ahead log (WAL) is
 // used for durability"; this single-node reproduction keeps one log).
 class WriteAheadLog {
@@ -24,21 +23,41 @@ class WriteAheadLog {
   // exercise the round trip.
   WriteAheadLog() = default;
 
-  ~WriteAheadLog();
-
-  // Opens (creating or appending) a log file at `path`.
+  // Opens (creating or appending) a log file at `path`. With sync_on_commit
+  // every Append fsyncs before reporting success; without it a crash can
+  // lose the buffered tail (group-commit durability is traded for speed).
   Status Open(const std::string& path, bool sync_on_commit = false);
 
   // Appends one committed transaction. Thread-compatible: the engine's
   // commit lock already serializes callers.
   Status Append(Tid tid, const std::vector<Mutation>& mutations);
 
+  // Forces everything appended so far to stable storage.
+  Status Sync();
+
   struct Record {
     Tid tid;
     std::vector<Mutation> mutations;
   };
 
-  // Reads back all records of a log file (for recovery).
+  // Result of scanning a log file. A torn tail — a final record cut short
+  // by a crash mid-append — is the *expected* crash artifact, not an error:
+  // the scan reports the complete prefix plus where the valid bytes end so
+  // recovery can truncate the tail and proceed.
+  struct ReadOutcome {
+    std::vector<Record> records;
+    // True when trailing bytes after the last complete record were dropped.
+    bool truncated = false;
+    // File offset one past the last complete record (== file size when not
+    // truncated); the correct truncation point for the log.
+    uint64_t valid_bytes = 0;
+  };
+
+  // Reads back all complete records of a log file, tolerating a torn tail.
+  // Only a missing/unreadable file is an error.
+  static Result<ReadOutcome> ReadLog(const std::string& path);
+
+  // Compatibility wrapper over ReadLog that drops the truncation info.
   static Result<std::vector<Record>> ReadAll(const std::string& path);
 
   // Serialization helpers, exposed for tests.
@@ -47,12 +66,15 @@ class WriteAheadLog {
 
   uint64_t appended_records() const { return appended_; }
   uint64_t appended_bytes() const { return bytes_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  bool sync_on_commit() const { return sync_on_commit_; }
 
  private:
-  FILE* file_ = nullptr;
+  io::File file_;
   bool sync_on_commit_ = false;
   uint64_t appended_ = 0;
   uint64_t bytes_ = 0;
+  uint64_t fsyncs_ = 0;
 };
 
 }  // namespace tigervector

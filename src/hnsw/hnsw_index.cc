@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/io.h"
 #include "util/thread_pool.h"
 
 namespace tigervector {
@@ -15,6 +16,29 @@ namespace tigervector {
 namespace {
 constexpr uint32_t kInvalidId = UINT32_MAX;
 constexpr uint64_t kFileMagic = 0x54475648'4e535731ULL;  // "TGVHNSW1"
+
+#if defined(__SANITIZE_THREAD__)
+#define TV_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TV_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define TV_NO_SANITIZE_THREAD
+#endif
+#else
+#define TV_NO_SANITIZE_THREAD
+#endif
+
+// In-place vector overwrite (UpdateInternal). It intentionally races with
+// unlocked distance reads during concurrent searches — hnswlib semantics: a
+// reader may observe a torn vector, which only perturbs that one query's
+// approximation, never the graph structure. The copy goes through this
+// helper (not memcpy) so the benign race is explicit and not reported by
+// TSan.
+TV_NO_SANITIZE_THREAD void RelaxedCopyVector(float* dst, const float* src,
+                                             size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+}
 
 // Per-instance stats stay authoritative for per-segment attribution; the
 // same increments mirror into the process-wide registry so exporters see
@@ -86,7 +110,7 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
   std::priority_queue<Candidate> top;
   std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>>
       frontier;
-  std::vector<uint8_t> visited(nodes_.size(), 0);
+  std::vector<uint8_t> visited(NodeCount(), 0);
 
   const float entry_dist = Dist(query, entry);
   top.push(Candidate{entry_dist, entry});
@@ -239,6 +263,8 @@ Status HnswIndex::InsertInternal(uint64_t label, const float* vec) {
     label_to_id_.emplace(label, id);
     std::memcpy(data_.data() + size_t{id} * params_.dim, vec,
                 params_.dim * sizeof(float));
+    node_count_.store(static_cast<uint32_t>(nodes_.size()),
+                      std::memory_order_release);
     entry = entry_point_;
     search_from_level = max_level_;
     if (entry_point_ == kInvalidId) {
@@ -276,8 +302,7 @@ Status HnswIndex::InsertInternal(uint64_t label, const float* vec) {
 Status HnswIndex::UpdateInternal(uint32_t id, const float* vec) {
   {
     std::lock_guard<std::mutex> lock(node_locks_[id]);
-    std::memcpy(data_.data() + size_t{id} * params_.dim, vec,
-                params_.dim * sizeof(float));
+    RelaxedCopyVector(data_.data() + size_t{id} * params_.dim, vec, params_.dim);
     if (nodes_[id].deleted) {
       nodes_[id].deleted = false;
       live_count_.fetch_add(1);
@@ -440,10 +465,15 @@ bool HnswIndex::Contains(uint64_t label) const {
 }
 
 bool HnswIndex::IsDeleted(uint64_t label) const {
-  std::lock_guard<std::mutex> lock(global_mu_);
-  auto it = label_to_id_.find(label);
-  if (it == label_to_id_.end()) return true;
-  return nodes_[it->second].deleted;
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    auto it = label_to_id_.find(label);
+    if (it == label_to_id_.end()) return true;
+    id = it->second;
+  }
+  std::lock_guard<std::mutex> lock(node_locks_[id]);
+  return nodes_[id].deleted;
 }
 
 Status HnswIndex::GetEmbedding(uint64_t label, float* out) const {
@@ -456,6 +486,9 @@ Status HnswIndex::GetEmbedding(uint64_t label, float* out) const {
     }
     id = it->second;
   }
+  // Node lock so the copy can't interleave with an in-place update of the
+  // same slot (exact reads stay consistent; only search traversal reads raw).
+  std::lock_guard<std::mutex> lock(node_locks_[id]);
   std::memcpy(out, DataAt(id), params_.dim * sizeof(float));
   return Status::OK();
 }
@@ -483,10 +516,15 @@ std::vector<SearchHit> HnswIndex::TopKSearch(const float* query, size_t k, size_
   std::vector<Candidate> cands = SearchLayer(query, curr, ef, 0);
   out.reserve(std::min(k, cands.size()));
   for (const Candidate& c : cands) {
-    const Node& node = nodes_[c.id];
-    if (node.deleted) continue;
-    if (!filter.Accepts(node.label)) continue;
-    out.push_back(SearchHit{c.distance, node.label});
+    uint64_t label;
+    {
+      std::lock_guard<std::mutex> lock(node_locks_[c.id]);
+      const Node& node = nodes_[c.id];
+      if (node.deleted) continue;
+      label = node.label;
+    }
+    if (!filter.Accepts(label)) continue;
+    out.push_back(SearchHit{c.distance, label});
     if (out.size() >= k) break;
   }
   return out;
@@ -496,7 +534,7 @@ std::vector<SearchHit> HnswIndex::RangeSearch(const float* query, float threshol
                                               size_t initial_k, size_t ef,
                                               const FilterView& filter) const {
   size_t k = std::max<size_t>(1, initial_k);
-  const size_t total = nodes_.size();
+  const size_t total = NodeCount();
   std::vector<SearchHit> hits;
   for (;;) {
     hits = TopKSearch(query, k, std::max(ef, k), filter);
@@ -515,16 +553,17 @@ std::vector<SearchHit> HnswIndex::RangeSearch(const float* query, float threshol
 
 std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
                                                    const FilterView& filter) const {
-  size_t count;
-  {
-    std::lock_guard<std::mutex> lock(global_mu_);
-    count = nodes_.size();
-  }
+  const uint32_t count = NodeCount();
   std::priority_queue<Candidate> top;
   for (uint32_t id = 0; id < count; ++id) {
-    const Node& node = nodes_[id];
-    if (node.deleted) continue;
-    if (!filter.Accepts(node.label)) continue;
+    uint64_t label;
+    {
+      std::lock_guard<std::mutex> lock(node_locks_[id]);
+      const Node& node = nodes_[id];
+      if (node.deleted) continue;
+      label = node.label;
+    }
+    if (!filter.Accepts(label)) continue;
     const float d = Dist(query, id);
     if (top.size() < k) {
       top.push(Candidate{d, id});
@@ -536,7 +575,12 @@ std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
   std::vector<SearchHit> out;
   out.reserve(top.size());
   while (!top.empty()) {
-    out.push_back(SearchHit{top.top().distance, nodes_[top.top().id].label});
+    uint64_t label;
+    {
+      std::lock_guard<std::mutex> lock(node_locks_[top.top().id]);
+      label = nodes_[top.top().id].label;
+    }
+    out.push_back(SearchHit{top.top().distance, label});
     top.pop();
   }
   std::reverse(out.begin(), out.end());
@@ -568,6 +612,7 @@ std::vector<uint64_t> HnswIndex::Labels() const {
   std::vector<uint64_t> labels;
   labels.reserve(label_to_id_.size());
   for (const auto& [label, id] : label_to_id_) {
+    std::lock_guard<std::mutex> node_lock(node_locks_[id]);
     if (!nodes_[id].deleted) labels.push_back(label);
   }
   return labels;
@@ -576,21 +621,25 @@ std::vector<uint64_t> HnswIndex::Labels() const {
 namespace {
 
 template <typename T>
-bool WritePod(FILE* f, const T& v) {
-  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+bool WritePod(io::AtomicFile* f, const T& v) {
+  return f->Write(&v, sizeof(T)).ok();
 }
 
 template <typename T>
-bool ReadPod(FILE* f, T* v) {
-  return std::fread(v, sizeof(T), 1, f) == 1;
+bool ReadPod(io::File* f, T* v) {
+  return f->Read(v, sizeof(T)).ok();
 }
 
 }  // namespace
 
 Status HnswIndex::SaveToFile(const std::string& path) const {
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
-  bool ok = WritePod(f, kFileMagic);
+  // Atomic tmp + fsync + rename ("snapshot.save" fault site): a crash mid-
+  // save leaves the previous snapshot intact, never a torn file recovery
+  // would have to reject.
+  auto create = io::AtomicFile::Create(path, "snapshot.save");
+  if (!create.ok()) return create.status();
+  io::AtomicFile f = std::move(create).value();
+  bool ok = WritePod(&f, kFileMagic);
   const uint64_t dim = params_.dim;
   const uint32_t metric = static_cast<uint32_t>(params_.metric);
   const uint64_t m = params_.m;
@@ -599,30 +648,31 @@ Status HnswIndex::SaveToFile(const std::string& path) const {
   const uint64_t count = nodes_.size();
   const uint32_t entry = entry_point_;
   const int32_t max_level = max_level_;
-  ok = ok && WritePod(f, dim) && WritePod(f, metric) && WritePod(f, m) &&
-       WritePod(f, efc) && WritePod(f, cap) && WritePod(f, count) &&
-       WritePod(f, entry) && WritePod(f, max_level);
+  ok = ok && WritePod(&f, dim) && WritePod(&f, metric) && WritePod(&f, m) &&
+       WritePod(&f, efc) && WritePod(&f, cap) && WritePod(&f, count) &&
+       WritePod(&f, entry) && WritePod(&f, max_level);
   for (uint64_t i = 0; ok && i < count; ++i) {
     const Node& node = nodes_[i];
     const uint8_t deleted = node.deleted ? 1 : 0;
     const uint32_t num_levels = static_cast<uint32_t>(node.links.size());
-    ok = WritePod(f, node.label) && WritePod(f, deleted) && WritePod(f, num_levels);
+    ok = WritePod(&f, node.label) && WritePod(&f, deleted) && WritePod(&f, num_levels);
     for (uint32_t l = 0; ok && l < num_levels; ++l) {
       const uint32_t n = static_cast<uint32_t>(node.links[l].size());
-      ok = WritePod(f, n) &&
-           std::fwrite(node.links[l].data(), sizeof(uint32_t), n, f) == n;
+      ok = WritePod(&f, n) &&
+           f.Write(node.links[l].data(), n * sizeof(uint32_t)).ok();
     }
-    ok = ok && std::fwrite(data_.data() + i * params_.dim, sizeof(float),
-                           params_.dim, f) == params_.dim;
+    ok = ok && f.Write(data_.data() + i * params_.dim,
+                       params_.dim * sizeof(float)).ok();
   }
-  std::fclose(f);
   if (!ok) return Status::IOError("short write to " + path);
-  return Status::OK();
+  return f.Commit();
 }
 
 Result<std::unique_ptr<HnswIndex>> HnswIndex::LoadFromFile(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  auto open = io::File::Open(path, "rb", "snapshot.load");
+  if (!open.ok()) return open.status();
+  io::File file = std::move(open).value();
+  io::File* f = &file;
   uint64_t magic = 0, dim = 0, m = 0, efc = 0, cap = 0, count = 0;
   uint32_t metric = 0, entry = kInvalidId;
   int32_t max_level = -1;
@@ -630,8 +680,7 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::LoadFromFile(const std::string& pa
             ReadPod(f, &metric) && ReadPod(f, &m) && ReadPod(f, &efc) &&
             ReadPod(f, &cap) && ReadPod(f, &count) && ReadPod(f, &entry) &&
             ReadPod(f, &max_level);
-  if (!ok) {
-    std::fclose(f);
+  if (!ok || count > cap || dim == 0) {
     return Status::IOError("corrupt hnsw file header: " + path);
   }
   HnswParams params;
@@ -656,11 +705,11 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::LoadFromFile(const std::string& pa
       ok = ReadPod(f, &n);
       if (ok) {
         node.links[l].resize(n);
-        ok = std::fread(node.links[l].data(), sizeof(uint32_t), n, f) == n;
+        ok = f->Read(node.links[l].data(), n * sizeof(uint32_t)).ok();
       }
     }
     if (ok) {
-      ok = std::fread(index->data_.data() + i * dim, sizeof(float), dim, f) == dim;
+      ok = f->Read(index->data_.data() + i * dim, dim * sizeof(float)).ok();
     }
     if (ok) {
       index->label_to_id_.emplace(node.label, static_cast<uint32_t>(i));
@@ -668,9 +717,10 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::LoadFromFile(const std::string& pa
       index->nodes_.push_back(std::move(node));
     }
   }
-  std::fclose(f);
   if (!ok) return Status::IOError("corrupt hnsw file body: " + path);
   index->live_count_.store(live);
+  index->node_count_.store(static_cast<uint32_t>(index->nodes_.size()),
+                           std::memory_order_release);
   return index;
 }
 

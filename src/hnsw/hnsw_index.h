@@ -142,6 +142,11 @@ class HnswIndex : public VectorIndex {
   const float* DataAt(uint32_t id) const { return data_.data() + size_t{id} * params_.dim; }
   float Dist(const float* query, uint32_t id) const;
 
+  // Node count published for lock-free readers. nodes_ is reserved to
+  // max_elements up front so its buffer never moves; a reader that acquires
+  // the count sees every node below it fully constructed.
+  uint32_t NodeCount() const { return node_count_.load(std::memory_order_acquire); }
+
   int DrawLevel();
 
   // Greedy single-entry descent at `level` starting from `entry`.
@@ -171,6 +176,7 @@ class HnswIndex : public VectorIndex {
   std::unordered_map<uint64_t, uint32_t> label_to_id_;
   std::unique_ptr<std::mutex[]> node_locks_;  // one per internal slot
   mutable std::mutex global_mu_;            // entry point + node allocation
+  std::atomic<uint32_t> node_count_{0};  // == nodes_.size(), release-published
   uint32_t entry_point_ = UINT32_MAX;
   int max_level_ = -1;
   Rng level_rng_;

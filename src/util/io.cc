@@ -1,0 +1,360 @@
+#include "util/io.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace tigervector {
+namespace io {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " failed for " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFailWrite:
+      return "fail_write";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kFailFsync:
+      return "fail_fsync";
+    case FaultKind::kFailRename:
+      return "fail_rename";
+    case FaultKind::kFailOpen:
+      return "fail_open";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[site] = spec;
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(site);
+  any_armed_.store(!armed_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  triggered_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::triggered(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = triggered_.find(site);
+  return it == triggered_.end() ? 0 : it->second;
+}
+
+bool FaultInjector::ShouldFail(const std::string& site, FaultKind kind) {
+  if (!any_armed_.load(std::memory_order_relaxed) || site.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(site);
+  if (it == armed_.end() || it->second.kind != kind) return false;
+  ++triggered_[site];
+  return true;
+}
+
+bool FaultInjector::GetSpec(const std::string& site, FaultSpec* spec) const {
+  if (!any_armed_.load(std::memory_order_relaxed) || site.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(site);
+  if (it == armed_.end()) return false;
+  *spec = it->second;
+  return true;
+}
+
+void FaultInjector::RecordTrigger(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++triggered_[site];
+}
+
+const std::vector<RegisteredFault>& FaultInjector::RegisteredFaults() {
+  // The catalog of every (site, kind) the shipped call sites exercise. The
+  // recovery harness iterates this list; adding a new fault-injectable call
+  // site means adding its rows here so it is covered automatically.
+  static const std::vector<RegisteredFault> kFaults = {
+      {"wal.append", FaultKind::kFailWrite},
+      {"wal.append", FaultKind::kTornWrite},
+      {"wal.append", FaultKind::kFailFsync},
+      {"delta.save", FaultKind::kFailWrite},
+      {"delta.save", FaultKind::kTornWrite},
+      {"delta.save", FaultKind::kFailFsync},
+      {"delta.save", FaultKind::kFailRename},
+      {"delta.load", FaultKind::kFailOpen},
+      {"snapshot.save", FaultKind::kFailWrite},
+      {"snapshot.save", FaultKind::kTornWrite},
+      {"snapshot.save", FaultKind::kFailFsync},
+      {"snapshot.save", FaultKind::kFailRename},
+      {"snapshot.load", FaultKind::kFailOpen},
+      {"manifest.save", FaultKind::kFailWrite},
+      {"manifest.save", FaultKind::kTornWrite},
+      {"manifest.save", FaultKind::kFailRename},
+  };
+  return kFaults;
+}
+
+// ---------------------------------------------------------------------------
+// File
+// ---------------------------------------------------------------------------
+
+File::~File() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+File::File(File&& other) noexcept
+    : f_(other.f_),
+      path_(std::move(other.path_)),
+      fault_site_(std::move(other.fault_site_)),
+      written_(other.written_) {
+  other.f_ = nullptr;
+  other.written_ = 0;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (f_ != nullptr) std::fclose(f_);
+    f_ = other.f_;
+    path_ = std::move(other.path_);
+    fault_site_ = std::move(other.fault_site_);
+    written_ = other.written_;
+    other.f_ = nullptr;
+    other.written_ = 0;
+  }
+  return *this;
+}
+
+Result<File> File::Open(const std::string& path, const char* mode,
+                        std::string fault_site) {
+  if (FaultInjector::Instance().ShouldFail(fault_site, FaultKind::kFailOpen)) {
+    return Status::IOError("injected open fault at " + fault_site + " for " + path);
+  }
+  FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) return Status::IOError(ErrnoMessage("open", path));
+  File out;
+  out.f_ = f;
+  out.path_ = path;
+  out.fault_site_ = std::move(fault_site);
+  return out;
+}
+
+Status File::Write(const void* data, size_t len) {
+  if (f_ == nullptr) return Status::IOError("write to closed file " + path_);
+  FaultSpec spec;
+  if (FaultInjector::Instance().GetSpec(fault_site_, &spec)) {
+    if (spec.kind == FaultKind::kFailWrite && written_ + len > spec.after_bytes) {
+      FaultInjector::Instance().RecordTrigger(fault_site_);
+      return Status::IOError("injected write fault at " + fault_site_);
+    }
+    if (spec.kind == FaultKind::kTornWrite && written_ + len > spec.after_bytes) {
+      // Persist only the prefix up to the threshold — the torn artifact a
+      // crash mid-write leaves behind — then report the failure.
+      FaultInjector::Instance().RecordTrigger(fault_site_);
+      const size_t keep = spec.after_bytes > written_
+                              ? static_cast<size_t>(spec.after_bytes - written_)
+                              : 0;
+      if (keep > 0 && std::fwrite(data, 1, keep, f_) != keep) {
+        return Status::IOError(ErrnoMessage("write", path_));
+      }
+      written_ += keep;
+      // Push the torn prefix through the stdio buffer so it is actually
+      // on the file when the "crashed" process is re-examined.
+      std::fflush(f_);
+      return Status::IOError("injected torn write at " + fault_site_);
+    }
+  }
+  if (len > 0 && std::fwrite(data, 1, len, f_) != len) {
+    return Status::IOError(ErrnoMessage("write", path_));
+  }
+  written_ += len;
+  return Status::OK();
+}
+
+Status File::Read(void* data, size_t len) {
+  if (f_ == nullptr) return Status::IOError("read from closed file " + path_);
+  if (len > 0 && std::fread(data, 1, len, f_) != len) {
+    return Status::IOError("short read from " + path_);
+  }
+  return Status::OK();
+}
+
+Result<size_t> File::ReadSome(void* data, size_t len) {
+  if (f_ == nullptr) return Status::IOError("read from closed file " + path_);
+  const size_t got = std::fread(data, 1, len, f_);
+  if (got < len && std::ferror(f_) != 0) {
+    return Status::IOError(ErrnoMessage("read", path_));
+  }
+  return got;
+}
+
+Status File::Flush() {
+  if (f_ == nullptr) return Status::IOError("flush of closed file " + path_);
+  if (std::fflush(f_) != 0) return Status::IOError(ErrnoMessage("flush", path_));
+  return Status::OK();
+}
+
+Status File::Sync() {
+  TV_RETURN_NOT_OK(Flush());
+  if (FaultInjector::Instance().ShouldFail(fault_site_, FaultKind::kFailFsync)) {
+    return Status::IOError("injected fsync fault at " + fault_site_);
+  }
+  if (::fsync(::fileno(f_)) != 0) {
+    return Status::IOError(ErrnoMessage("fsync", path_));
+  }
+  return Status::OK();
+}
+
+Status File::Close() {
+  if (f_ == nullptr) return Status::OK();
+  FILE* f = f_;
+  f_ = nullptr;
+  if (std::fclose(f) != 0) return Status::IOError(ErrnoMessage("close", path_));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// AtomicFile
+// ---------------------------------------------------------------------------
+
+AtomicFile::~AtomicFile() {
+  if (!committed_ && !tmp_path_.empty()) Abandon();
+}
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept
+    : file_(std::move(other.file_)),
+      final_path_(std::move(other.final_path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      fault_site_(std::move(other.fault_site_)),
+      committed_(other.committed_) {
+  other.committed_ = true;  // neutralize the moved-from destructor
+  other.tmp_path_.clear();
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this != &other) {
+    if (!committed_ && !tmp_path_.empty()) Abandon();
+    file_ = std::move(other.file_);
+    final_path_ = std::move(other.final_path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    fault_site_ = std::move(other.fault_site_);
+    committed_ = other.committed_;
+    other.committed_ = true;
+    other.tmp_path_.clear();
+  }
+  return *this;
+}
+
+Result<AtomicFile> AtomicFile::Create(const std::string& path,
+                                      std::string fault_site) {
+  AtomicFile out;
+  out.final_path_ = path;
+  out.tmp_path_ = path + kTmpSuffix;
+  out.fault_site_ = fault_site;
+  auto file = File::Open(out.tmp_path_, "wb", std::move(fault_site));
+  if (!file.ok()) return file.status();
+  out.file_ = std::move(file).value();
+  return out;
+}
+
+Status AtomicFile::Write(const void* data, size_t len) {
+  return file_.Write(data, len);
+}
+
+Status AtomicFile::Commit() {
+  Status st = file_.Sync();
+  if (st.ok()) st = file_.Close();
+  if (st.ok()) st = Rename(tmp_path_, final_path_, fault_site_);
+  if (!st.ok()) {
+    Abandon();
+    return st;
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+void AtomicFile::Abandon() {
+  (void)file_.Close();
+  if (!tmp_path_.empty()) std::remove(tmp_path_.c_str());
+  committed_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Free functions
+// ---------------------------------------------------------------------------
+
+Status Rename(const std::string& from, const std::string& to,
+              const std::string& fault_site) {
+  if (FaultInjector::Instance().ShouldFail(fault_site, FaultKind::kFailRename)) {
+    return Status::IOError("injected rename fault at " + fault_site);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("rename", from + " -> " + to));
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("remove", path));
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IOError(ErrnoMessage("truncate", path));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return Status::IOError("cannot list " + dir + ": " + ec.message());
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec)) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace io
+}  // namespace tigervector

@@ -1,0 +1,187 @@
+#ifndef TIGERVECTOR_UTIL_IO_H_
+#define TIGERVECTOR_UTIL_IO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tigervector {
+namespace io {
+
+// ---------------------------------------------------------------------------
+// Fault injection
+//
+// Every durability-critical I/O call site (WAL append, delta-file save, index
+// snapshot save/load, manifest save) routes through this layer and names its
+// fault *site*. Tests arm a site with a FaultSpec; the armed fault then fires
+// deterministically, simulating a crash or I/O error at that exact point. The
+// hot path costs a single relaxed atomic load when nothing is armed, so the
+// hooks are compiled into release builds.
+// ---------------------------------------------------------------------------
+
+enum class FaultKind : uint8_t {
+  // Write() fails cleanly once `after_bytes` have been written through this
+  // handle; no bytes of the failing call reach the file.
+  kFailWrite = 0,
+  // Write() persists only up to `after_bytes` total, drops the rest of the
+  // current call, and reports an error: the on-disk artifact of a process
+  // dying mid-write (a torn record / half-written file).
+  kTornWrite = 1,
+  // Sync() (fflush + fsync) fails.
+  kFailFsync = 2,
+  // The rename step of an atomic write (or io::Rename) fails, leaving the
+  // temporary file behind and the destination untouched.
+  kFailRename = 3,
+  // Opening the file fails (read or write).
+  kFailOpen = 4,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kFailWrite;
+  // Byte threshold for kFailWrite / kTornWrite; ignored otherwise.
+  uint64_t after_bytes = 0;
+};
+
+// A (site, kind) pair that the shipped code actually exercises; the recovery
+// test harness loops over all of them.
+struct RegisteredFault {
+  const char* site;
+  FaultKind kind;
+};
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  // Arms `site` with `spec`. One spec per site; re-arming replaces it.
+  void Arm(const std::string& site, FaultSpec spec);
+  void Disarm(const std::string& site);
+  // Disarms everything and zeroes trigger counters.
+  void Reset();
+
+  // Number of times an armed fault at `site` actually fired.
+  uint64_t triggered(const std::string& site) const;
+  bool any_armed() const { return any_armed_.load(std::memory_order_relaxed); }
+
+  // Compiled-in catalog of every fault point the io call sites expose.
+  static const std::vector<RegisteredFault>& RegisteredFaults();
+
+  // --- used by the io primitives ---
+  // Returns true (and records a trigger) when `site` is armed with `kind`.
+  // For byte-threshold kinds use GetSpec + RecordTrigger instead.
+  bool ShouldFail(const std::string& site, FaultKind kind);
+  // Returns true and fills `spec` when `site` is armed (any kind).
+  bool GetSpec(const std::string& site, FaultSpec* spec) const;
+  void RecordTrigger(const std::string& site);
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, FaultSpec> armed_;
+  std::unordered_map<std::string, uint64_t> triggered_;
+  std::atomic<bool> any_armed_{false};
+};
+
+// ---------------------------------------------------------------------------
+// File primitives
+// ---------------------------------------------------------------------------
+
+// A buffered file handle whose writes/reads/syncs consult the fault
+// injector. Move-only; the destructor closes (ignoring errors).
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  // `mode` is a stdio mode string ("wb", "ab", "rb"). `fault_site` names the
+  // fault point this handle reports to; empty disables injection.
+  static Result<File> Open(const std::string& path, const char* mode,
+                           std::string fault_site = {});
+
+  Status Write(const void* data, size_t len);
+  // Exact-length read; a short read (EOF included) is an IOError.
+  Status Read(void* data, size_t len);
+  // Short-read-tolerant read; returns bytes actually read.
+  Result<size_t> ReadSome(void* data, size_t len);
+
+  Status Flush();  // flush stdio buffer to the OS
+  Status Sync();   // Flush + fsync to stable storage
+  Status Close();  // flush + close; the handle becomes empty
+
+  bool is_open() const { return f_ != nullptr; }
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return written_; }
+
+ private:
+  FILE* f_ = nullptr;
+  std::string path_;
+  std::string fault_site_;
+  uint64_t written_ = 0;
+};
+
+// Atomic whole-file writer: stages content in `<path>.tmp`, then Commit()
+// syncs, closes, and renames it into place. Without Commit() the destructor
+// removes the temporary, so a crash (or injected fault) anywhere before the
+// rename leaves the destination untouched.
+class AtomicFile {
+ public:
+  AtomicFile() = default;
+  ~AtomicFile();
+  AtomicFile(AtomicFile&&) noexcept;
+  AtomicFile& operator=(AtomicFile&&) noexcept;
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  static Result<AtomicFile> Create(const std::string& path,
+                                   std::string fault_site = {});
+
+  Status Write(const void* data, size_t len);
+  // Sync + close + rename into the final path.
+  Status Commit();
+  // Close and remove the temporary without publishing.
+  void Abandon();
+
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  File file_;
+  std::string final_path_;
+  std::string tmp_path_;
+  std::string fault_site_;
+  bool committed_ = false;
+};
+
+// Suffix appended to the destination path to build the staging file of an
+// AtomicFile, and recognized by recovery as a crash leftover to sweep.
+inline constexpr const char* kTmpSuffix = ".tmp";
+// Suffix recovery appends when setting aside a corrupt file.
+inline constexpr const char* kQuarantineSuffix = ".quarantined";
+
+// Free functions (all POSIX-backed, fault-injectable where noted).
+Status Rename(const std::string& from, const std::string& to,
+              const std::string& fault_site = {});
+Status RemoveFile(const std::string& path);
+Status TruncateFile(const std::string& path, uint64_t size);
+Result<uint64_t> FileSize(const std::string& path);
+bool Exists(const std::string& path);
+// Plain file names (not paths) in `dir`, sorted; missing dir is an error.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+}  // namespace io
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_IO_H_

@@ -39,21 +39,22 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   const size_t num_chunks = std::min(n, threads_.size() * 4);
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
   const size_t total = (n + chunk - 1) / chunk;
-  std::atomic<size_t> done{0};
+  // `done` must be advanced under `done_mu`: if it were a bare atomic, the
+  // waiter could observe the final count on a spurious wake and destroy
+  // done_mu/done_cv while the last worker is still locking them.
+  size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (size_t begin = 0; begin < n; begin += chunk) {
     const size_t end = std::min(n, begin + chunk);
     Submit([&, begin, end] {
       for (size_t i = begin; i < end; ++i) fn(i);
-      if (done.fetch_add(1) + 1 == total) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == total) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == total; });
+  done_cv.wait(lock, [&] { return done == total; });
 }
 
 void ThreadPool::WorkerLoop() {

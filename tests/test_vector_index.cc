@@ -243,7 +243,7 @@ TEST(FlatThroughGsqlTest, FlatIndexAttributeWorksEndToEnd) {
   // Exercise the segment's reported index type.
   auto segments = db.embeddings()->SegmentsOf("Doc", "emb");
   ASSERT_FALSE(segments.empty());
-  EXPECT_EQ(segments[0]->index().index_type(), "FLAT");
+  EXPECT_EQ(segments[0]->index()->index_type(), "FLAT");
 }
 
 TEST(FlatThroughGsqlTest, IvfIndexAttributeWorksEndToEnd) {
@@ -276,7 +276,7 @@ TEST(FlatThroughGsqlTest, IvfIndexAttributeWorksEndToEnd) {
   EXPECT_EQ(result->prints[0].vertices[0], 12u);
   auto segments = db.embeddings()->SegmentsOf("Doc", "emb");
   ASSERT_FALSE(segments.empty());
-  EXPECT_EQ(segments[0]->index().index_type(), "IVF_FLAT");
+  EXPECT_EQ(segments[0]->index()->index_type(), "IVF_FLAT");
 }
 
 // Compatibility check permits mixing FLAT and HNSW attributes in one
