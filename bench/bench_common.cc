@@ -97,9 +97,17 @@ TigerVectorInstance LoadTigerVector(const VectorDataset& dataset,
   return instance;
 }
 
+double HitsRecall(const VectorDataset& dataset, size_t q,
+                  const std::vector<SearchHit>& hits, size_t k) {
+  std::vector<uint64_t> ids;
+  ids.reserve(hits.size());
+  for (const SearchHit& hit : hits) ids.push_back(hit.label);
+  return RecallAtK(dataset, q, ids, k);
+}
+
 double MeasureRecall(const VectorDataset& dataset,
                      const TigerVectorInstance& instance, size_t k, size_t ef) {
-  double total = 0;
+  RecallMeter meter;
   for (size_t q = 0; q < dataset.num_queries; ++q) {
     VectorSearchRequest request;
     request.attrs = {{"Item", "emb"}};
@@ -109,13 +117,11 @@ double MeasureRecall(const VectorDataset& dataset,
     request.pool = instance.db->pool();
     auto result = instance.db->embeddings()->TopKSearch(request);
     if (!result.ok()) std::abort();
-    std::vector<uint64_t> base_ids;
-    for (const auto& hit : result->hits) base_ids.push_back(hit.label);
     // vids are allocated sequentially from 0 in load order, so the vid IS
     // the base index here.
-    total += RecallAtK(dataset, q, base_ids, k);
+    meter.Add(HitsRecall(dataset, q, result->hits, k));
   }
-  return total / std::max<size_t>(1, dataset.num_queries);
+  return meter.Mean();
 }
 
 ThroughputPoint MeasureTigerVector(const VectorDataset& dataset,

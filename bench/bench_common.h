@@ -45,6 +45,27 @@ TigerVectorInstance LoadTigerVector(const VectorDataset& dataset,
                                     uint32_t segment_capacity = 8192,
                                     size_t m = 16, size_t ef_construction = 128);
 
+// recall@k of one hit list (labels in base-index space) against the ground
+// truth of query q. Thin adapter over the shared RecallBetween so every
+// bench accounts recall identically.
+double HitsRecall(const VectorDataset& dataset, size_t q,
+                  const std::vector<SearchHit>& hits, size_t k);
+
+// Streaming mean-recall accumulator used by the ef sweeps.
+class RecallMeter {
+ public:
+  void Add(double recall) {
+    total_ += recall;
+    ++count_;
+  }
+  double Mean() const { return count_ == 0 ? 0.0 : total_ / count_; }
+  size_t count() const { return count_; }
+
+ private:
+  double total_ = 0;
+  size_t count_ = 0;
+};
+
 // recall@k of a result against dataset ground truth, averaged over queries
 // run through `search` (query index -> hit labels in vid space).
 // vid_to_base maps a vid back to the base-vector index.

@@ -19,17 +19,14 @@ struct BaselinePoint {
 BaselinePoint MeasureBaseline(const VectorBaseline& baseline,
                               const VectorDataset& dataset, size_t k, size_t ef,
                               size_t threads, size_t queries_per_thread) {
-  double total_recall = 0;
+  RecallMeter meter;
   for (size_t q = 0; q < dataset.num_queries; ++q) {
-    auto hits = baseline.TopK(dataset.QueryVector(q), k, ef);
-    std::vector<uint64_t> ids;
-    for (const auto& h : hits) ids.push_back(h.label);
-    total_recall += RecallAtK(dataset, q, ids, k);
+    meter.Add(HitsRecall(dataset, q, baseline.TopK(dataset.QueryVector(q), k, ef), k));
   }
   auto run = RunClosedLoop(threads, queries_per_thread, [&](size_t t, size_t i) {
     baseline.TopK(dataset.QueryVector((t * 131 + i) % dataset.num_queries), k, ef);
   });
-  return {total_recall / dataset.num_queries, run.qps};
+  return {meter.Mean(), run.qps};
 }
 
 void RunDataset(const VectorDataset& dataset, size_t k) {

@@ -18,16 +18,13 @@ struct LatencyPoint {
 LatencyPoint MeasureBaselineLatency(const VectorBaseline& baseline,
                                     const VectorDataset& dataset, size_t k,
                                     size_t ef) {
-  double total_recall = 0;
+  RecallMeter meter;
   Timer timer;
   for (size_t q = 0; q < dataset.num_queries; ++q) {
-    auto hits = baseline.TopK(dataset.QueryVector(q), k, ef);
-    std::vector<uint64_t> ids;
-    for (const auto& h : hits) ids.push_back(h.label);
-    total_recall += RecallAtK(dataset, q, ids, k);
+    meter.Add(HitsRecall(dataset, q, baseline.TopK(dataset.QueryVector(q), k, ef), k));
   }
   const double mean_ms = timer.ElapsedMillis() / dataset.num_queries;
-  return {total_recall / dataset.num_queries, mean_ms};
+  return {meter.Mean(), mean_ms};
 }
 
 void RunDataset(const VectorDataset& dataset, size_t k) {

@@ -226,12 +226,21 @@ Status WriteAheadLog::Open(const std::string& path, bool sync_on_commit) {
   if (!file.ok()) return Status::IOError("cannot open wal at " + path);
   file_ = std::move(file).value();
   sync_on_commit_ = sync_on_commit;
+  broken_ = false;
   return Status::OK();
 }
 
 Status WriteAheadLog::Append(Tid tid, const std::vector<Mutation>& mutations) {
   TV_SPAN("wal.append");
   Timer timer;
+  // A failed append can leave a partial record as the log tail. Anything
+  // appended after that garbage sits beyond the point where recovery stops
+  // scanning, so an acknowledged commit would be silently unrecoverable.
+  // Refuse until the log is reopened (recovery truncates the torn tail).
+  if (broken_) {
+    return Status::IOError("wal rejected append: earlier append failure left "
+                           "an undefined tail; reopen the log first");
+  }
   const std::vector<uint8_t> payload = EncodeMutations(mutations);
   ++appended_;
   bytes_ += payload.size() + 12;
@@ -251,6 +260,10 @@ Status WriteAheadLog::Append(Tid tid, const std::vector<Mutation>& mutations) {
     // is not enough — fsync for real.
     st = sync_on_commit_ ? Sync() : file_.Flush();
     TV_COUNTER_INC("tv.wal.flushes_total");
+  }
+  if (!st.ok()) {
+    broken_ = true;
+    TV_COUNTER_INC("tv.wal.append_failures_total");
   }
   TV_HISTOGRAM_OBSERVE("tv.wal.append_seconds", timer.ElapsedSeconds());
   return st;

@@ -68,10 +68,14 @@ class WriteAheadLog {
   uint64_t appended_bytes() const { return bytes_; }
   uint64_t fsyncs() const { return fsyncs_; }
   bool sync_on_commit() const { return sync_on_commit_; }
+  // True after an append failed: the log tail is undefined (possibly a torn
+  // record) and no further appends are accepted until the log is reopened.
+  bool broken() const { return broken_; }
 
  private:
   io::File file_;
   bool sync_on_commit_ = false;
+  bool broken_ = false;
   uint64_t appended_ = 0;
   uint64_t bytes_ = 0;
   uint64_t fsyncs_ = 0;

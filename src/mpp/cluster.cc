@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/io.h"
 #include "util/timer.h"
 #include "util/topk_heap.h"
 
@@ -112,7 +113,19 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
       local.segment_subset = &shards[server];
       local.pool = nullptr;  // segments run sequentially on this worker
       ServerResponse resp;
-      resp.result = local_search(local);
+      // Partial-failure hook: arming "mpp.server<i>.search" (kFailOpen)
+      // makes exactly this server's shard fail mid fan-out, so tests can
+      // assert the coordinator surfaces the error instead of silently
+      // merging a short top-k.
+      auto& injector = io::FaultInjector::Instance();
+      if (injector.any_armed() &&
+          injector.ShouldFail("mpp.server" + std::to_string(server) + ".search",
+                              io::FaultKind::kFailOpen)) {
+        resp.result = Status::IOError("injected fault: server " +
+                                      std::to_string(server) + " shard search failed");
+      } else {
+        resp.result = local_search(local);
+      }
       resp.seconds = t.ElapsedSeconds();
       resp.participated = true;
       std::lock_guard<std::mutex> lock(mu);

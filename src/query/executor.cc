@@ -460,8 +460,21 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     if (node.type_id < 0) {
       return Status::SemanticError("range search alias must have a vertex type");
     }
+    const VertexTypeDef& range_type = db_->schema()->vertex_type(node.type_id);
+    const EmbeddingAttrDef* range_attr = range_type.FindEmbeddingAttr(spec.attr);
+    if (range_attr == nullptr) {
+      return Status::SemanticError("'" + spec.attr +
+                                   "' is not an embedding attribute of " +
+                                   range_type.name);
+    }
+    if ((*query)->size() != range_attr->info.dimension) {
+      return Status::InvalidArgument(
+          "query vector dimension " + std::to_string((*query)->size()) +
+          " does not match " + range_type.name + "." + spec.attr + " dimension " +
+          std::to_string(range_attr->info.dimension));
+    }
     VectorSearchRequest request;
-    request.attrs = {{db_->schema()->vertex_type(node.type_id).name, spec.attr}};
+    request.attrs = {{range_type.name, spec.attr}};
     request.query = (*query)->data();
     request.k = 16;
     request.pool = db_->pool();
@@ -499,8 +512,15 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
       if (!stmt.limit_param.empty()) {
         auto kd = ParamAsDouble(params, stmt.limit_param);
         if (!kd.ok()) return kd.status();
+        if (*kd <= 0) {
+          return Status::InvalidArgument("top-k LIMIT $" + stmt.limit_param +
+                                         " must be positive");
+        }
         k = static_cast<size_t>(*kd);
       } else {
+        if (stmt.limit <= 0) {
+          return Status::InvalidArgument("top-k LIMIT must be positive");
+        }
         k = static_cast<size_t>(stmt.limit);
       }
     }
@@ -642,9 +662,21 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     }
     auto query = ParamAsVector(params, dist.rhs->param);
     if (!query.ok()) return query.status();
+    const VertexTypeDef& search_type = db_->schema()->vertex_type(nodes[idx].type_id);
+    const EmbeddingAttrDef* search_attr = search_type.FindEmbeddingAttr(dist.lhs->attr);
+    if (search_attr == nullptr) {
+      return Status::SemanticError("'" + dist.lhs->attr +
+                                   "' is not an embedding attribute of " +
+                                   search_type.name);
+    }
+    if ((*query)->size() != search_attr->info.dimension) {
+      return Status::InvalidArgument(
+          "query vector dimension " + std::to_string((*query)->size()) +
+          " does not match " + search_type.name + "." + dist.lhs->attr +
+          " dimension " + std::to_string(search_attr->info.dimension));
+    }
     VectorSearchRequest request;
-    request.attrs = {{db_->schema()->vertex_type(nodes[idx].type_id).name,
-                      dist.lhs->attr}};
+    request.attrs = {{search_type.name, dist.lhs->attr}};
     request.query = (*query)->data();
     request.k = k;
     request.pool = db_->pool();
@@ -692,12 +724,17 @@ Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
     std::unordered_map<VertexId, float>* distance_map) {
   auto query = ParamAsVector(params, stmt.query_param);
   if (!query.ok()) return query.status();
-  size_t k = static_cast<size_t>(stmt.k);
+  int64_t k_signed = stmt.k;
   if (!stmt.k_param.empty()) {
     auto kd = ParamAsDouble(params, stmt.k_param);
     if (!kd.ok()) return kd.status();
-    k = static_cast<size_t>(*kd);
+    k_signed = static_cast<int64_t>(*kd);
   }
+  if (k_signed <= 0) {
+    return Status::InvalidArgument("VectorSearch k must be positive, got " +
+                                   std::to_string(k_signed));
+  }
+  const size_t k = static_cast<size_t>(k_signed);
   Database::VectorSearchFnOptions options;
   if (stmt.ef > 0) options.ef = static_cast<size_t>(stmt.ef);
   options.distance_map = distance_map;

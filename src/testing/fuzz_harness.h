@@ -1,0 +1,103 @@
+#ifndef TIGERVECTOR_TESTING_FUZZ_HARNESS_H_
+#define TIGERVECTOR_TESTING_FUZZ_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tigervector {
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Deterministic, seed-reproducible differential fuzzing of the GSQL query
+// surface. One fuzz case derives everything — schema parameters, the
+// mutation/vacuum/query op tape, query shapes, vectors, fault sites — from
+// a single seed, executes the tape against a real Database, and checks
+// every query three ways:
+//
+//   (a) the HNSW-backed single-node executor (parser + GsqlSession),
+//   (b) the exact brute-force oracle over a golden in-memory model
+//       (set equality on exact paths, recall >= threshold on ANN paths,
+//       per-hit soundness always), and
+//   (c) the simulated MPP cluster, which must match the single-node
+//       embedding service bit-for-bit after the scatter-gather merge.
+//
+// On top of the oracle, metamorphic invariants that need no ground truth:
+// LIMIT-k results are a prefix of LIMIT-(k+10), a tautological filter
+// preserves answers, deleted vertices never reappear, and crash/recover
+// cycles (driven through io::FaultInjector sites mid-workload) restore the
+// same committed-visible answers.
+//
+// Every op on the tape carries its own sub-seed, so skipping ops does not
+// reshuffle the remainder — which is what makes delta-debugging shrinks
+// replayable with `tv_fuzz --seed=N --ops=M --skip=...`.
+// ---------------------------------------------------------------------------
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  size_t ops = 400;
+  // Interleave fault-injected crash/recover cycles into the tape.
+  bool with_faults = false;
+  // Run the MPP leg (cluster vs single-node bit-for-bit comparison).
+  bool with_mpp = true;
+  // Scratch directory for WAL/delta/snapshot artifacts; empty derives a
+  // per-seed directory under the system temp dir. Wiped at case start,
+  // removed again when the case passes (kept on failure for inspection).
+  std::string work_dir;
+  // Tape indices to skip — the replay format emitted by the shrinker.
+  std::vector<size_t> skip;
+  // Minimum acceptable recall against the exact oracle on approximate
+  // (HNSW) paths. Exact paths always require set equality.
+  double min_recall = 0.9;
+  // Echo each executed op (and generated GSQL) to stderr.
+  bool verbose = false;
+};
+
+struct FuzzFailure {
+  size_t op_index = 0;
+  std::string kind;    // e.g. "oracle-exact-mismatch", "mpp-divergence"
+  std::string detail;
+  std::string script;  // offending GSQL when the failure came from a query
+};
+
+struct FuzzStats {
+  size_t committed_txns = 0;
+  // Commits that failed inside an armed fault window (uncertain outcomes).
+  size_t failed_commits = 0;
+  size_t queries = 0;
+  size_t exact_checks = 0;
+  size_t recall_checks = 0;
+  size_t soundness_checks = 0;
+  size_t mpp_checks = 0;
+  size_t metamorphic_checks = 0;
+  size_t delta_merges = 0;
+  size_t index_merges = 0;
+  size_t crash_recoveries = 0;
+  size_t faults_armed = 0;
+};
+
+struct FuzzCaseResult {
+  bool ok = true;
+  // Execution stops at the first failure, so this holds at most one entry.
+  std::vector<FuzzFailure> failures;
+  FuzzStats stats;
+};
+
+// Runs one fuzz case. Fully deterministic in (seed, ops, with_faults,
+// with_mpp, skip): same inputs, same op stream, same verdict.
+FuzzCaseResult RunFuzzCase(const FuzzOptions& options);
+
+// Delta-debugs a failing case down to a minimal op subsequence by growing
+// the skip list while the case still fails. Returns the final skip list
+// (`options.skip` plus everything removable); `max_runs` bounds the number
+// of re-executions.
+std::vector<size_t> ShrinkFailingCase(const FuzzOptions& options,
+                                      size_t max_runs = 128);
+
+// Renders the replay command line for a (possibly shrunk) case.
+std::string ReproCommand(const FuzzOptions& options, const std::vector<size_t>& skip);
+
+}  // namespace testing
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_TESTING_FUZZ_HARNESS_H_

@@ -1,0 +1,150 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+
+namespace tigervector {
+namespace testing {
+
+void GoldenModel::SetAttr(VertexId vid, const std::string& attr, Value value) {
+  auto it = vertices_.find(vid);
+  if (it != vertices_.end()) it->second.attrs[attr] = std::move(value);
+}
+
+void GoldenModel::SetEmbedding(VertexId vid, const std::string& attr,
+                               std::vector<float> value) {
+  auto it = vertices_.find(vid);
+  if (it != vertices_.end()) it->second.embeddings[attr] = std::move(value);
+}
+
+void GoldenModel::DeleteEmbedding(VertexId vid, const std::string& attr) {
+  auto it = vertices_.find(vid);
+  if (it != vertices_.end()) it->second.embeddings.erase(attr);
+}
+
+void GoldenModel::DeleteVertex(VertexId vid) {
+  vertices_.erase(vid);
+  tombstones_.insert(vid);
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    if (it->src == vid || it->dst == vid) {
+      it = edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GoldenModel::InsertEdge(const std::string& type, VertexId src, VertexId dst) {
+  edges_.insert(GoldenEdge{type, src, dst});
+}
+
+void GoldenModel::DeleteEdge(const std::string& type, VertexId src, VertexId dst) {
+  edges_.erase(GoldenEdge{type, src, dst});
+}
+
+const GoldenVertex* GoldenModel::Get(VertexId vid) const {
+  auto it = vertices_.find(vid);
+  return it == vertices_.end() ? nullptr : &it->second;
+}
+
+std::vector<VertexId> GoldenModel::LiveOfType(const std::string& type) const {
+  std::vector<VertexId> out;
+  for (const auto& [vid, v] : vertices_) {
+    if (v.type == type) out.push_back(vid);
+  }
+  return out;  // map iteration is already vid-sorted
+}
+
+std::vector<VertexId> GoldenModel::Neighbors(VertexId vid,
+                                             const std::string& edge_type,
+                                             Direction dir) const {
+  std::vector<VertexId> out;
+  for (const GoldenEdge& e : edges_) {
+    if (e.type != edge_type) continue;
+    if ((dir == Direction::kOut || dir == Direction::kAny) && e.src == vid) {
+      out.push_back(e.dst);
+    }
+    if ((dir == Direction::kIn || dir == Direction::kAny) && e.dst == vid) {
+      out.push_back(e.src);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<OracleHit> GoldenModel::Scan(
+    const std::vector<std::pair<std::string, std::string>>& attrs, Metric metric,
+    const std::vector<float>& query, const VertexSet* candidates) const {
+  std::vector<OracleHit> hits;
+  for (const auto& [vid, v] : vertices_) {
+    if (candidates != nullptr && candidates->count(vid) == 0) continue;
+    for (const auto& [type, attr] : attrs) {
+      if (v.type != type) continue;
+      auto emb = v.embeddings.find(attr);
+      if (emb == v.embeddings.end()) continue;
+      if (emb->second.size() != query.size()) continue;
+      hits.push_back(OracleHit{
+          ComputeDistance(metric, query.data(), emb->second.data(), query.size()),
+          vid});
+      break;  // a vertex has exactly one type; no double counting
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const OracleHit& a, const OracleHit& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.vid < b.vid;
+  });
+  return hits;
+}
+
+std::vector<OracleHit> GoldenModel::ExactTopK(
+    const std::vector<std::pair<std::string, std::string>>& attrs, Metric metric,
+    const std::vector<float>& query, size_t k, const VertexSet* candidates) const {
+  std::vector<OracleHit> hits = Scan(attrs, metric, query, candidates);
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<OracleHit> GoldenModel::ExactRange(
+    const std::vector<std::pair<std::string, std::string>>& attrs, Metric metric,
+    const std::vector<float>& query, float threshold,
+    const VertexSet* candidates) const {
+  std::vector<OracleHit> hits = Scan(attrs, metric, query, candidates);
+  std::vector<OracleHit> out;
+  for (const OracleHit& h : hits) {
+    if (h.distance < threshold) out.push_back(h);
+  }
+  return out;
+}
+
+VertexSet EvalChainPattern(const GoldenModel& model,
+                           const std::vector<VertexSet>& bases,
+                           const std::vector<std::string>& edge_types,
+                           const std::vector<Direction>& dirs, size_t out_idx) {
+  std::vector<VertexSet> cand(bases.size());
+  cand[0] = bases[0];
+  for (size_t i = 0; i + 1 < bases.size(); ++i) {
+    VertexSet next;
+    for (VertexId vid : cand[i]) {
+      for (VertexId peer : model.Neighbors(vid, edge_types[i], dirs[i])) {
+        if (bases[i + 1].count(peer) > 0) next.insert(peer);
+      }
+    }
+    cand[i + 1] = std::move(next);
+  }
+  for (size_t ri = bases.size(); ri-- > 1;) {
+    VertexSet kept;
+    for (VertexId vid : cand[ri - 1]) {
+      for (VertexId peer : model.Neighbors(vid, edge_types[ri - 1], dirs[ri - 1])) {
+        if (cand[ri].count(peer) > 0) {
+          kept.insert(vid);
+          break;
+        }
+      }
+    }
+    cand[ri - 1] = std::move(kept);
+  }
+  return cand[out_idx];
+}
+
+}  // namespace testing
+}  // namespace tigervector

@@ -1,0 +1,121 @@
+#ifndef TIGERVECTOR_TESTING_ORACLE_H_
+#define TIGERVECTOR_TESTING_ORACLE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/traversal.h"
+#include "graph/types.h"
+#include "simd/distance.h"
+
+namespace tigervector {
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// The exact oracle behind the differential fuzz harness: a golden in-memory
+// model of the committed graph (vertices, scalar attributes, embeddings,
+// edges), maintained alongside every committed transaction and evaluated
+// with brute-force exact scans. It shares only the scalar distance kernel
+// (ComputeDistance) with the system under test — visibility, filtering,
+// merging, and persistence are all re-derived independently, so a bug in
+// any of those layers shows up as a divergence.
+// ---------------------------------------------------------------------------
+
+struct GoldenVertex {
+  std::string type;
+  std::map<std::string, Value> attrs;
+  std::map<std::string, std::vector<float>> embeddings;
+};
+
+struct GoldenEdge {
+  std::string type;
+  VertexId src = 0;
+  VertexId dst = 0;
+  bool operator<(const GoldenEdge& o) const {
+    if (type != o.type) return type < o.type;
+    if (src != o.src) return src < o.src;
+    return dst < o.dst;
+  }
+  bool operator==(const GoldenEdge& o) const {
+    return type == o.type && src == o.src && dst == o.dst;
+  }
+};
+
+struct OracleHit {
+  float distance = 0;
+  VertexId vid = 0;
+};
+
+class GoldenModel {
+ public:
+  // --- committed-state mirror (call only after a successful Commit) ---
+  void InsertVertex(VertexId vid, GoldenVertex v) { vertices_[vid] = std::move(v); }
+  void SetAttr(VertexId vid, const std::string& attr, Value value);
+  void SetEmbedding(VertexId vid, const std::string& attr, std::vector<float> value);
+  void DeleteEmbedding(VertexId vid, const std::string& attr);
+  // Erases the vertex, its incident edges, and records a tombstone that
+  // the "deleted vertices never appear" invariant checks against.
+  void DeleteVertex(VertexId vid);
+  void InsertEdge(const std::string& type, VertexId src, VertexId dst);
+  void DeleteEdge(const std::string& type, VertexId src, VertexId dst);
+
+  // --- lookups ---
+  bool Exists(VertexId vid) const { return vertices_.count(vid) > 0; }
+  const GoldenVertex* Get(VertexId vid) const;
+  const std::map<VertexId, GoldenVertex>& vertices() const { return vertices_; }
+  const std::set<GoldenEdge>& edges() const { return edges_; }
+  const std::set<VertexId>& tombstones() const { return tombstones_; }
+  bool HasEdge(const std::string& type, VertexId src, VertexId dst) const {
+    return edges_.count(GoldenEdge{type, src, dst}) > 0;
+  }
+  // Sorted vids of live vertices of `type`.
+  std::vector<VertexId> LiveOfType(const std::string& type) const;
+  // Neighbors of vid over a *directed* edge type, honoring the traversal
+  // direction token (kAny unions both orientations). Sorted, deduplicated.
+  std::vector<VertexId> Neighbors(VertexId vid, const std::string& edge_type,
+                                  Direction dir) const;
+
+  // --- exact search ---
+  // Exact top-k over every live vertex of the listed (type, attr) pairs
+  // that carries the embedding, optionally restricted to `candidates`.
+  // Sorted by (distance, vid) — the same deterministic tie-break the
+  // system's TopKHeap uses — and truncated to k.
+  std::vector<OracleHit> ExactTopK(
+      const std::vector<std::pair<std::string, std::string>>& attrs, Metric metric,
+      const std::vector<float>& query, size_t k, const VertexSet* candidates) const;
+
+  // Exact range: all hits with distance < threshold, sorted by
+  // (distance, vid).
+  std::vector<OracleHit> ExactRange(
+      const std::vector<std::pair<std::string, std::string>>& attrs, Metric metric,
+      const std::vector<float>& query, float threshold,
+      const VertexSet* candidates) const;
+
+ private:
+  // All (distance, vid) pairs the search is allowed to consider.
+  std::vector<OracleHit> Scan(
+      const std::vector<std::pair<std::string, std::string>>& attrs, Metric metric,
+      const std::vector<float>& query, const VertexSet* candidates) const;
+
+  std::map<VertexId, GoldenVertex> vertices_;
+  std::set<GoldenEdge> edges_;
+  std::set<VertexId> tombstones_;
+};
+
+// Oracle-side evaluation of the executor's chain-pattern semantics: per-node
+// base sets, forward semi-join over edges, then backward pruning. `bases`
+// holds the pre-filtered base set of each pattern node; `edge_types[i]` and
+// `dirs[i]` describe the edge between nodes i and i+1. Returns the
+// candidate set of node `out_idx`.
+VertexSet EvalChainPattern(const GoldenModel& model,
+                           const std::vector<VertexSet>& bases,
+                           const std::vector<std::string>& edge_types,
+                           const std::vector<Direction>& dirs, size_t out_idx);
+
+}  // namespace testing
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_TESTING_ORACLE_H_

@@ -106,15 +106,14 @@ void ComputeGroundTruth(VectorDataset* dataset, size_t k, ThreadPool* pool) {
   }
 }
 
-double RecallAtK(const VectorDataset& dataset, size_t q,
-                 const std::vector<uint64_t>& result_ids, size_t k) {
-  if (q >= dataset.ground_truth.size() || k == 0) return 0.0;
-  const auto& gt = dataset.ground_truth[q];
-  const size_t gt_count = std::min(k, gt.size());
-  if (gt_count == 0) return 0.0;
+double RecallBetween(const std::vector<uint64_t>& result_ids,
+                     const std::vector<uint64_t>& truth_ids, size_t k) {
+  if (k == 0) return 0.0;
+  const size_t truth_count = std::min(k, truth_ids.size());
+  if (truth_count == 0) return 0.0;
   size_t hit = 0;
-  for (size_t i = 0; i < gt_count; ++i) {
-    const uint64_t want = gt[i];
+  for (size_t i = 0; i < truth_count; ++i) {
+    const uint64_t want = truth_ids[i];
     for (size_t j = 0; j < std::min(k, result_ids.size()); ++j) {
       if (result_ids[j] == want) {
         ++hit;
@@ -122,7 +121,13 @@ double RecallAtK(const VectorDataset& dataset, size_t q,
       }
     }
   }
-  return static_cast<double>(hit) / static_cast<double>(gt_count);
+  return static_cast<double>(hit) / static_cast<double>(truth_count);
+}
+
+double RecallAtK(const VectorDataset& dataset, size_t q,
+                 const std::vector<uint64_t>& result_ids, size_t k) {
+  if (q >= dataset.ground_truth.size()) return 0.0;
+  return RecallBetween(result_ids, dataset.ground_truth[q], k);
 }
 
 }  // namespace tigervector

@@ -49,7 +49,15 @@ VectorDataset MakeSiftLikeWithDim(size_t dim, size_t num_base, size_t num_querie
 // (parallel over queries when pool != nullptr).
 void ComputeGroundTruth(VectorDataset* dataset, size_t k, ThreadPool* pool);
 
+// Core recall computation shared by the benches and the fuzz harness:
+// fraction of the first min(k, truth_ids.size()) exact ids found anywhere
+// in the first min(k, result_ids.size()) result ids. Returns 0 when the
+// truth list is empty.
+double RecallBetween(const std::vector<uint64_t>& result_ids,
+                     const std::vector<uint64_t>& truth_ids, size_t k);
+
 // recall@k of one result list against the ground truth of query q.
+// Delegates to RecallBetween.
 double RecallAtK(const VectorDataset& dataset, size_t q,
                  const std::vector<uint64_t>& result_ids, size_t k);
 

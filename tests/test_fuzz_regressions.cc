@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "testing/fuzz_harness.h"
+#include "util/io.h"
+
+namespace tigervector {
+namespace {
+
+// Regressions surfaced by tools/tv_fuzz. Each direct test below is the
+// minimized form of a real fuzzer-found failure; the corpus runner at the
+// bottom replays the original seeds end-to-end so the whole differential
+// harness guards the fix, not just the unit-level repro.
+
+constexpr size_t kDim = 8;
+
+Database::Options MakeOptions(const std::string& dir) {
+  Database::Options options;
+  options.store.segment_capacity = 32;
+  options.store.wal_path = dir + "/wal.log";
+  options.embeddings.delta_dir = dir;
+  return options;
+}
+
+void DefineSchema(Database* db) {
+  EmbeddingTypeInfo info;
+  info.dimension = kDim;
+  info.model = "M";
+  info.metric = Metric::kL2;
+  ASSERT_TRUE(db->schema()->CreateVertexType("Item", {{"v", AttrType::kInt}}).ok());
+  ASSERT_TRUE(db->schema()->AddEmbeddingAttr("Item", "emb", info).ok());
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Fuzzer find #1 (tv_fuzz seeds 91/105/120/172/227/238/358/368/469):
+// a WAL append that fails part-way leaves a dangling record header as the
+// log tail. A *smaller* record appended afterwards used to fit under the
+// fault threshold, get acknowledged, and land beyond the garbage — where
+// recovery's scan never reaches, so the acknowledged commit vanished
+// ("deleted vid is visible again"). The log must refuse appends after an
+// append failure until it is reopened.
+TEST(FuzzRegression, WalRefusesAppendsAfterFailedAppend) {
+  io::FaultInjector::Instance().Reset();
+  const std::string dir = FreshDir("tv_fuzz_reg_wal");
+
+  VertexId vid = kInvalidVertexId;
+  {
+    Database db(MakeOptions(dir));
+    DefineSchema(&db);
+    {
+      Transaction txn = db.Begin();
+      auto inserted = txn.InsertVertex("Item", {Value{int64_t{1}}});
+      ASSERT_TRUE(inserted.ok());
+      vid = *inserted;
+      ASSERT_TRUE(
+          txn.SetEmbedding(vid, "Item", "emb", std::vector<float>(kDim, 1.f)).ok());
+      ASSERT_TRUE(txn.Commit().ok());
+    }
+
+    // Fail writes shortly past the current end of the log: the next
+    // record's 12-byte header squeezes in, its payload does not.
+    io::FaultSpec spec;
+    spec.kind = io::FaultKind::kFailWrite;
+    spec.after_bytes = db.store()->wal().appended_bytes() + 20;
+    io::FaultInjector::Instance().Arm("wal.append", spec);
+
+    {
+      // Big record: insert + embedding. Header fits, payload crosses the
+      // threshold, commit fails, and the log tail is now a torn record.
+      Transaction txn = db.Begin();
+      auto second = txn.InsertVertex("Item", {Value{int64_t{2}}});
+      ASSERT_TRUE(second.ok());
+      ASSERT_TRUE(
+          txn.SetEmbedding(*second, "Item", "emb", std::vector<float>(kDim, 2.f))
+              .ok());
+      EXPECT_FALSE(txn.Commit().ok());
+    }
+    EXPECT_TRUE(db.store()->wal().broken());
+
+    // Small record: a bare DeleteVertex encodes to a handful of bytes and
+    // used to slip under the byte threshold and be acknowledged. It must
+    // be refused instead — an acknowledged commit here is unrecoverable.
+    Transaction txn = db.Begin();
+    ASSERT_TRUE(txn.DeleteVertex(vid).ok());
+    auto tid = txn.Commit();
+    if (tid.ok()) {
+      // If a future WAL learns to repair its tail in place, an acknowledged
+      // delete is fine — but then recovery below must honor it.
+      io::FaultInjector::Instance().Reset();
+      Database recovered(MakeOptions(dir));
+      DefineSchema(&recovered);
+      ASSERT_TRUE(recovered.Recover({}).ok());
+      EXPECT_FALSE(
+          recovered.store()->IsVisible(vid, recovered.store()->visible_tid()))
+          << "acknowledged DeleteVertex lost across recovery";
+      return;
+    }
+    io::FaultInjector::Instance().Reset();
+    // --- crash: drop the database with the torn tail on disk ---
+  }
+
+  // Durability invariant: everything acknowledged is recovered — vid was
+  // inserted and never (successfully) deleted, so it must be visible.
+  Database db(MakeOptions(dir));
+  DefineSchema(&db);
+  auto report = db.Recover({});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->wal_truncated);
+  EXPECT_TRUE(db.store()->IsVisible(vid, db.store()->visible_tid()));
+  auto v = db.store()->GetAttr(vid, "v", db.store()->visible_tid());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(std::get<int64_t>(*v), 1);
+  std::filesystem::remove_all(dir);
+}
+
+// A reopened log (the recovery path truncates the torn tail first) accepts
+// appends again; the broken flag must not leak across Open().
+TEST(FuzzRegression, WalReopenClearsBrokenState) {
+  io::FaultInjector::Instance().Reset();
+  const std::string dir = FreshDir("tv_fuzz_reg_wal_reopen");
+  const std::string path = dir + "/wal.log";
+
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  Mutation m;
+  m.kind = Mutation::Kind::kInsertVertex;
+  m.vid = 0;
+  m.vtype = 0;
+  m.attrs = {Value{int64_t{7}}};
+  ASSERT_TRUE(wal.Append(1, {m}).ok());
+
+  io::FaultInjector::Instance().Arm(
+      "wal.append", io::FaultSpec{io::FaultKind::kFailWrite,
+                                  wal.appended_bytes() + 4});
+  EXPECT_FALSE(wal.Append(2, {m}).ok());
+  EXPECT_TRUE(wal.broken());
+  io::FaultInjector::Instance().Reset();
+  // Still refused after the fault is gone: the tail is still garbage.
+  EXPECT_FALSE(wal.Append(3, {m}).ok());
+
+  auto outcome = WriteAheadLog::ReadLog(path);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->records.size(), 1u);
+  ASSERT_TRUE(io::TruncateFile(path, outcome->valid_bytes).ok());
+
+  WriteAheadLog reopened;
+  ASSERT_TRUE(reopened.Open(path).ok());
+  EXPECT_FALSE(reopened.broken());
+  ASSERT_TRUE(reopened.Append(2, {m}).ok());
+  auto records = WriteAheadLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+// Replays the checked-in seed corpus through the full differential harness:
+// every line is (seed, ops, faults) and must pass with zero divergences.
+TEST(FuzzRegression, SeedCorpusPasses) {
+  std::ifstream in(TV_FUZZ_CORPUS_FILE);
+  ASSERT_TRUE(in.is_open()) << "missing corpus file " << TV_FUZZ_CORPUS_FILE;
+  std::string line;
+  size_t cases = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    tigervector::testing::FuzzOptions options;
+    int faults = 0;
+    ASSERT_TRUE(static_cast<bool>(fields >> options.seed >> options.ops >> faults))
+        << "bad corpus line: " << line;
+    options.with_faults = faults != 0;
+    auto result = tigervector::testing::RunFuzzCase(options);
+    ++cases;
+    if (result.ok) continue;
+    const auto& f = result.failures.front();
+    FAIL() << "corpus seed " << options.seed << " failed at op " << f.op_index
+           << " (" << f.kind << "): " << f.detail
+           << "\n  repro: " << tigervector::testing::ReproCommand(options, {});
+  }
+  EXPECT_GE(cases, 10u) << "corpus unexpectedly small";
+}
+
+}  // namespace
+}  // namespace tigervector

@@ -4,6 +4,7 @@
 
 #include "core/database.h"
 #include "mpp/cluster.h"
+#include "util/io.h"
 
 namespace tigervector {
 namespace {
@@ -172,6 +173,33 @@ TEST_F(ClusterFixture, DoubleFailureWithRf2StillUnavailable) {
   // Segment 0's replicas live on servers 0 and 1 -> unavailable.
   auto result = cluster.DistributedTopK(Request(q, 3));
   ASSERT_FALSE(result.ok());
+}
+
+TEST_F(ClusterFixture, ServerFaultMidFanOutSurfacesError) {
+  // One server erroring mid scatter-gather must fail the whole query; a
+  // silently merged short top-k would return plausible-but-wrong results.
+  io::FaultInjector::Instance().Reset();
+  Cluster cluster(db_->store(), db_->embeddings(), {4, 1});
+  std::vector<float> q = {50, 0, 0, 0};
+  auto baseline = cluster.DistributedTopK(Request(q, 5));
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->hits.size(), 5u);
+
+  io::FaultInjector::Instance().Arm("mpp.server1.search",
+                                    io::FaultSpec{io::FaultKind::kFailOpen, 0});
+  auto faulted = cluster.DistributedTopK(Request(q, 5));
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_GE(io::FaultInjector::Instance().triggered("mpp.server1.search"), 1u);
+
+  // Recovery: disarming restores bit-identical answers.
+  io::FaultInjector::Instance().Reset();
+  auto after = cluster.DistributedTopK(Request(q, 5));
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->hits.size(), baseline->hits.size());
+  for (size_t i = 0; i < after->hits.size(); ++i) {
+    EXPECT_EQ(after->hits[i].label, baseline->hits[i].label);
+    EXPECT_EQ(after->hits[i].distance, baseline->hits[i].distance);
+  }
 }
 
 TEST_F(ClusterFixture, DatabaseWithClusterOptionWiresUp) {

@@ -593,5 +593,64 @@ TEST_F(QuerySessionFixture, PlanTextShapeMatchesPaper) {
   EXPECT_LT(emb, vertex);
 }
 
+// --- ExecuteVectorSearch error paths -----------------------------------
+
+TEST_F(QuerySessionFixture, WrongQueryVectorDimensionFails) {
+  // space1 is 4-dimensional; a 3-float query must be rejected up front on
+  // both the VectorSearch() and the SELECT ... ORDER BY VECTOR_DIST paths,
+  // not read past the buffer.
+  auto fn = session_->Run("R = VectorSearch({Post.content_emb}, $qv, 2); PRINT R;",
+                          Params({1, 2, 3}));
+  ASSERT_FALSE(fn.ok());
+  EXPECT_NE(fn.status().ToString().find("dimension"), std::string::npos)
+      << fn.status().ToString();
+  auto select = session_->Run(
+      "R = SELECT s FROM (s:Post)"
+      " ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 2; PRINT R;",
+      Params({1, 2, 3, 4, 5}));
+  ASSERT_FALSE(select.ok());
+  EXPECT_NE(select.status().ToString().find("dimension"), std::string::npos)
+      << select.status().ToString();
+}
+
+TEST_F(QuerySessionFixture, VectorSearchUnknownVertexTypeFails) {
+  auto result = session_->Run("R = VectorSearch({Nope.emb}, $qv, 2); PRINT R;",
+                              Params({0, 0, 0, 0}));
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(QuerySessionFixture, VectorSearchUnknownEmbeddingAttrFails) {
+  auto result = session_->Run("R = VectorSearch({Post.no_such_emb}, $qv, 2); PRINT R;",
+                              Params({0, 0, 0, 0}));
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(QuerySessionFixture, ZeroKFails) {
+  auto fn = session_->Run("R = VectorSearch({Post.content_emb}, $qv, 0); PRINT R;",
+                          Params({0, 0, 0, 0}));
+  ASSERT_FALSE(fn.ok());
+  auto select = session_->Run(
+      "R = SELECT s FROM (s:Post)"
+      " ORDER BY VECTOR_DIST(s.content_emb, $qv) LIMIT 0; PRINT R;",
+      Params({0, 0, 0, 0}));
+  ASSERT_FALSE(select.ok());
+  QueryParams params = Params({0, 0, 0, 0});
+  params["k"] = int64_t{0};
+  auto param_k = session_->Run(
+      "R = VectorSearch({Post.content_emb}, $qv, $k); PRINT R;", params);
+  ASSERT_FALSE(param_k.ok());
+}
+
+TEST_F(QuerySessionFixture, EmptyVertexSetFilterReturnsEmpty) {
+  // An empty candidate set is a valid (if useless) filter: the search
+  // returns no hits rather than erroring or ignoring the filter.
+  session_->SetVariable("None", VertexSet{});
+  auto result = session_->Run(
+      "R = VectorSearch({Post.content_emb}, $qv, 3, {filter: None}); PRINT R;",
+      Params({0, 0, 0, 0}));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->prints[0].vertices.empty());
+}
+
 }  // namespace
 }  // namespace tigervector

@@ -1,0 +1,174 @@
+// tv_fuzz: deterministic differential fuzzer for the GSQL query surface.
+//
+// Each seed derives a full scenario (schema parameters, mutation/query/vacuum
+// op tape, optional fault-injected crash cycles) and checks every generated
+// query against an exact brute-force oracle, metamorphic invariants, and the
+// simulated MPP cluster. Same seed + flags => same op stream, same verdict.
+//
+// Usage:
+//   tv_fuzz --seed=7 --ops=400                # one case
+//   tv_fuzz --seeds=1:32 --ops=400 --faults   # seed sweep with crash cycles
+//   tv_fuzz --seeds=1:100000 --duration=120   # wall-clock-budgeted sweep
+//   tv_fuzz --seed=7 --ops=400 --shrink       # minimize a failing case
+//   tv_fuzz --seed=7 --ops=400 --skip=3,17    # replay a shrunk repro
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/fuzz_harness.h"
+
+namespace {
+
+using tigervector::testing::FuzzCaseResult;
+using tigervector::testing::FuzzOptions;
+using tigervector::testing::FuzzStats;
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: tv_fuzz [--seed=N | --seeds=A:B] [--ops=N] [--faults]\n"
+               "               [--no-mpp] [--duration=SECS] [--min-recall=R]\n"
+               "               [--skip=i,j,k] [--shrink] [--work-dir=DIR]\n"
+               "               [--verbose]\n");
+}
+
+bool ParseSizeList(const std::string& text, std::vector<size_t>* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    if (token.empty()) return false;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return false;
+    out->push_back(static_cast<size_t>(v));
+    pos = comma + 1;
+  }
+  return true;
+}
+
+std::string StatsLine(const FuzzStats& s) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "txns=%zu failed_commits=%zu queries=%zu exact=%zu recall=%zu "
+                "soundness=%zu mpp=%zu metamorphic=%zu delta_merges=%zu "
+                "index_merges=%zu recoveries=%zu faults=%zu",
+                s.committed_txns, s.failed_commits, s.queries, s.exact_checks,
+                s.recall_checks, s.soundness_checks, s.mpp_checks,
+                s.metamorphic_checks, s.delta_merges, s.index_merges,
+                s.crash_recoveries, s.faults_armed);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  uint64_t seed_begin = 0, seed_end = 0;  // inclusive range; 0:0 = single seed
+  bool have_range = false;
+  bool shrink = false;
+  long duration_secs = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--seeds=")) {
+      const char* colon = std::strchr(v, ':');
+      if (colon == nullptr) {
+        PrintUsage();
+        return 2;
+      }
+      seed_begin = std::strtoull(v, nullptr, 10);
+      seed_end = std::strtoull(colon + 1, nullptr, 10);
+      have_range = true;
+    } else if (const char* v = value_of("--ops=")) {
+      options.ops = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value_of("--duration=")) {
+      duration_secs = std::strtol(v, nullptr, 10);
+    } else if (const char* v = value_of("--min-recall=")) {
+      options.min_recall = std::strtod(v, nullptr);
+    } else if (const char* v = value_of("--skip=")) {
+      if (!ParseSizeList(v, &options.skip)) {
+        PrintUsage();
+        return 2;
+      }
+    } else if (const char* v = value_of("--work-dir=")) {
+      options.work_dir = v;
+    } else if (arg == "--faults") {
+      options.with_faults = true;
+    } else if (arg == "--no-mpp") {
+      options.with_mpp = false;
+    } else if (arg == "--shrink") {
+      shrink = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "tv_fuzz: unknown argument '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (!have_range) {
+    seed_begin = seed_end = options.seed;
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_secs);
+  size_t passed = 0, failed = 0;
+  int exit_code = 0;
+  for (uint64_t seed = seed_begin; seed <= seed_end; ++seed) {
+    if (duration_secs > 0 && std::chrono::steady_clock::now() >= deadline) {
+      std::printf("tv_fuzz: duration budget reached after %zu seeds\n",
+                  passed + failed);
+      break;
+    }
+    FuzzOptions case_options = options;
+    case_options.seed = seed;
+    FuzzCaseResult result = tigervector::testing::RunFuzzCase(case_options);
+    if (result.ok) {
+      ++passed;
+      std::printf("seed=%llu PASS %s\n", static_cast<unsigned long long>(seed),
+                  StatsLine(result.stats).c_str());
+      continue;
+    }
+    ++failed;
+    exit_code = 1;
+    const auto& f = result.failures.front();
+    std::printf("seed=%llu FAIL op=%zu kind=%s\n",
+                static_cast<unsigned long long>(seed), f.op_index, f.kind.c_str());
+    std::printf("  detail: %s\n", f.detail.c_str());
+    if (!f.script.empty()) std::printf("  script: %s\n", f.script.c_str());
+    std::vector<size_t> skip = case_options.skip;
+    if (shrink) {
+      std::printf("  shrinking...\n");
+      skip = tigervector::testing::ShrinkFailingCase(case_options);
+      FuzzOptions replay = case_options;
+      replay.skip = skip;
+      FuzzCaseResult shrunk = tigervector::testing::RunFuzzCase(replay);
+      if (!shrunk.ok) {
+        const auto& sf = shrunk.failures.front();
+        std::printf("  shrunk to %zu live ops, fails at op=%zu kind=%s\n",
+                    case_options.ops - skip.size(), sf.op_index, sf.kind.c_str());
+      }
+    }
+    std::printf("  repro: %s\n",
+                tigervector::testing::ReproCommand(case_options, skip).c_str());
+  }
+  if (have_range || duration_secs > 0) {
+    std::printf("tv_fuzz: %zu passed, %zu failed\n", passed, failed);
+  }
+  return exit_code;
+}
