@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "util/slowlog.h"
 #include "util/timer.h"
 
 namespace tigervector::bench {
@@ -37,10 +38,20 @@ void WriteMetricsSnapshot() {
 
 void InitBench(int argc, char** argv) {
   constexpr char kFlag[] = "--metrics-out=";
+  constexpr char kSlowlogFlag[] = "--slowlog-out=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
       g_metrics_out = argv[i] + sizeof(kFlag) - 1;
       std::atexit(WriteMetricsSnapshot);
+    } else if (std::strncmp(argv[i], kSlowlogFlag, sizeof(kSlowlogFlag) - 1) == 0) {
+      // Queries exceeding the flight recorder's slow threshold are appended
+      // to this file as JSONL while the bench runs.
+      Status st = InstallSlowLogFile(argv[i] + sizeof(kSlowlogFlag) - 1);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bench: slowlog install failed: %s\n",
+                     st.ToString().c_str());
+      }
+      std::atexit(CloseSlowLog);
     }
   }
 }

@@ -13,6 +13,7 @@
 #include "bench/bench_common.h"
 #include "hnsw/brute_force.h"
 #include "hnsw/hnsw_index.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/distance.h"
@@ -190,15 +191,74 @@ void BM_SpanActive(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanActive);
 
+// One flight-recorder insert as the session performs it per completed
+// query: build a QueryRecord from a live trace and file it.
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  obs::QueryTrace trace;
+  {
+    obs::ScopedTraceActivation activation(&trace);
+    for (int i = 0; i < 6; ++i) {
+      TV_SPAN("bench.recorded_span");
+    }
+    trace.AddCounter("hnsw.distance_evals", 123);
+  }
+  for (auto _ : state) {
+    obs::QueryRecord record;
+    record.query = "SELECT s FROM (s:Item) ORDER BY VECTOR_DIST(s.emb, $q) LIMIT 10;";
+    record.ok = true;
+    record.status = "OK";
+    record.total_micros = 250;
+    record.spans = trace.Spans();
+    record.counters = trace.Counters();
+    benchmark::DoNotOptimize(recorder.Record(std::move(record)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
+// The hot-path A/B for the recorder acceptance gate: a top-k search with
+// the always-on trace active and a recorder insert per query — exactly the
+// per-query observability work the session adds. Compare against
+// BM_HnswSearch here and in a -DTIGERVECTOR_NO_METRICS=ON build (where the
+// trace and recorder compile to nothing) to bound the overhead.
+void BM_HnswSearchRecorded(benchmark::State& state) {
+  HnswIndex* index = SharedIndex(kIndexN, kIndexDim);
+  auto queries = RandomVectors(64, kIndexDim, 5);
+  const size_t ef = state.range(0);
+  obs::FlightRecorder recorder;
+  size_t q = 0;
+  for (auto _ : state) {
+#if !defined(TIGERVECTOR_NO_METRICS)
+    obs::QueryTrace trace;
+    obs::ScopedTraceActivation activation(&trace);
+#endif
+    benchmark::DoNotOptimize(
+        index->TopKSearch(queries.data() + (q++ % 64) * kIndexDim, 10, ef));
+#if !defined(TIGERVECTOR_NO_METRICS)
+    obs::QueryRecord record;
+    record.ok = true;
+    record.status = "OK";
+    record.spans = trace.Spans();
+    record.counters = trace.Counters();
+    benchmark::DoNotOptimize(recorder.Record(std::move(record)));
+#endif
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswSearchRecorded)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
 }  // namespace
 }  // namespace tigervector
 
 int main(int argc, char** argv) {
-  // Consume --metrics-out before google-benchmark rejects unknown flags.
+  // Consume --metrics-out / --slowlog-out before google-benchmark rejects
+  // unknown flags.
   tigervector::bench::InitBench(argc, argv);
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) continue;
+    if (std::strncmp(argv[i], "--slowlog-out=", 14) == 0) continue;
     argv[kept++] = argv[i];
   }
   argc = kept;

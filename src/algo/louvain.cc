@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace tigervector {
@@ -131,6 +133,8 @@ double Modularity(const DenseGraph& g, const std::vector<int>& community) {
 
 LouvainResult RunLouvain(const GraphStore& store, const std::string& vertex_type,
                          const std::string& edge_type, LouvainOptions options) {
+  TV_SPAN("algo.louvain");
+  TV_COUNTER_INC("tv.algo.louvain_runs_total");
   LouvainResult result;
   auto vt = store.schema()->GetVertexType(vertex_type);
   auto et = store.schema()->GetEdgeType(edge_type);
@@ -176,7 +180,9 @@ LouvainResult RunLouvain(const GraphStore& store, const std::string& vertex_type
   std::vector<int> mapping(g.n);
   std::iota(mapping.begin(), mapping.end(), 0);  // vertex -> current community
   DenseGraph level = g;
+  size_t levels_run = 0;
   for (int l = 0; l < options.max_levels; ++l) {
+    ++levels_run;
     std::vector<int> community(level.n);
     std::iota(community.begin(), community.end(), 0);
     const bool improved = LocalMove(level, &community, options, &rng);
@@ -198,6 +204,9 @@ LouvainResult RunLouvain(const GraphStore& store, const std::string& vertex_type
   std::vector<int> flat(g.n);
   for (size_t u = 0; u < g.n; ++u) flat[u] = result.community[vids[u]];
   result.modularity = Modularity(g, flat);
+  TV_COUNTER_ADD("tv.algo.louvain_levels_total", levels_run);
+  TV_COUNTER_ADD("tv.algo.louvain_communities_total",
+                 static_cast<uint64_t>(result.num_communities));
   return result;
 }
 

@@ -1,9 +1,14 @@
 #include "algo/traversal.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tigervector {
 
 VertexSet ExpandPattern(const GraphStore& store, const VertexSet& seeds,
                         const std::vector<HopSpec>& hops, Tid read_tid) {
+  TV_SPAN("algo.expand_pattern");
+  TV_COUNTER_INC("tv.algo.expansions_total");
   VertexSet frontier = seeds;
   for (const HopSpec& hop : hops) {
     auto et = store.schema()->GetEdgeType(hop.edge_type);
@@ -32,19 +37,24 @@ VertexSet ExpandPattern(const GraphStore& store, const VertexSet& seeds,
 VertexSet KHopNeighborhood(const GraphStore& store, const VertexSet& seeds,
                            const std::string& edge_type, Direction dir, int max_depth,
                            Tid read_tid) {
+  TV_SPAN("algo.k_hop");
+  TV_COUNTER_INC("tv.algo.k_hop_total");
   auto et = store.schema()->GetEdgeType(edge_type);
   if (!et.ok()) return {};
   VertexSet visited = seeds;
   VertexSet frontier = seeds;
+  size_t edges_followed = 0;
   for (int depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
     VertexSet next;
     for (VertexId vid : frontier) {
       store.ForEachNeighbor(vid, (*et)->id, dir, read_tid, [&](VertexId peer) {
+        ++edges_followed;
         if (visited.insert(peer).second) next.insert(peer);
       });
     }
     frontier = std::move(next);
   }
+  TV_COUNTER_ADD("tv.algo.edges_followed_total", edges_followed);
   return visited;
 }
 

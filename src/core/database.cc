@@ -112,8 +112,14 @@ Result<VertexSet> Database::VectorSearch(
     filter_bitmap = VertexSetToBitmap(*options.filter, store_->vid_upper_bound());
     request.filter = FilterView(&filter_bitmap);
   }
-  auto result = embeddings_->TopKSearch(request);
+  // With a simulated MPP cluster the search scatters to the logical servers
+  // and gathers their local top-k lists; the merge invariant keeps the
+  // result bit-identical to the single-node path.
+  auto result = cluster_ != nullptr
+                    ? cluster_->DistributedTopK(request, options.mpp_stats)
+                    : embeddings_->TopKSearch(request);
   if (!result.ok()) return result.status();
+  if (options.result_stats != nullptr) *options.result_stats = *result;
   VertexSet out;
   for (const SearchHit& hit : result->hits) {
     out.insert(hit.label);

@@ -89,6 +89,13 @@ class Database {
     // types the role cannot read are excluded ("unauthorized vectors");
     // the search fails only if nothing readable remains.
     std::string role;
+    // When non-null, receives the raw search result statistics
+    // (segments_searched, bruteforce_segments, delta_candidates) — used by
+    // EXPLAIN ANALYZE to report per-node actuals.
+    VectorSearchResult* result_stats = nullptr;
+    // When non-null and the database runs a simulated MPP cluster, receives
+    // the per-server scatter/gather timings.
+    Cluster::DistributedStats* mpp_stats = nullptr;
   };
   Result<VertexSet> VectorSearch(
       const std::vector<std::pair<std::string, std::string>>& attrs,

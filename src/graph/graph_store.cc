@@ -362,9 +362,20 @@ TypeBitmapGuard GraphStore::LatestTypeBitmap(VertexTypeId vtype) const {
 
 size_t GraphStore::VacuumGraph() {
   const Tid up_to = visible_tid();
+  // Snapshot the segment pointers and drop segments_mu_ before taking any
+  // per-segment write lock: readers acquire segment-then-store (predicate
+  // eval under a segment lock calls back into SegmentFor), so holding
+  // store-then-segment here would close a lock-order cycle. Segments are
+  // append-only and owned by stable unique_ptrs, so the snapshot stays
+  // valid after the lock is released.
+  std::vector<GraphSegment*> segments;
+  {
+    std::shared_lock<std::shared_mutex> lock(segments_mu_);
+    segments.reserve(segments_.size());
+    for (auto& seg : segments_) segments.push_back(seg.get());
+  }
   size_t applied = 0;
-  std::shared_lock<std::shared_mutex> lock(segments_mu_);
-  for (auto& seg : segments_) applied += seg->Vacuum(up_to);
+  for (GraphSegment* seg : segments) applied += seg->Vacuum(up_to);
   return applied;
 }
 

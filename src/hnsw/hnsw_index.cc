@@ -42,16 +42,51 @@ TV_NO_SANITIZE_THREAD void RelaxedCopyVector(float* dst, const float* src,
 
 // Per-instance stats stay authoritative for per-segment attribution; the
 // same increments mirror into the process-wide registry so exporters see
-// one aggregate without walking segments.
+// one aggregate without walking segments, and into per-thread tallies so a
+// search call can attribute its exact cost to the active query trace
+// (segment searches never span threads, so thread-local deltas are exact
+// even under concurrent queries).
+#if !defined(TIGERVECTOR_NO_METRICS)
+thread_local uint64_t tl_dist_evals = 0;
+thread_local uint64_t tl_hops = 0;
+#endif
+
 inline void CountDistComp(std::atomic<uint64_t>& stat) {
   stat.fetch_add(1, std::memory_order_relaxed);
+#if !defined(TIGERVECTOR_NO_METRICS)
+  ++tl_dist_evals;
+#endif
   TV_COUNTER_INC("tv.hnsw.distance_evals_total");
 }
 
 inline void CountHop(std::atomic<uint64_t>& stat) {
   stat.fetch_add(1, std::memory_order_relaxed);
+#if !defined(TIGERVECTOR_NO_METRICS)
+  ++tl_hops;
+#endif
   TV_COUNTER_INC("tv.hnsw.hops_total");
 }
+
+// RAII reporter: on destruction, adds this search call's thread-local
+// distance-eval/hop deltas to the active query trace (exact per-query
+// accounting, unlike a process-wide counter delta which mixes in
+// concurrent queries and background inserts).
+class TraceSearchCost {
+ public:
+#if !defined(TIGERVECTOR_NO_METRICS)
+  TraceSearchCost() : dist0_(tl_dist_evals), hops0_(tl_hops) {}
+  ~TraceSearchCost() {
+    obs::QueryTrace* trace = obs::CurrentTrace();
+    if (trace == nullptr) return;
+    trace->AddCounter("hnsw.distance_evals", tl_dist_evals - dist0_);
+    trace->AddCounter("hnsw.hops", tl_hops - hops0_);
+  }
+
+ private:
+  uint64_t dist0_;
+  uint64_t hops0_;
+#endif
+};
 }  // namespace
 
 HnswIndex::HnswIndex(const HnswParams& params)
@@ -496,6 +531,7 @@ Status HnswIndex::GetEmbedding(uint64_t label, float* out) const {
 std::vector<SearchHit> HnswIndex::TopKSearch(const float* query, size_t k, size_t ef,
                                              const FilterView& filter) const {
   TV_SPAN("hnsw.search");
+  TraceSearchCost cost_scope;
   stat_searches_.fetch_add(1, std::memory_order_relaxed);
   TV_COUNTER_INC("tv.hnsw.searches_total");
   std::vector<SearchHit> out;
@@ -553,6 +589,7 @@ std::vector<SearchHit> HnswIndex::RangeSearch(const float* query, float threshol
 
 std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
                                                    const FilterView& filter) const {
+  TraceSearchCost cost_scope;
   const uint32_t count = NodeCount();
   std::priority_queue<Candidate> top;
   for (uint32_t id = 0; id < count; ++id) {

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tigervector {
 
 namespace {
@@ -39,6 +42,8 @@ Result<Value> ParseAttr(const std::string& field, AttrType type) {
 
 Result<LoadReport> LoadingJob::Run(Database* db, size_t batch_size,
                                    const CsvOptions& csv) {
+  TV_SPAN("loader.run");
+  TV_COUNTER_INC("tv.loader.jobs_total");
   LoadReport report;
   for (const LoadStep& step : steps_) {
     if (const auto* vstep = std::get_if<VertexLoadStep>(&step)) {
@@ -48,6 +53,7 @@ Result<LoadReport> LoadingJob::Run(Database* db, size_t batch_size,
                                         batch_size, csv, &report));
     }
   }
+  TV_COUNTER_ADD("tv.loader.rows_skipped_total", report.rows_skipped);
   return report;
 }
 
@@ -60,6 +66,7 @@ const std::unordered_map<std::string, VertexId>* LoadingJob::IdMap(
 Status LoadingJob::RunVertexStep(Database* db, const VertexLoadStep& step,
                                  size_t batch_size, const CsvOptions& csv,
                                  LoadReport* report) {
+  TV_SPAN("loader.vertex_step");
   auto vt = db->schema()->GetVertexType(step.vertex_type);
   if (!vt.ok()) return vt.status();
   const VertexTypeDef& def = **vt;
@@ -122,6 +129,7 @@ Status LoadingJob::RunVertexStep(Database* db, const VertexLoadStep& step,
     auto vid = txn.InsertVertex(step.vertex_type, std::move(attrs));
     if (!vid.ok()) return vid.status();
     id_map[row[0]] = *vid;
+    TV_COUNTER_INC("tv.loader.vertices_total");
     ++report->vertices_loaded;
     if (++in_batch >= batch_size) {
       TV_RETURN_NOT_OK(txn.Commit().status());
@@ -135,6 +143,7 @@ Status LoadingJob::RunVertexStep(Database* db, const VertexLoadStep& step,
 Status LoadingJob::RunEmbeddingStep(Database* db, const EmbeddingLoadStep& step,
                                     size_t batch_size, const CsvOptions& csv,
                                     LoadReport* report) {
+  TV_SPAN("loader.embedding_step");
   auto vt = db->schema()->GetVertexType(step.vertex_type);
   if (!vt.ok()) return vt.status();
   if ((*vt)->FindEmbeddingAttr(step.attr) == nullptr) {
@@ -172,6 +181,7 @@ Status LoadingJob::RunEmbeddingStep(Database* db, const EmbeddingLoadStep& step,
     }
     TV_RETURN_NOT_OK(txn.SetEmbedding(vid_it->second, step.vertex_type, step.attr,
                                       std::move(*vec)));
+    TV_COUNTER_INC("tv.loader.embeddings_total");
     ++report->embeddings_loaded;
     if (++in_batch >= batch_size) {
       TV_RETURN_NOT_OK(txn.Commit().status());

@@ -104,30 +104,38 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
   for (size_t server = 0; server < options_.num_servers; ++server) {
     if (shards[server].empty()) continue;
     pools_[server]->Submit([&, server, parent_trace] {
-      obs::ScopedTraceActivation trace_scope(parent_trace);
-      TV_SPAN("cluster.server_search");
-      Timer t;
-      // Each worker searches only its own shard, using its own pool for
-      // intra-server segment parallelism.
-      VectorSearchRequest local = request;
-      local.segment_subset = &shards[server];
-      local.pool = nullptr;  // segments run sequentially on this worker
       ServerResponse resp;
-      // Partial-failure hook: arming "mpp.server<i>.search" (kFailOpen)
-      // makes exactly this server's shard fail mid fan-out, so tests can
-      // assert the coordinator surfaces the error instead of silently
-      // merging a short top-k.
-      auto& injector = io::FaultInjector::Instance();
-      if (injector.any_armed() &&
-          injector.ShouldFail("mpp.server" + std::to_string(server) + ".search",
-                              io::FaultKind::kFailOpen)) {
-        resp.result = Status::IOError("injected fault: server " +
-                                      std::to_string(server) + " shard search failed");
-      } else {
-        resp.result = local_search(local);
+      // Everything touching the coordinator's trace — the activation, the
+      // span, the search itself — lives in this inner scope so its
+      // destructors run BEFORE the notify below. The coordinator is only
+      // released once `remaining` hits zero; after that the trace (a stack
+      // object in the caller) may be destroyed at any moment.
+      {
+        obs::ScopedTraceActivation trace_scope(parent_trace);
+        TV_SPAN("cluster.server_search");
+        Timer t;
+        // Each worker searches only its own shard, using its own pool for
+        // intra-server segment parallelism.
+        VectorSearchRequest local = request;
+        local.segment_subset = &shards[server];
+        local.pool = nullptr;  // segments run sequentially on this worker
+        // Partial-failure hook: arming "mpp.server<i>.search" (kFailOpen)
+        // makes exactly this server's shard fail mid fan-out, so tests can
+        // assert the coordinator surfaces the error instead of silently
+        // merging a short top-k.
+        auto& injector = io::FaultInjector::Instance();
+        if (injector.any_armed() &&
+            injector.ShouldFail("mpp.server" + std::to_string(server) + ".search",
+                                io::FaultKind::kFailOpen)) {
+          resp.result = Status::IOError("injected fault: server " +
+                                        std::to_string(server) +
+                                        " shard search failed");
+        } else {
+          resp.result = local_search(local);
+        }
+        resp.seconds = t.ElapsedSeconds();
+        resp.participated = true;
       }
-      resp.seconds = t.ElapsedSeconds();
-      resp.participated = true;
       std::lock_guard<std::mutex> lock(mu);
       responses[server] = std::move(resp);
       if (--remaining == 0) cv.notify_all();

@@ -1,0 +1,301 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace tigervector::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+// First line of the query, compressed for one-line listings.
+std::string Headline(const std::string& query, size_t max_len) {
+  std::string out;
+  for (char c : query) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+    if (!out.empty() || c != ' ') out.push_back(c);
+    if (out.size() >= max_len) {
+      out += "...";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked on purpose, like the metrics registry: sessions may record
+  // during static destruction of other objects.
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder(Options options) : options_(options) {}
+
+uint64_t FlightRecorder::Record(QueryRecord record) {
+  Options opts = this->options();
+  record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (record.query.size() > kMaxQueryBytes) {
+    record.query.resize(kMaxQueryBytes - 3);
+    record.query += "...";
+  }
+  record.slow = record.total_micros >= opts.slow_threshold_micros;
+
+  if (record.slow) {
+    std::function<void(const std::string&)> sink;
+    {
+      std::lock_guard<std::mutex> lock(slow_mu_);
+      if (opts.slow_capacity > 0) {
+        if (slow_ring_.size() < opts.slow_capacity) {
+          slow_ring_.push_back(record);
+        } else {
+          slow_ring_[slow_count_ % opts.slow_capacity] = record;
+        }
+        ++slow_count_;
+      }
+      sink = slow_sink_;
+    }
+    // Render outside the lock; slow queries are rare so the extra copy is
+    // immaterial next to the query itself.
+    if (sink) sink(SlowLogLine(record));
+  }
+
+  const uint64_t id = record.id;
+  const size_t per_shard = std::max<size_t>(1, (opts.capacity + kShards - 1) / kShards);
+  Shard& shard = shards_[id % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.ring.size() < per_shard) {
+    shard.ring.push_back(std::move(record));
+  } else {
+    shard.ring[shard.count % per_shard] = std::move(record);
+  }
+  ++shard.count;
+  return id;
+}
+
+void FlightRecorder::Configure(const Options& options) {
+  // Snapshot, swap knobs, re-file the most recent records under the new
+  // capacities (ids are preserved; only excess history is dropped).
+  std::vector<QueryRecord> recent = Recent();
+  std::vector<QueryRecord> slow = Slow();
+  {
+    std::lock_guard<std::mutex> lock(options_mu_);
+    options_ = options;
+  }
+  for (size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].ring.clear();
+    shards_[i].count = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_ring_.clear();
+    slow_count_ = 0;
+  }
+  const size_t per_shard =
+      std::max<size_t>(1, (options.capacity + kShards - 1) / kShards);
+  if (recent.size() > options.capacity) {
+    recent.erase(recent.begin(), recent.end() - options.capacity);
+  }
+  for (QueryRecord& r : recent) {
+    Shard& shard = shards_[r.id % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.ring.size() < per_shard) {
+      shard.ring.push_back(std::move(r));
+    } else {
+      shard.ring[shard.count % per_shard] = std::move(r);
+    }
+    ++shard.count;
+  }
+  if (slow.size() > options.slow_capacity) {
+    slow.erase(slow.begin(), slow.end() - options.slow_capacity);
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  for (QueryRecord& r : slow) slow_ring_.push_back(std::move(r));
+  slow_count_ = slow_ring_.size();
+}
+
+FlightRecorder::Options FlightRecorder::options() const {
+  std::lock_guard<std::mutex> lock(options_mu_);
+  return options_;
+}
+
+std::vector<QueryRecord> FlightRecorder::Recent() const {
+  std::vector<QueryRecord> out;
+  for (size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    out.insert(out.end(), shards_[i].ring.begin(), shards_[i].ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryRecord& a, const QueryRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+std::vector<QueryRecord> FlightRecorder::Slow() const {
+  std::vector<QueryRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    out = slow_ring_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryRecord& a, const QueryRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+bool FlightRecorder::Find(uint64_t id, QueryRecord* out) const {
+  {
+    const Shard& shard = shards_[id % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const QueryRecord& r : shard.ring) {
+      if (r.id == id) {
+        *out = r;
+        return true;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  for (const QueryRecord& r : slow_ring_) {
+    if (r.id == id) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FlightRecorder::Clear() {
+  for (size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].ring.clear();
+    shards_[i].count = 0;
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_ring_.clear();
+  slow_count_ = 0;
+}
+
+void FlightRecorder::SetSlowLogSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_sink_ = std::move(sink);
+}
+
+std::string FlightRecorder::RenderList() const {
+  const std::vector<QueryRecord> recent = Recent();
+  const std::vector<QueryRecord> slow = Slow();
+  std::ostringstream out;
+  out << "      id status     ms  spans  query\n";
+  auto line = [&](const QueryRecord& r, bool pinned) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%8llu %-5s %8.3f %6zu  ",
+                  static_cast<unsigned long long>(r.id),
+                  r.ok ? (pinned ? "SLOW" : "ok") : "ERR", r.total_micros / 1e3,
+                  r.spans.size());
+    out << buf << Headline(r.query, 60) << "\n";
+  };
+  for (const QueryRecord& r : recent) line(r, r.slow);
+  if (!slow.empty()) {
+    out << "--- pinned slow queries ---\n";
+    for (const QueryRecord& r : slow) line(r, true);
+  }
+  return out.str();
+}
+
+std::string FlightRecorder::RenderDetail(const QueryRecord& record) {
+  std::ostringstream out;
+  out << "query " << record.id << (record.slow ? " [slow]" : "") << ": "
+      << (record.ok ? "OK" : record.status) << "\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "total %.3f ms\n", record.total_micros / 1e3);
+  out << buf << Headline(record.query, 200) << "\n";
+  out << "  start_us     dur_us  tid depth span\n";
+  std::vector<QueryTrace::Span> spans = record.spans;
+  std::sort(spans.begin(), spans.end(),
+            [](const QueryTrace::Span& a, const QueryTrace::Span& b) {
+              return a.start_micros < b.start_micros;
+            });
+  for (const QueryTrace::Span& s : spans) {
+    std::snprintf(buf, sizeof(buf), "%10.1f %10.1f %4u %5u ", s.start_micros,
+                  s.micros, s.thread_id, s.depth);
+    out << buf;
+    for (uint32_t d = 0; d < s.depth; ++d) out << "  ";
+    out << s.name << "\n";
+  }
+  for (const auto& [name, value] : record.counters) {
+    std::snprintf(buf, sizeof(buf), "%-34s %9llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out << buf;
+  }
+  return out.str();
+}
+
+std::string FlightRecorder::ChromeTraceJson(const QueryRecord& record) {
+  // Chrome trace_event format: one "X" (complete) event per span, ts/dur in
+  // microseconds, pid = 1, tid = the recording thread's stable slot. A
+  // metadata-style summary event carries the query text and counters.
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  out << "{\"name\":\"query " << record.id << "\",\"cat\":\"query\",\"ph\":\"X\","
+      << "\"ts\":0,\"dur\":" << record.total_micros << ",\"pid\":1,\"tid\":0,"
+      << "\"args\":{\"query\":\"" << JsonEscape(record.query) << "\",\"status\":\""
+      << JsonEscape(record.status) << "\"";
+  for (const auto& [name, value] : record.counters) {
+    out << ",\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "}}";
+  for (const QueryTrace::Span& s : record.spans) {
+    out << ",{\"name\":\"" << JsonEscape(s.name) << "\",\"cat\":\"span\","
+        << "\"ph\":\"X\",\"ts\":" << s.start_micros << ",\"dur\":" << s.micros
+        << ",\"pid\":1,\"tid\":" << s.thread_id << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+std::string FlightRecorder::SlowLogLine(const QueryRecord& record) {
+  std::map<std::string, double> stages;
+  for (const QueryTrace::Span& s : record.spans) stages[s.name] += s.micros;
+  std::ostringstream out;
+  out << "{\"id\":" << record.id << ",\"ok\":" << (record.ok ? "true" : "false")
+      << ",\"status\":\"" << JsonEscape(record.status) << "\",\"total_micros\":"
+      << record.total_micros << ",\"query\":\"" << JsonEscape(record.query)
+      << "\",\"stages\":{";
+  bool first = true;
+  for (const auto& [name, micros] : stages) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << micros;
+    first = false;
+  }
+  out << "},\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : record.counters) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace tigervector::obs

@@ -1,0 +1,114 @@
+#ifndef TIGERVECTOR_OBS_FLIGHT_RECORDER_H_
+#define TIGERVECTOR_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace tigervector::obs {
+
+// One completed query as retained by the flight recorder: the full trace
+// (spans with start offsets + thread slots, counters) plus query-level
+// metadata. Everything needed to reconstruct the query after the fact.
+struct QueryRecord {
+  uint64_t id = 0;          // assigned by the recorder, monotonically increasing
+  std::string query;        // script text (truncated to kMaxQueryBytes)
+  std::string status;       // "OK" or the error's ToString()
+  bool ok = true;
+  bool slow = false;        // exceeded the slow-query threshold
+  double total_micros = 0;  // end-to-end latency
+  std::vector<QueryTrace::Span> spans;
+  std::map<std::string, uint64_t> counters;
+};
+
+// Always-on query flight recorder: a fixed-capacity, lock-sharded ring
+// buffer retaining the last N query records, plus a separate pinned ring
+// for every query that exceeded the slow-query threshold (so a burst of
+// fast queries cannot evict the interesting ones). Records are queryable
+// from the shell (\flightrec) and exportable as Chrome trace_event JSON.
+//
+// Sharding: records land in shard (id % kShards); each shard is an
+// independently-locked ring, so concurrent sessions recording queries do
+// not serialize on one mutex. Readers snapshot all shards and sort by id.
+class FlightRecorder {
+ public:
+  static constexpr size_t kShards = 8;
+  static constexpr size_t kMaxQueryBytes = 2048;
+
+  struct Options {
+    size_t capacity = 128;                  // recent-ring capacity (total)
+    size_t slow_capacity = 64;              // pinned slow-query ring capacity
+    double slow_threshold_micros = 100e3;   // 100 ms default
+  };
+
+  // The process-wide recorder the GSQL session records into.
+  static FlightRecorder& Global();
+
+  FlightRecorder() : FlightRecorder(Options{}) {}
+  explicit FlightRecorder(Options options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Files a completed query; assigns and returns its record id. A record
+  // whose total latency exceeds the slow threshold is additionally pinned
+  // in the slow ring and rendered to the slow-query log sink (if set).
+  uint64_t Record(QueryRecord record);
+
+  // Replaces capacity/threshold knobs. Existing records are kept (up to the
+  // new capacities).
+  void Configure(const Options& options);
+  Options options() const;
+
+  // Recent records, oldest first (across all shards, sorted by id).
+  std::vector<QueryRecord> Recent() const;
+  // Pinned slow-query records, oldest first.
+  std::vector<QueryRecord> Slow() const;
+  // Looks up a record by id in both rings.
+  bool Find(uint64_t id, QueryRecord* out) const;
+
+  void Clear();
+
+  // Installs the slow-query log sink: called with one rendered JSONL line
+  // (no trailing newline) per slow query. The io::File-backed file sink
+  // lives in util/slowlog.h (tv_obs cannot depend on io without a cycle).
+  void SetSlowLogSink(std::function<void(const std::string&)> sink);
+
+  // --- Renderers ---
+  // One-line-per-query listing for the shell (\flightrec).
+  std::string RenderList() const;
+  // Full detail of one record: metadata, span table, counters.
+  static std::string RenderDetail(const QueryRecord& record);
+  // Chrome trace_event JSON ("ph":"X" complete events, ts/dur in micros,
+  // tid = the recording thread's stable slot) loadable in chrome://tracing.
+  static std::string ChromeTraceJson(const QueryRecord& record);
+  // One structured slow-query log record (JSONL): query, status, latency,
+  // per-stage micros breakdown, counters.
+  static std::string SlowLogLine(const QueryRecord& record);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<QueryRecord> ring;  // ring indexed by (seq / kShards) % cap
+    uint64_t count = 0;             // records ever filed into this shard
+  };
+
+  mutable std::mutex options_mu_;
+  Options options_;
+  std::atomic<uint64_t> next_id_{1};
+  Shard shards_[kShards];
+  mutable std::mutex slow_mu_;
+  std::vector<QueryRecord> slow_ring_;
+  uint64_t slow_count_ = 0;
+  std::function<void(const std::string&)> slow_sink_;
+};
+
+}  // namespace tigervector::obs
+
+#endif  // TIGERVECTOR_OBS_FLIGHT_RECORDER_H_

@@ -35,6 +35,27 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
+// Registry names may carry one label in braces ("tv.query.errors_total"
+// with "{kind=parse}" appended). Splits such a name into its Prometheus
+// base name and a rendered label suffix ({kind="parse"}); label-less names
+// pass through with an empty suffix.
+void SplitPromName(const std::string& name, std::string* base, std::string* labels) {
+  labels->clear();
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = PromName(name);
+    return;
+  }
+  const std::string inner = name.substr(brace + 1, name.size() - brace - 2);
+  const size_t eq = inner.find('=');
+  if (eq == std::string::npos) {
+    *base = PromName(name);
+    return;
+  }
+  *base = PromName(name.substr(0, brace));
+  *labels = "{" + PromName(inner.substr(0, eq)) + "=\"" + inner.substr(eq + 1) + "\"}";
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -160,10 +181,17 @@ std::string MetricsRegistry::RenderText() const {
     for (const auto& [name, h] : shard.histograms) histograms[name] = h.get();
   }
   std::ostringstream out;
+  std::string prev_family;
   for (const auto& [name, value] : counters) {
-    const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " counter\n";
-    out << prom << " " << value << "\n";
+    std::string base, labels;
+    SplitPromName(name, &base, &labels);
+    // Labeled series of one family share a single TYPE header; the sorted
+    // snapshot keeps them adjacent.
+    if (base != prev_family) {
+      out << "# TYPE " << base << " counter\n";
+      prev_family = base;
+    }
+    out << base << labels << " " << value << "\n";
   }
   for (const auto& [name, value] : gauges) {
     const std::string prom = PromName(name);

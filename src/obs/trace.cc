@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <sstream>
 
@@ -11,9 +12,27 @@ thread_local QueryTrace* g_current_trace = nullptr;
 thread_local uint32_t g_span_depth = 0;
 }  // namespace
 
+uint32_t ThreadSlot() {
+  static std::atomic<uint32_t> next_slot{0};
+  thread_local const uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) + 1;
+  return slot;
+}
+
 void QueryTrace::RecordSpan(const char* name, uint32_t depth, double micros) {
+  // Legacy duration-only entry point: place the span as ending "now".
+  const double end_micros =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                origin_)
+          .count();
+  RecordSpanAt(name, depth, std::max(0.0, end_micros - micros), micros);
+}
+
+void QueryTrace::RecordSpanAt(const char* name, uint32_t depth, double start_micros,
+                              double micros) {
+  const uint32_t tid = ThreadSlot();
   std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(Span{name, depth, micros});
+  spans_.push_back(Span{name, depth, micros, start_micros, tid});
 }
 
 void QueryTrace::AddCounter(const char* name, uint64_t delta) {
@@ -80,7 +99,7 @@ ScopedTraceActivation::ScopedTraceActivation(QueryTrace* trace)
   if (trace != nullptr) {
     g_current_trace = trace;
     // Spans recorded on a worker thread start a fresh depth chain; the
-    // profiled breakdown aggregates by name, so depth is presentation-only.
+    // per-span thread slot keeps concurrent workers' chains attributable.
     if (trace != prev_) g_span_depth = 0;
   }
 }
@@ -100,11 +119,12 @@ ScopedSpan::ScopedSpan(const char* name) : name_(name), trace_(g_current_trace) 
 ScopedSpan::~ScopedSpan() {
   if (trace_ == nullptr) return;
   --g_span_depth;
+  const auto end = std::chrono::steady_clock::now();
   const double micros =
-      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
-                                                start_)
-          .count();
-  trace_->RecordSpan(name_, depth_, micros);
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  const double start_micros =
+      std::chrono::duration<double, std::micro>(start_ - trace_->origin()).count();
+  trace_->RecordSpanAt(name_, depth_, std::max(0.0, start_micros), micros);
 }
 
 void RecordSpanMicros(const char* name, double micros) {

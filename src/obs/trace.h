@@ -11,20 +11,28 @@
 namespace tigervector::obs {
 
 // Per-query trace buffer: the destination of TV_SPAN stage timings while a
-// trace is active on the recording thread (PROFILE in the GSQL session
-// activates one for the duration of a script). The buffer is thread-safe so
-// spans recorded on thread-pool workers (segment fan-out, cluster scatter)
-// can land in the same query's trace; activation is propagated explicitly
-// by the fan-out sites via ScopedTraceActivation.
+// trace is active on the recording thread (the GSQL session activates one
+// for the duration of every script). The buffer is thread-safe so spans
+// recorded on thread-pool workers (segment fan-out, cluster scatter) can
+// land in the same query's trace; activation is propagated explicitly by
+// the fan-out sites via ScopedTraceActivation.
 class QueryTrace {
  public:
   struct Span {
     std::string name;
-    uint32_t depth = 0;   // nesting depth on the recording thread
-    double micros = 0;
+    uint32_t depth = 0;        // nesting depth on the recording thread
+    double micros = 0;         // duration
+    double start_micros = 0;   // steady-clock offset from the trace origin
+    uint32_t thread_id = 0;    // stable per-thread slot (see ThreadSlot())
   };
 
+  QueryTrace() : origin_(std::chrono::steady_clock::now()) {}
+
   void RecordSpan(const char* name, uint32_t depth, double micros);
+  // Full-fidelity variant carrying the span's start offset; the recording
+  // thread's stable slot is captured automatically.
+  void RecordSpanAt(const char* name, uint32_t depth, double start_micros,
+                    double micros);
   // Accumulates a named per-query quantity (e.g. "hnsw.distance_evals").
   void AddCounter(const char* name, uint64_t delta);
 
@@ -36,9 +44,13 @@ class QueryTrace {
   // Human-readable stage breakdown (the PROFILE output).
   std::string Render() const;
 
+  // Construction time of this trace; span start offsets are relative to it.
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
+
   void Clear();
 
  private:
+  const std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::map<std::string, uint64_t> counters_;
@@ -47,8 +59,14 @@ class QueryTrace {
 // Trace active on the current thread, or null.
 QueryTrace* CurrentTrace();
 
+// Small, stable identifier of the calling thread (assigned sequentially on
+// first use, starting at 1). Unlike std::thread::id it survives as a
+// compact Chrome-trace "tid" and lets interleaved fan-out spans from
+// different pool workers stay attributed to their own thread.
+uint32_t ThreadSlot();
+
 // Installs `trace` as the current thread's active trace for the scope (null
-// is a no-op passthrough). Used at the top of a profiled query and inside
+// is a no-op passthrough). Used at the top of a query and inside
 // thread-pool tasks to carry the parent's trace across threads.
 class ScopedTraceActivation {
  public:

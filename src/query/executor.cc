@@ -1,9 +1,12 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/distance.h"
 #include "util/timer.h"
 #include "util/topk_heap.h"
 
@@ -86,7 +89,48 @@ Result<const std::vector<float>*> ParamAsVector(const QueryParams& params,
   return &std::get<std::vector<float>>(it->second);
 }
 
+// Current value of a per-query trace counter; EXPLAIN ANALYZE brackets
+// searches with this to attribute exact distance-eval/hop deltas to one
+// plan node.
+uint64_t TraceCounter(const char* name) {
+  obs::QueryTrace* trace = obs::CurrentTrace();
+  if (trace == nullptr) return 0;
+  const auto counters = trace->Counters();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::string FmtMillis(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  return buf;
+}
+
+std::string FmtSelectivity(size_t kept, size_t universe) {
+  if (universe == 0) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f",
+                static_cast<double>(kept) / static_cast<double>(universe));
+  return buf;
+}
+
 }  // namespace
+
+std::string PlanDescription::Render() const {
+  std::ostringstream out;
+  for (const PlanNode& node : nodes) {
+    out << node.label << "\n";
+    for (const std::string& detail : node.details) {
+      out << "    - " << detail << "\n";
+    }
+    if (analyzed) {
+      for (const auto& [key, value] : node.actuals) {
+        out << "    * " << key << ": " << value << "\n";
+      }
+    }
+  }
+  return out.str();
+}
 
 std::string ExprToString(const Expr& expr) {
   switch (expr.kind) {
@@ -270,7 +314,9 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
 
 Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
                                                   const QueryParams& params,
-                                                  const VarMap& vars) {
+                                                  const VarMap& vars,
+                                                  PlanDescription* explain,
+                                                  bool execute) {
   TV_SPAN("query.execute");
   TV_COUNTER_INC("tv.query.selects_total");
   // Records the select latency on every exit path.
@@ -351,7 +397,170 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     if (!et.ok()) return et.status();
     edge_defs.push_back(*et);
   }
+  // ---- Plan text + EXPLAIN description (built statically, bottom-up) ----
+  SelectResult result;
+  int topk_plan_idx = -1;
+  std::vector<int> range_plan_idx(ranges.size(), -1);
+  std::vector<int> node_plan_idx(nodes.size(), -1);
+  std::vector<int> edge_plan_idx(stmt.pattern.edges.size(), -1);
+  {
+    struct PlanLine {
+      std::string text;
+      int node_idx = -1;
+      int edge_idx = -1;
+    };
+    std::vector<PlanLine> lines;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      std::string preds;
+      for (const Expr* p : nodes[i].predicates) {
+        if (!preds.empty()) preds += " AND ";
+        preds += ExprToString(*p);
+      }
+      std::string type_name = nodes[i].type_id >= 0
+                                  ? db_->schema()->vertex_type(nodes[i].type_id).name
+                                  : (nodes[i].var != nullptr ? "<var>" : "<any>");
+      PlanLine vline;
+      vline.text = "VertexAction[" + type_name + ":" + nodes[i].alias +
+                   (preds.empty() ? "" : " {" + preds + "}") + "]";
+      vline.node_idx = static_cast<int>(i);
+      lines.push_back(std::move(vline));
+      if (i < stmt.pattern.edges.size()) {
+        PlanLine eline;
+        eline.text = "EdgeAction[" + nodes[i].alias + " -" +
+                     stmt.pattern.edges[i].edge_type + "- " + nodes[i + 1].alias + "]";
+        eline.edge_idx = static_cast<int>(i);
+        lines.push_back(std::move(eline));
+      }
+    }
+    std::reverse(lines.begin(), lines.end());
+
+    const size_t bf_threshold = db_->embeddings()->options().bruteforce_threshold;
+    const size_t num_servers =
+        db_->cluster() != nullptr ? db_->cluster()->num_servers() : 1;
+    // Static decision lines of one EmbeddingAction: the chosen attribute and
+    // its index, the fan-out degree, the filter strategy, and the
+    // brute-force-vs-HNSW tier threshold math (decided per segment at run
+    // time, so EXPLAIN states the rule rather than a winner).
+    auto embedding_details = [&](int node_idx, const std::string& attr,
+                                 const std::string& accuracy, bool filtered) {
+      std::vector<std::string> details;
+      if (node_idx >= 0 && nodes[node_idx].type_id >= 0) {
+        const VertexTypeDef& vt = db_->schema()->vertex_type(nodes[node_idx].type_id);
+        const EmbeddingAttrDef* def = vt.FindEmbeddingAttr(attr);
+        if (def != nullptr) {
+          details.push_back("embedding: " + vt.name + "." + attr +
+                            " dim=" + std::to_string(def->info.dimension) +
+                            " metric=" + MetricName(def->info.metric));
+          const size_t segs = db_->embeddings()->SegmentsOf(vt.name, attr).size();
+          details.push_back(
+              "fan-out: " + std::to_string(segs) + " segment(s) across " +
+              std::to_string(num_servers) + " server(s)" +
+              (num_servers > 1 ? " [MPP scatter/gather]" : ""));
+        }
+      }
+      details.push_back(filtered
+                            ? "strategy: pre-filter (pattern + predicates -> "
+                              "candidate bitmap)"
+                            : "strategy: pure vector search (no filter bitmap)");
+      if (filtered) {
+        details.push_back("tier: per segment, brute-force if |bitmap * segment| < " +
+                          std::to_string(bf_threshold) + ", else HNSW(" + accuracy +
+                          ")");
+      } else {
+        details.push_back("tier: HNSW(" + accuracy + ") on every segment");
+      }
+      return details;
+    };
+
+    std::string plan;
+    std::string topk_label;
+    if (stmt.order_dist != nullptr) {
+      const std::string k_str =
+          stmt.has_limit ? (stmt.limit_param.empty() ? std::to_string(stmt.limit)
+                                                     : "$" + stmt.limit_param)
+                         : "all";
+      topk_label = "EmbeddingAction[Top " + k_str + ", {" +
+                   ExprToString(*stmt.order_dist->lhs) + "}, " +
+                   ExprToString(*stmt.order_dist->rhs) + "]";
+      plan = topk_label + "\n";
+    }
+    std::vector<std::string> range_labels;
+    for (const RangeSpec& spec : ranges) {
+      range_labels.push_back("EmbeddingAction[Range, {" + nodes[spec.node].alias +
+                             "." + spec.attr + "}, " +
+                             ExprToString(*spec.query_operand) + " < " +
+                             ExprToString(*spec.threshold_operand) + "]");
+      plan += range_labels.back() + "\n";
+    }
+    for (const PlanLine& line : lines) plan += line.text + "\n";
+    result.plan = std::move(plan);
+
+    if (explain != nullptr) {
+      explain->nodes.clear();
+      explain->analyzed = execute;
+      if (stmt.order_dist != nullptr) {
+        PlanNode node;
+        node.label = topk_label;
+        const Expr& dist = *stmt.order_dist;
+        const bool join = dist.lhs->kind == Expr::Kind::kAttrRef &&
+                          dist.rhs->kind == Expr::Kind::kAttrRef;
+        if (join) {
+          node.details.push_back(
+              "similarity join: brute-force distances over matched endpoint "
+              "pairs, global top-k heap");
+        } else if (dist.lhs->kind == Expr::Kind::kAttrRef) {
+          const int idx = alias_index(dist.lhs->alias);
+          const bool pure_static = nodes.size() == 1 && idx == 0 &&
+                                   nodes[0].predicates.empty() &&
+                                   nodes[0].var == nullptr && ranges.empty();
+          node.details = embedding_details(idx, dist.lhs->attr, "ef=64", !pure_static);
+        }
+        topk_plan_idx = static_cast<int>(explain->nodes.size());
+        explain->Add(std::move(node));
+      }
+      for (size_t ri = 0; ri < ranges.size(); ++ri) {
+        const RangeSpec& spec = ranges[ri];
+        PlanNode node;
+        node.label = range_labels[ri];
+        const bool pure_static = nodes.size() == 1 &&
+                                 nodes[spec.node].predicates.empty() &&
+                                 nodes[spec.node].var == nullptr;
+        node.details =
+            embedding_details(spec.node, spec.attr, "doubling ef, k=16", !pure_static);
+        range_plan_idx[ri] = static_cast<int>(explain->nodes.size());
+        explain->Add(std::move(node));
+      }
+      for (const PlanLine& line : lines) {
+        PlanNode node;
+        node.label = line.text;
+        if (line.node_idx >= 0) {
+          const ResolvedNode& rn = nodes[line.node_idx];
+          node.details.push_back(rn.var != nullptr
+                                     ? "source: vertex-set variable"
+                                     : (rn.type_id >= 0 ? "source: type scan"
+                                                        : "source: unbound"));
+          if (!rn.predicates.empty()) {
+            node.details.push_back("predicates: " +
+                                   std::to_string(rn.predicates.size()));
+          }
+          node_plan_idx[line.node_idx] = static_cast<int>(explain->nodes.size());
+        } else if (line.edge_idx >= 0) {
+          node.details.push_back("semi-join: forward then backward pass");
+          edge_plan_idx[line.edge_idx] = static_cast<int>(explain->nodes.size());
+        }
+        explain->Add(std::move(node));
+      }
+    }
+  }
   obs::RecordSpanMicros("query.plan", plan_timer.ElapsedMicros());
+  // EXPLAIN without ANALYZE: the plan above is the whole answer.
+  if (!execute) return result;
+
+  // Attaches one actual (EXPLAIN ANALYZE) to a plan node; no-op otherwise.
+  auto add_actual = [&](int plan_idx, const std::string& key, std::string value) {
+    if (explain == nullptr || plan_idx < 0) return;
+    explain->nodes[plan_idx].actuals.emplace_back(key, std::move(value));
+  };
 
   // ---- Candidate sets: forward then backward semi-join ----
   Timer cand_timer;
@@ -390,50 +599,18 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     cand[ri - 1] = std::move(kept);
   }
   obs::RecordSpanMicros("query.candidates", cand_timer.ElapsedMicros());
-
-  // ---- Plan text (bottom-up) ----
-  SelectResult result;
-  {
-    std::vector<std::string> lines;
+  if (explain != nullptr) {
     for (size_t i = 0; i < nodes.size(); ++i) {
-      std::string preds;
-      for (const Expr* p : nodes[i].predicates) {
-        if (!preds.empty()) preds += " AND ";
-        preds += ExprToString(*p);
-      }
-      std::string type_name = nodes[i].type_id >= 0
-                                  ? db_->schema()->vertex_type(nodes[i].type_id).name
-                                  : (nodes[i].var != nullptr ? "<var>" : "<any>");
-      lines.push_back("VertexAction[" + type_name + ":" + nodes[i].alias +
-                      (preds.empty() ? "" : " {" + preds + "}") + "]");
-      if (i < stmt.pattern.edges.size()) {
-        lines.push_back("EdgeAction[" + nodes[i].alias + " -" +
-                        stmt.pattern.edges[i].edge_type + "- " +
-                        nodes[i + 1].alias + "]");
-      }
+      add_actual(node_plan_idx[i], "rows", std::to_string(cand[i].size()));
     }
-    std::reverse(lines.begin(), lines.end());
-    std::string plan;
-    if (stmt.order_dist != nullptr) {
-      const std::string k_str =
-          stmt.has_limit ? (stmt.limit_param.empty() ? std::to_string(stmt.limit)
-                                                     : "$" + stmt.limit_param)
-                         : "all";
-      plan = "EmbeddingAction[Top " + k_str + ", {" +
-             ExprToString(*stmt.order_dist->lhs) + "}, " +
-             ExprToString(*stmt.order_dist->rhs) + "]\n";
+    for (size_t e = 0; e < stmt.pattern.edges.size(); ++e) {
+      add_actual(edge_plan_idx[e], "rows_out", std::to_string(cand[e + 1].size()));
     }
-    for (const RangeSpec& spec : ranges) {
-      plan += "EmbeddingAction[Range, {" + nodes[spec.node].alias + "." + spec.attr +
-              "}, " + ExprToString(*spec.query_operand) + " < " +
-              ExprToString(*spec.threshold_operand) + "]\n";
-    }
-    for (const std::string& line : lines) plan += line + "\n";
-    result.plan = std::move(plan);
   }
 
   // ---- Range search conjuncts ----
-  for (const RangeSpec& spec : ranges) {
+  for (size_t range_i = 0; range_i < ranges.size(); ++range_i) {
+    const RangeSpec& spec = ranges[range_i];
     if (spec.query_operand->kind != Expr::Kind::kParam) {
       return Status::SemanticError("VECTOR_DIST query operand must be a $parameter");
     }
@@ -486,7 +663,15 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
       bitmap = VertexSetToBitmap(cand[spec.node], db_->store()->vid_upper_bound());
       request.filter = FilterView(&bitmap);
     }
-    auto hits = db_->embeddings()->RangeSearch(request, static_cast<float>(threshold));
+    const size_t cand_in = cand[spec.node].size();
+    const uint64_t dist0 = TraceCounter("hnsw.distance_evals");
+    const uint64_t hops0 = TraceCounter("hnsw.hops");
+    Cluster::DistributedStats mpp_stats;
+    auto hits = db_->cluster() != nullptr
+                    ? db_->cluster()->DistributedRange(
+                          request, static_cast<float>(threshold), &mpp_stats)
+                    : db_->embeddings()->RangeSearch(request,
+                                                     static_cast<float>(threshold));
     if (!hits.ok()) return hits.status();
     VertexSet in_range;
     for (const SearchHit& h : hits->hits) {
@@ -501,6 +686,26 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
         if (in_range.count(vid) > 0) kept.insert(vid);
       }
       cand[spec.node] = std::move(kept);
+    }
+    const int plan_idx = range_plan_idx[range_i];
+    add_actual(plan_idx, "candidates_in",
+               pure ? "all (pure range)" : std::to_string(cand_in));
+    add_actual(plan_idx, "hits_in_range", std::to_string(hits->hits.size()));
+    add_actual(plan_idx, "rows_out", std::to_string(cand[spec.node].size()));
+    add_actual(plan_idx, "segments_searched",
+               std::to_string(hits->segments_searched));
+    add_actual(plan_idx, "bruteforce_segments",
+               std::to_string(hits->bruteforce_segments));
+    add_actual(plan_idx, "delta_candidates", std::to_string(hits->delta_candidates));
+    add_actual(plan_idx, "hnsw_distance_evals",
+               std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
+    add_actual(plan_idx, "hnsw_hops", std::to_string(TraceCounter("hnsw.hops") - hops0));
+    if (db_->cluster() != nullptr) {
+      for (size_t s = 0; s < mpp_stats.server_seconds.size(); ++s) {
+        add_actual(plan_idx, "server_" + std::to_string(s),
+                   FmtMillis(mpp_stats.server_seconds[s]));
+      }
+      add_actual(plan_idx, "mpp_merge", FmtMillis(mpp_stats.merge_seconds));
     }
   }
 
@@ -635,6 +840,8 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
                 [](const SelectResult::Pair& a, const SelectResult::Pair& b) {
                   return a.distance < b.distance;
                 });
+      add_actual(topk_plan_idx, "pairs_evaluated", std::to_string(seen.size()));
+      add_actual(topk_plan_idx, "rows_out", std::to_string(result.pairs.size()));
       return result;
     }
 
@@ -689,12 +896,41 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
       bitmap = VertexSetToBitmap(cand[idx], db_->store()->vid_upper_bound());
       request.filter = FilterView(&bitmap);
     }
-    auto hits = db_->embeddings()->TopKSearch(request);
+    const uint64_t dist0 = TraceCounter("hnsw.distance_evals");
+    const uint64_t hops0 = TraceCounter("hnsw.hops");
+    Cluster::DistributedStats mpp_stats;
+    auto hits = db_->cluster() != nullptr
+                    ? db_->cluster()->DistributedTopK(request, &mpp_stats)
+                    : db_->embeddings()->TopKSearch(request);
     if (!hits.ok()) return hits.status();
     result.vertices.clear();
     for (const SearchHit& h : hits->hits) {
       result.vertices.insert(h.label);
       result.distances[h.label] = h.distance;
+    }
+    add_actual(topk_plan_idx, "filter_candidates",
+               pure ? "none (pure search)" : std::to_string(cand[idx].size()));
+    if (!pure) {
+      add_actual(topk_plan_idx, "filter_selectivity",
+                 FmtSelectivity(cand[idx].size(), db_->store()->vid_upper_bound()));
+    }
+    add_actual(topk_plan_idx, "rows_out", std::to_string(result.vertices.size()));
+    add_actual(topk_plan_idx, "segments_searched",
+               std::to_string(hits->segments_searched));
+    add_actual(topk_plan_idx, "bruteforce_segments",
+               std::to_string(hits->bruteforce_segments));
+    add_actual(topk_plan_idx, "delta_candidates",
+               std::to_string(hits->delta_candidates));
+    add_actual(topk_plan_idx, "hnsw_distance_evals",
+               std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
+    add_actual(topk_plan_idx, "hnsw_hops",
+               std::to_string(TraceCounter("hnsw.hops") - hops0));
+    if (db_->cluster() != nullptr) {
+      for (size_t s = 0; s < mpp_stats.server_seconds.size(); ++s) {
+        add_actual(topk_plan_idx, "server_" + std::to_string(s),
+                   FmtMillis(mpp_stats.server_seconds[s]));
+      }
+      add_actual(topk_plan_idx, "mpp_merge", FmtMillis(mpp_stats.merge_seconds));
     }
     return result;
   }
@@ -716,12 +952,15 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     sorted.resize(stmt.limit);
     result.vertices = VertexSet(sorted.begin(), sorted.end());
   }
+  add_actual(node_plan_idx[out_idx], "rows_returned",
+             std::to_string(result.vertices.size()));
   return result;
 }
 
 Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
     const VectorSearchStmt& stmt, const QueryParams& params, const VarMap& vars,
-    std::unordered_map<VertexId, float>* distance_map) {
+    std::unordered_map<VertexId, float>* distance_map, PlanDescription* explain,
+    bool execute) {
   auto query = ParamAsVector(params, stmt.query_param);
   if (!query.ok()) return query.status();
   int64_t k_signed = stmt.k;
@@ -749,7 +988,75 @@ Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
     filter = &it->second;
   }
   options.filter = filter;
-  return db_->VectorSearch(stmt.attrs, **query, k, options);
+
+  int plan_idx = -1;
+  if (explain != nullptr) {
+    explain->analyzed = execute;
+    PlanNode node;
+    std::string attrs_str;
+    size_t total_segments = 0;
+    for (const auto& [type_name, attr] : stmt.attrs) {
+      if (!attrs_str.empty()) attrs_str += ", ";
+      attrs_str += type_name + "." + attr;
+      total_segments += db_->embeddings()->SegmentsOf(type_name, attr).size();
+    }
+    node.label =
+        "EmbeddingAction[VectorSearch k=" + std::to_string(k) + ", {" + attrs_str +
+        "}]";
+    node.details.push_back("accuracy: ef=" + std::to_string(options.ef));
+    const size_t num_servers =
+        db_->cluster() != nullptr ? db_->cluster()->num_servers() : 1;
+    node.details.push_back(
+        "fan-out: " + std::to_string(total_segments) + " segment(s) across " +
+        std::to_string(num_servers) + " server(s)" +
+        (num_servers > 1 ? " [MPP scatter/gather]" : ""));
+    if (filter != nullptr) {
+      node.details.push_back("strategy: pre-filter (vertex-set variable '" +
+                             stmt.filter_var + "' -> candidate bitmap)");
+      node.details.push_back(
+          "tier: per segment, brute-force if |bitmap * segment| < " +
+          std::to_string(db_->embeddings()->options().bruteforce_threshold) +
+          ", else HNSW(ef=" + std::to_string(options.ef) + ")");
+    } else {
+      node.details.push_back("strategy: pure vector search (no filter bitmap)");
+    }
+    plan_idx = static_cast<int>(explain->nodes.size());
+    explain->Add(std::move(node));
+  }
+  if (!execute) return VertexSet{};
+
+  VectorSearchResult search_stats;
+  Cluster::DistributedStats mpp_stats;
+  options.result_stats = &search_stats;
+  options.mpp_stats = &mpp_stats;
+  const uint64_t dist0 = TraceCounter("hnsw.distance_evals");
+  const uint64_t hops0 = TraceCounter("hnsw.hops");
+  auto out = db_->VectorSearch(stmt.attrs, **query, k, options);
+  if (explain != nullptr && plan_idx >= 0 && out.ok()) {
+    auto& actuals = explain->nodes[plan_idx].actuals;
+    if (filter != nullptr) {
+      actuals.emplace_back("filter_candidates", std::to_string(filter->size()));
+    }
+    actuals.emplace_back("rows_out", std::to_string(out->size()));
+    actuals.emplace_back("segments_searched",
+                         std::to_string(search_stats.segments_searched));
+    actuals.emplace_back("bruteforce_segments",
+                         std::to_string(search_stats.bruteforce_segments));
+    actuals.emplace_back("delta_candidates",
+                         std::to_string(search_stats.delta_candidates));
+    actuals.emplace_back("hnsw_distance_evals",
+                         std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
+    actuals.emplace_back("hnsw_hops",
+                         std::to_string(TraceCounter("hnsw.hops") - hops0));
+    if (db_->cluster() != nullptr) {
+      for (size_t s = 0; s < mpp_stats.server_seconds.size(); ++s) {
+        actuals.emplace_back("server_" + std::to_string(s),
+                             FmtMillis(mpp_stats.server_seconds[s]));
+      }
+      actuals.emplace_back("mpp_merge", FmtMillis(mpp_stats.merge_seconds));
+    }
+  }
+  return out;
 }
 
 }  // namespace tigervector

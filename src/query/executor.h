@@ -19,6 +19,25 @@ using QueryParams = std::unordered_map<std::string, QueryParam>;
 // Vertex-set variables from prior query blocks (GSQL query composition).
 using VarMap = std::unordered_map<std::string, VertexSet>;
 
+// One operator of an EXPLAINed plan: the label mirrors the bottom-up plan
+// text; `details` carry the static decisions (brute-force vs HNSW tier
+// threshold math, pre-/post-filter strategy, fan-out degree); `actuals`
+// are filled only under EXPLAIN ANALYZE (rows in/out, candidates scanned,
+// distance evals, per-server timings).
+struct PlanNode {
+  std::string label;
+  std::vector<std::string> details;
+  std::vector<std::pair<std::string, std::string>> actuals;
+};
+
+struct PlanDescription {
+  std::vector<PlanNode> nodes;
+  bool analyzed = false;
+
+  void Add(PlanNode node) { nodes.push_back(std::move(node)); }
+  std::string Render() const;
+};
+
 // Result of one SELECT block.
 struct SelectResult {
   // Single-alias selects fill `vertices` (+ `distances` when the block ran
@@ -52,14 +71,21 @@ class QueryExecutor {
   void SetRole(std::string role) { role_ = std::move(role); }
   const std::string& role() const { return role_; }
 
+  // `explain` (optional) receives the plan description; with
+  // `execute = false` (EXPLAIN without ANALYZE) the plan is built from the
+  // statement alone and the block is not evaluated.
   Result<SelectResult> ExecuteSelect(const SelectStmt& stmt, const QueryParams& params,
-                                     const VarMap& vars);
+                                     const VarMap& vars,
+                                     PlanDescription* explain = nullptr,
+                                     bool execute = true);
 
   // Executes a parsed VectorSearch() statement; returns the top-k vertex
   // set and optionally fills `distance_map`.
   Result<VertexSet> ExecuteVectorSearch(const VectorSearchStmt& stmt,
                                         const QueryParams& params, const VarMap& vars,
-                                        std::unordered_map<VertexId, float>* distance_map);
+                                        std::unordered_map<VertexId, float>* distance_map,
+                                        PlanDescription* explain = nullptr,
+                                        bool execute = true);
 
  private:
   struct ResolvedNode {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/parser.h"
@@ -12,61 +13,92 @@ namespace tigervector {
 
 namespace {
 
-// Detects a leading case-insensitive PROFILE keyword and returns the script
-// body after it; the keyword is a session-level prefix, not part of the
-// GSQL grammar.
-bool StripProfilePrefix(const std::string& script, std::string* body) {
-  size_t start = script.find_first_not_of(" \t\r\n");
-  if (start == std::string::npos) return false;
+// Session-level statement prefixes (not part of the GSQL grammar):
+//   PROFILE <script>          -- execute, return the stage breakdown
+//   EXPLAIN <script>          -- plan only, nothing executes
+//   EXPLAIN ANALYZE <script>  -- execute, annotate plan nodes with actuals
+enum class QueryPrefix { kNone, kProfile, kExplain, kExplainAnalyze };
+
+// Case-insensitive comparison of script[start, end) against a keyword.
+bool WordIs(const std::string& script, size_t start, size_t end, const char* keyword) {
+  const size_t len = std::char_traits<char>::length(keyword);
+  if (end - start != len) return false;
+  for (size_t i = 0; i < len; ++i) {
+    if (std::toupper(static_cast<unsigned char>(script[start + i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+QueryPrefix StripQueryPrefix(const std::string& script, std::string* body) {
+  *body = script;
+  const size_t start = script.find_first_not_of(" \t\r\n");
+  if (start == std::string::npos) return QueryPrefix::kNone;
   size_t end = start;
   while (end < script.size() &&
          std::isalpha(static_cast<unsigned char>(script[end]))) {
     ++end;
   }
-  static constexpr char kKeyword[] = "PROFILE";
-  if (end - start != sizeof(kKeyword) - 1) return false;
-  for (size_t i = 0; i < sizeof(kKeyword) - 1; ++i) {
-    if (std::toupper(static_cast<unsigned char>(script[start + i])) != kKeyword[i]) {
-      return false;
-    }
+  if (WordIs(script, start, end, "PROFILE")) {
+    *body = script.substr(end);
+    return QueryPrefix::kProfile;
   }
-  *body = script.substr(end);
-  return true;
+  if (WordIs(script, start, end, "EXPLAIN")) {
+    const size_t start2 = script.find_first_not_of(" \t\r\n", end);
+    if (start2 != std::string::npos) {
+      size_t end2 = start2;
+      while (end2 < script.size() &&
+             std::isalpha(static_cast<unsigned char>(script[end2]))) {
+        ++end2;
+      }
+      if (WordIs(script, start2, end2, "ANALYZE")) {
+        *body = script.substr(end2);
+        return QueryPrefix::kExplainAnalyze;
+      }
+    }
+    *body = script.substr(end);
+    return QueryPrefix::kExplain;
+  }
+  return QueryPrefix::kNone;
+}
+
+// Classifies a failed run for the tv.query.errors_total{kind} counter.
+const char* ErrorKind(const Status& status) {
+  if (status.code() == StatusCode::kParseError) return "parse";
+  // A dimension mismatch is its own class: the most common client bug
+  // (wrong embedding model) and worth tracking separately.
+  if (status.message().find("dimension") != std::string::npos) return "dimension";
+  if (status.code() == StatusCode::kSemanticError) return "semantic";
+  // Distributed-search failures: a logical server failed mid-query or a
+  // segment lost every replica.
+  if (status.message().find("injected fault: server") != std::string::npos ||
+      status.message().find("no live replica") != std::string::npos) {
+    return "mpp_partial";
+  }
+  return "execution";
 }
 
 }  // namespace
 
-Result<ScriptResult> GsqlSession::Run(const std::string& script,
-                                      const QueryParams& params) {
-  std::string body;
-  const bool profiled = StripProfilePrefix(script, &body);
-  // With PROFILE active, every TV_SPAN hit during the run (on this thread
-  // and, via fan-out propagation, on pool workers) lands in this trace.
-  obs::QueryTrace trace;
-  obs::ScopedTraceActivation activation(profiled ? &trace : nullptr);
-  obs::Counter* dist_evals = obs::MetricsRegistry::Global().GetCounter(
-      "tv.hnsw.distance_evals_total");
-  // Delta of the process-wide counter approximates this query's distance
-  // evaluations; exact for a single-session shell, approximate under
-  // concurrent load.
-  const uint64_t dist_before = dist_evals->Value();
-
-  Timer parse_timer;
-  auto statements = ParseScript(profiled ? body : script);
-  obs::RecordSpanMicros("query.parse", parse_timer.ElapsedMicros());
-  if (!statements.ok()) return statements.status();
-  ScriptResult result;
-
-  for (const Statement& statement : *statements) {
+Status GsqlSession::ExecuteStatements(const std::vector<Statement>& statements,
+                                      const QueryParams& params, bool execute,
+                                      ScriptResult* result) {
+  const bool explaining = result->explained;
+  for (const Statement& statement : statements) {
     if (const auto* s = std::get_if<CreateVertexStmt>(&statement)) {
+      if (!execute) continue;
       auto r = db_->schema()->CreateVertexType(s->name, s->attrs);
       if (!r.ok()) return r.status();
     } else if (const auto* s = std::get_if<CreateEdgeStmt>(&statement)) {
+      if (!execute) continue;
       auto r = db_->schema()->CreateEdgeType(s->name, s->from, s->to, s->directed);
       if (!r.ok()) return r.status();
     } else if (const auto* s = std::get_if<CreateEmbeddingSpaceStmt>(&statement)) {
+      if (!execute) continue;
       TV_RETURN_NOT_OK(db_->schema()->CreateEmbeddingSpace(s->name, s->info));
     } else if (const auto* s = std::get_if<AlterAddEmbeddingStmt>(&statement)) {
+      if (!execute) continue;
       if (s->in_space) {
         TV_RETURN_NOT_OK(
             db_->schema()->AddEmbeddingAttrInSpace(s->vertex_type, s->attr, s->space));
@@ -75,11 +107,18 @@ Result<ScriptResult> GsqlSession::Run(const std::string& script,
                                                          s->info));
       }
     } else if (const auto* s = std::get_if<SelectStmt>(&statement)) {
-      auto r = executor_.ExecuteSelect(*s, params, vars_);
+      PlanDescription plan_desc;
+      auto r = executor_.ExecuteSelect(*s, params, vars_,
+                                       explaining ? &plan_desc : nullptr, execute);
       if (!r.ok()) return r.status();
-      result.last_plan = r->plan;
+      if (explaining) {
+        if (!result->explain.empty()) result->explain += "\n";
+        result->explain += plan_desc.Render();
+      }
+      result->last_plan = r->plan;
+      if (!execute) continue;
       if (r->is_join) {
-        result.last_join_pairs = r->pairs;
+        result->last_join_pairs = r->pairs;
         // A join's pair list is not a vertex set; store the union of the
         // endpoints if an output variable was requested.
         if (!s->out_var.empty()) {
@@ -98,19 +137,28 @@ Result<ScriptResult> GsqlSession::Run(const std::string& script,
       }
     } else if (const auto* s = std::get_if<VectorSearchStmt>(&statement)) {
       std::unordered_map<VertexId, float> dist_map;
+      PlanDescription plan_desc;
       auto r = executor_.ExecuteVectorSearch(
-          *s, params, vars_, s->distance_map.empty() ? nullptr : &dist_map);
+          *s, params, vars_, s->distance_map.empty() ? nullptr : &dist_map,
+          explaining ? &plan_desc : nullptr, execute);
       if (!r.ok()) return r.status();
+      if (explaining) {
+        if (!result->explain.empty()) result->explain += "\n";
+        result->explain += plan_desc.Render();
+      }
+      if (!execute) continue;
       if (!s->out_var.empty()) vars_[s->out_var] = std::move(r).value();
       if (!s->distance_map.empty()) dist_maps_[s->distance_map] = std::move(dist_map);
     } else if (const auto* s = std::get_if<LoadingJobStmt>(&statement)) {
+      if (!execute) continue;
       // Loading jobs run eagerly on creation in this reproduction.
       LoadingJob job(s->name, s->graph);
       for (const LoadStep& step : s->steps) job.AddStep(step);
       auto report = job.Run(db_);
       if (!report.ok()) return report.status();
-      result.last_load_report = std::move(report).value();
+      result->last_load_report = std::move(report).value();
     } else if (const auto* s = std::get_if<SetOpStmt>(&statement)) {
+      if (!execute) continue;
       auto lhs = vars_.find(s->lhs);
       auto rhs = vars_.find(s->rhs);
       if (lhs == vars_.end() || rhs == vars_.end()) {
@@ -135,6 +183,7 @@ Result<ScriptResult> GsqlSession::Run(const std::string& script,
       }
       vars_[s->out_var] = std::move(out);
     } else if (const auto* s = std::get_if<PrintStmt>(&statement)) {
+      if (!execute) continue;
       ScriptResult::Printed printed;
       printed.name = s->name;
       auto var_it = vars_.find(s->name);
@@ -149,11 +198,60 @@ Result<ScriptResult> GsqlSession::Run(const std::string& script,
         printed.is_distance_map = true;
         printed.distances = map_it->second;
       }
-      result.prints.push_back(std::move(printed));
+      result->prints.push_back(std::move(printed));
     }
   }
+  return Status::OK();
+}
+
+Result<ScriptResult> GsqlSession::Run(const std::string& script,
+                                      const QueryParams& params) {
+  std::string body;
+  const QueryPrefix prefix = StripQueryPrefix(script, &body);
+  const bool profiled = prefix == QueryPrefix::kProfile;
+  const bool execute = prefix != QueryPrefix::kExplain;
+
+  // The trace is always on: every TV_SPAN hit during the run (on this
+  // thread and, via fan-out propagation, on pool workers) lands here, and
+  // the completed trace is filed with the flight recorder whether the run
+  // succeeded or failed.
+  Timer total_timer;
+  obs::QueryTrace trace;
+  obs::ScopedTraceActivation activation(&trace);
+
+  ScriptResult result;
+  result.explained = prefix == QueryPrefix::kExplain ||
+                     prefix == QueryPrefix::kExplainAnalyze;
+  result.analyzed = prefix == QueryPrefix::kExplainAnalyze;
+
+  Timer parse_timer;
+  auto statements = ParseScript(body);
+  obs::RecordSpanMicros("query.parse", parse_timer.ElapsedMicros());
+  Status status = statements.ok()
+                      ? ExecuteStatements(*statements, params, execute, &result)
+                      : statements.status();
+
+#if !defined(TIGERVECTOR_NO_METRICS)
+  if (!status.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(std::string("tv.query.errors_total{kind=") + ErrorKind(status) +
+                    "}")
+        ->Increment();
+  }
+  {
+    obs::QueryRecord record;
+    record.query = script;
+    record.ok = status.ok();
+    record.status = status.ok() ? "OK" : status.ToString();
+    record.total_micros = total_timer.ElapsedMicros();
+    record.spans = trace.Spans();
+    record.counters = trace.Counters();
+    result.flight_id = obs::FlightRecorder::Global().Record(std::move(record));
+  }
+#endif  // TIGERVECTOR_NO_METRICS
+
+  if (!status.ok()) return status;
   if (profiled) {
-    trace.AddCounter("hnsw.distance_evals", dist_evals->Value() - dist_before);
     result.profiled = true;
     result.profile_stage_micros = trace.StageMicros();
     result.profile_counters = trace.Counters();

@@ -34,6 +34,15 @@ struct ScriptResult {
   std::map<std::string, double> profile_stage_micros;
   std::map<std::string, uint64_t> profile_counters;
   std::string profile;
+  // Filled when the script was prefixed with EXPLAIN (plan only, nothing
+  // executed) or EXPLAIN ANALYZE (executed; plan nodes annotated with
+  // actuals).
+  bool explained = false;
+  bool analyzed = false;
+  std::string explain;
+  // Flight-recorder id assigned to this run (0 when recording is compiled
+  // out with TIGERVECTOR_NO_METRICS).
+  uint64_t flight_id = 0;
 };
 
 // A GSQL session: executes scripts statement by statement, maintaining
@@ -62,6 +71,12 @@ class GsqlSession {
   }
 
  private:
+  // Executes parsed statements; with execute = false (EXPLAIN) only plans
+  // SELECT / VectorSearch statements and skips everything else.
+  Status ExecuteStatements(const std::vector<Statement>& statements,
+                           const QueryParams& params, bool execute,
+                           ScriptResult* result);
+
   Database* db_;
   QueryExecutor executor_;
   VarMap vars_;

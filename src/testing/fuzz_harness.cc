@@ -604,9 +604,18 @@ bool FuzzCase::DoIndexMerge(Rng& r) {
 
 bool FuzzCase::RunSelect(const std::string& script, const QueryParams& params,
                          bool want_distances, QueryRun* out) {
-  auto result = session_->Run(script, params);
+  // Under --explain-analyze the same script runs with plan-node annotation;
+  // EXPLAIN ANALYZE still executes, so PRINT output must be unchanged.
+  const std::string run_script =
+      opts_.explain_analyze ? "EXPLAIN ANALYZE " + script : script;
+  auto result = session_->Run(run_script, params);
   if (!result.ok()) {
-    return Fail("query-error", result.status().ToString(), script);
+    return Fail("query-error", result.status().ToString(), run_script);
+  }
+  if (opts_.explain_analyze &&
+      (!result->analyzed || result->explain.empty())) {
+    return Fail("explain-analyze-missing",
+                "EXPLAIN ANALYZE produced no analyzed plan", run_script);
   }
   if (result->prints.empty()) {
     return Fail("query-error", "no PRINT output", script);

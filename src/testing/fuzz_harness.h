@@ -49,6 +49,10 @@ struct FuzzOptions {
   // Minimum acceptable recall against the exact oracle on approximate
   // (HNSW) paths. Exact paths always require set equality.
   double min_recall = 0.9;
+  // Run every generated SELECT under EXPLAIN ANALYZE: results must stay
+  // identical (the prefix only adds plan-node annotation), and the session
+  // must produce a non-empty analyzed plan for each block.
+  bool explain_analyze = false;
   // Echo each executed op (and generated GSQL) to stderr.
   bool verbose = false;
 };

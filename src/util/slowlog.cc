@@ -1,0 +1,44 @@
+#include "util/slowlog.h"
+
+#include <memory>
+#include <mutex>
+
+#include "obs/flight_recorder.h"
+#include "util/io.h"
+
+namespace tigervector {
+
+namespace {
+
+std::mutex g_slowlog_mu;
+std::unique_ptr<io::File> g_slowlog_file;
+
+}  // namespace
+
+Status InstallSlowLogFile(const std::string& path) {
+  auto open = io::File::Open(path, "ab", "slowlog.append");
+  if (!open.ok()) return open.status();
+  {
+    std::lock_guard<std::mutex> lock(g_slowlog_mu);
+    g_slowlog_file = std::make_unique<io::File>(std::move(open).value());
+  }
+  obs::FlightRecorder::Global().SetSlowLogSink([](const std::string& line) {
+    std::lock_guard<std::mutex> lock(g_slowlog_mu);
+    if (g_slowlog_file == nullptr) return;
+    // Append + flush per record; a failed write detaches the sink so one
+    // bad disk does not turn every slow query into an error cascade.
+    if (!g_slowlog_file->Write(line.data(), line.size()).ok() ||
+        !g_slowlog_file->Write("\n", 1).ok() || !g_slowlog_file->Flush().ok()) {
+      g_slowlog_file.reset();
+    }
+  });
+  return Status::OK();
+}
+
+void CloseSlowLog() {
+  obs::FlightRecorder::Global().SetSlowLogSink(nullptr);
+  std::lock_guard<std::mutex> lock(g_slowlog_mu);
+  g_slowlog_file.reset();
+}
+
+}  // namespace tigervector

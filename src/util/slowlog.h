@@ -1,0 +1,28 @@
+#ifndef TIGERVECTOR_UTIL_SLOWLOG_H_
+#define TIGERVECTOR_UTIL_SLOWLOG_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace tigervector {
+
+// Installs an io::File-backed JSONL sink on the global flight recorder's
+// slow-query log: every query exceeding the recorder's slow threshold
+// appends one structured record (see FlightRecorder::SlowLogLine) to
+// `path`. The file is opened in append mode so restarts extend, not
+// truncate, the log; each record is flushed on write (slow queries are rare
+// by definition, so per-record flushing costs nothing on the hot path).
+//
+// Lives in util/ rather than obs/ because tv_util links tv_obs — the
+// recorder itself cannot reach io:: without a dependency cycle, so it takes
+// a pluggable sink and this is the standard file implementation.
+// Fault site: "slowlog.append".
+Status InstallSlowLogFile(const std::string& path);
+
+// Detaches the sink and closes the file.
+void CloseSlowLog();
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_SLOWLOG_H_

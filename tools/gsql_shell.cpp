@@ -14,17 +14,26 @@
 //                 \role NAME            run as role NAME ("" = superuser)
 //                 \vacuum               run both vacuum stages
 //                 \metrics              dump the metrics registry (Prometheus text)
+//                 \flightrec            list the flight recorder's retained queries
+//                 \flightrec ID         full span/counter detail of one record
+//                 \flightrec ID FILE    dump record as Chrome trace JSON
+//                                       (load FILE in chrome://tracing)
+//                 \slowlog FILE         append slow queries to FILE as JSONL
 //                 \quit
 //
 // Prefixing a statement with PROFILE prints a per-stage timing breakdown
 // (parse/plan/execute, hnsw.search, distance evals) after the result.
+// Prefixing with EXPLAIN prints the chosen plan without executing;
+// EXPLAIN ANALYZE executes and annotates each plan node with actuals.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "query/session.h"
+#include "util/slowlog.h"
 
 using namespace tigervector;
 
@@ -76,6 +85,54 @@ bool HandleShellCommand(const std::string& line, Database* db, GsqlSession* sess
   }
   if (cmd == "\\metrics") {
     std::fputs(obs::MetricsRegistry::Global().RenderText().c_str(), stdout);
+    return true;
+  }
+  if (cmd == "\\flightrec") {
+    std::string id_str, file;
+    in >> id_str >> file;
+    if (id_str.empty()) {
+      std::fputs(obs::FlightRecorder::Global().RenderList().c_str(), stdout);
+      return true;
+    }
+    const uint64_t id = std::strtoull(id_str.c_str(), nullptr, 10);
+    obs::QueryRecord record;
+    if (!obs::FlightRecorder::Global().Find(id, &record)) {
+      std::printf("flight record %llu not found (evicted or never recorded)\n",
+                  static_cast<unsigned long long>(id));
+      return true;
+    }
+    if (file.empty()) {
+      std::fputs(obs::FlightRecorder::RenderDetail(record).c_str(), stdout);
+      return true;
+    }
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot open %s\n", file.c_str());
+      return true;
+    }
+    const std::string json = obs::FlightRecorder::ChromeTraceJson(record);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes to %s (open chrome://tracing and load it)\n",
+                json.size(), file.c_str());
+    return true;
+  }
+  if (cmd == "\\slowlog") {
+    std::string file;
+    in >> file;
+    if (file.empty()) {
+      CloseSlowLog();
+      std::printf("slow-query log closed\n");
+      return true;
+    }
+    Status st = InstallSlowLogFile(file);
+    if (st.ok()) {
+      std::printf("slow queries (>%.0f ms) appended to %s\n",
+                  obs::FlightRecorder::Global().options().slow_threshold_micros / 1e3,
+                  file.c_str());
+    } else {
+      std::printf("slowlog failed: %s\n", st.ToString().c_str());
+    }
     return true;
   }
   if (cmd == "\\vacuum") {
@@ -130,6 +187,10 @@ void PrintResult(const ScriptResult& result) {
                 result.last_load_report.vertices_loaded,
                 result.last_load_report.embeddings_loaded,
                 result.last_load_report.rows_skipped);
+  }
+  if (result.explained) {
+    std::printf("--- plan%s ---\n%s", result.analyzed ? " (analyzed)" : "",
+                result.explain.c_str());
   }
   if (result.profiled) {
     std::printf("--- profile ---\n%s", result.profile.c_str());

@@ -32,7 +32,7 @@ void PrintUsage() {
                "usage: tv_fuzz [--seed=N | --seeds=A:B] [--ops=N] [--faults]\n"
                "               [--no-mpp] [--duration=SECS] [--min-recall=R]\n"
                "               [--skip=i,j,k] [--shrink] [--work-dir=DIR]\n"
-               "               [--verbose]\n");
+               "               [--explain-analyze] [--verbose]\n");
 }
 
 bool ParseSizeList(const std::string& text, std::vector<size_t>* out) {
@@ -107,6 +107,8 @@ int main(int argc, char** argv) {
       options.with_faults = true;
     } else if (arg == "--no-mpp") {
       options.with_mpp = false;
+    } else if (arg == "--explain-analyze") {
+      options.explain_analyze = true;
     } else if (arg == "--shrink") {
       shrink = true;
     } else if (arg == "--verbose") {
