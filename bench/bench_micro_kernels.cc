@@ -58,6 +58,100 @@ void BM_CosineDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_CosineDistance)->Arg(128)->Arg(1536);
 
+// --- Scalar vs dispatched kernel A/B ---
+//
+// Same inputs, two kernel tables: range(1)==0 forces the portable scalar
+// kernel, range(1)==1 uses whatever the runtime dispatcher picked for this
+// CPU (the label is printed once via the isa counter). The acceptance gate
+// for the dispatch work is the dim-768 L2 pair: dispatched must be >= 2x
+// scalar items/sec on AVX2-capable hardware.
+constexpr size_t kAbDims[] = {64, 100, 128, 768, 960, 1536};
+
+const simd::KernelTable* AbTable(int64_t which) {
+  return which == 0 ? simd::KernelsFor(simd::IsaLevel::kScalar)
+                    : simd::KernelsFor(simd::ActiveIsa());
+}
+
+void SetIsaLabel(benchmark::State& state, int64_t which) {
+  state.SetLabel(which == 0 ? "scalar" : simd::ActiveIsaName());
+}
+
+void BM_L2Kernel(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  const simd::KernelTable* table = AbTable(state.range(1));
+  SetIsaLabel(state, state.range(1));
+  auto data = RandomVectors(2, dim, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->l2(data.data(), data.data() + dim, dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 2 * dim * sizeof(float));
+}
+
+void BM_IpKernel(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  const simd::KernelTable* table = AbTable(state.range(1));
+  SetIsaLabel(state, state.range(1));
+  auto data = RandomVectors(2, dim, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->ip(data.data(), data.data() + dim, dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 2 * dim * sizeof(float));
+}
+
+void BM_CosineKernel(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  const simd::KernelTable* table = AbTable(state.range(1));
+  SetIsaLabel(state, state.range(1));
+  auto data = RandomVectors(2, dim, 33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->cosine(data.data(), data.data() + dim, dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 2 * dim * sizeof(float));
+}
+
+void AbSweep(benchmark::internal::Benchmark* b) {
+  for (size_t dim : kAbDims) {
+    b->Args({static_cast<int64_t>(dim), 0});
+    b->Args({static_cast<int64_t>(dim), 1});
+  }
+}
+BENCHMARK(BM_L2Kernel)->Apply(AbSweep);
+BENCHMARK(BM_IpKernel)->Apply(AbSweep);
+BENCHMARK(BM_CosineKernel)->Apply(AbSweep);
+
+// Batched one-vs-many scan vs a loop of pairwise calls over the same rows:
+// measures what the consumers (brute-force scans, IVF postings, HNSW
+// expansion) actually gained from batching + prefetch, beyond the per-pair
+// kernel speedup.
+void BM_DistanceBatch(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  const bool batched = state.range(1) != 0;
+  state.SetLabel(batched ? "batched" : "pair-loop");
+  constexpr size_t kRows = 1024;
+  auto query = RandomVectors(1, dim, 34);
+  auto rows = RandomVectors(kRows, dim, 35);
+  std::vector<float> dists(kRows);
+  for (auto _ : state) {
+    if (batched) {
+      ComputeDistanceBatch(Metric::kL2, query.data(), rows.data(), dim, kRows,
+                           dists.data());
+    } else {
+      for (size_t i = 0; i < kRows; ++i) {
+        dists[i] =
+            ComputeDistance(Metric::kL2, query.data(), rows.data() + i * dim, dim);
+      }
+    }
+    benchmark::DoNotOptimize(dists.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetBytesProcessed(state.iterations() * kRows * dim * sizeof(float));
+}
+BENCHMARK(BM_DistanceBatch)->Apply(AbSweep);
+
 // Shared index for the search benchmarks (built once).
 HnswIndex* SharedIndex(size_t n, size_t dim) {
   static HnswIndex* index = [&] {

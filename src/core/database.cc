@@ -1,10 +1,15 @@
 #include "core/database.h"
 
 #include "embedding/embedding_type.h"
+#include "simd/distance.h"
 
 namespace tigervector {
 
 Database::Database(Options options) : options_(std::move(options)) {
+  // Resolve the distance-kernel dispatch up front so the selected ISA is
+  // logged (and the tv.simd.isa gauge set) at open time, not on the first
+  // search.
+  simd::ActiveIsa();
   store_ = std::make_unique<GraphStore>(&schema_, options_.store);
   embeddings_ = std::make_unique<EmbeddingService>(store_.get(), options_.embeddings);
   store_->SetEmbeddingSink(embeddings_.get());

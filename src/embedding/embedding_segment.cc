@@ -387,13 +387,27 @@ EmbeddingSegment::SearchOutput EmbeddingSegment::TopKSearch(
 
   TopKHeap<VertexId> heap(options.k);
   for (const SearchHit& h : index_hits) heap.Push(h.distance, h.label);
+  // Delta overlay: gather the visible upserts and score them through the
+  // batched kernel rather than one pair call per delta.
+  std::vector<const float*> delta_rows;
+  std::vector<VertexId> delta_ids;
+  delta_rows.reserve(overrides.size());
+  delta_ids.reserve(overrides.size());
   for (const auto& [id, delta] : overrides) {
     if (delta->action != VectorDelta::Action::kUpsert) continue;
     if (!options.filter.Accepts(id)) continue;
     ++out.delta_candidates;
-    const float d = ComputeDistance(info_.metric, query, delta->value.data(),
-                                    info_.dimension);
-    heap.Push(d, id);
+    delta_rows.push_back(delta->value.data());
+    delta_ids.push_back(id);
+  }
+  if (!delta_rows.empty()) {
+    std::vector<float> delta_dists(delta_rows.size());
+    ComputeDistanceBatchGather(info_.metric, query, delta_rows.data(),
+                               info_.dimension, delta_rows.size(),
+                               delta_dists.data());
+    for (size_t i = 0; i < delta_ids.size(); ++i) {
+      heap.Push(delta_dists[i], delta_ids[i]);
+    }
   }
   for (const auto& e : heap.TakeSorted()) {
     out.hits.push_back(SearchHit{e.distance, e.id});
@@ -429,13 +443,31 @@ EmbeddingSegment::SearchOutput EmbeddingSegment::RangeSearch(
     out.hits = index_->RangeSearch(query, threshold, std::max<size_t>(options.k, 16),
                                    options.ef, composite);
   }
+  // Delta overlay, batched (and threshold-fused: the kernel's return value
+  // tells us when no delta row survives without a second pass).
+  std::vector<const float*> delta_rows;
+  std::vector<VertexId> delta_ids;
+  delta_rows.reserve(overrides.size());
+  delta_ids.reserve(overrides.size());
   for (const auto& [id, delta] : overrides) {
     if (delta->action != VectorDelta::Action::kUpsert) continue;
     if (!options.filter.Accepts(id)) continue;
     ++out.delta_candidates;
-    const float d = ComputeDistance(info_.metric, query, delta->value.data(),
-                                    info_.dimension);
-    if (d < threshold) out.hits.push_back(SearchHit{d, id});
+    delta_rows.push_back(delta->value.data());
+    delta_ids.push_back(id);
+  }
+  if (!delta_rows.empty()) {
+    std::vector<float> delta_dists(delta_rows.size());
+    const size_t below = ComputeDistanceBatchGather(
+        info_.metric, query, delta_rows.data(), info_.dimension,
+        delta_rows.size(), delta_dists.data(), threshold);
+    if (below > 0) {
+      for (size_t i = 0; i < delta_ids.size(); ++i) {
+        if (delta_dists[i] < threshold) {
+          out.hits.push_back(SearchHit{delta_dists[i], delta_ids[i]});
+        }
+      }
+    }
   }
   std::sort(out.hits.begin(), out.hits.end(),
             [](const SearchHit& a, const SearchHit& b) {

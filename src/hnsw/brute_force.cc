@@ -1,9 +1,19 @@
 #include "hnsw/brute_force.h"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
+
+#include "util/topk_heap.h"
 
 namespace tigervector {
+
+namespace {
+// Rows accepted by the filter are gathered into fixed-size chunks and
+// handed to the batched kernel in one call: the metric dispatch resolves
+// once per chunk and upcoming rows are prefetched while the current one is
+// being reduced.
+constexpr size_t kScanBatch = 128;
+}  // namespace
 
 void BruteForceSearcher::Add(uint64_t label, const float* vec) {
   labels_.push_back(label);
@@ -17,32 +27,34 @@ void BruteForceSearcher::Clear() {
 
 std::vector<SearchHit> BruteForceSearcher::TopKSearch(const float* query, size_t k,
                                                       const FilterView& filter) const {
-  struct Entry {
-    float distance;
-    uint64_t label;
-    bool operator<(const Entry& other) const {
-      if (distance != other.distance) return distance < other.distance;
-      return label < other.label;
+  TopKHeap<uint64_t> top(k);
+  const float* rows[kScanBatch];
+  uint64_t row_labels[kScanBatch];
+  float dists[kScanBatch];
+  size_t n = 0;
+  auto flush = [&] {
+    // The threshold lets the kernel report how many candidates can still
+    // enter the heap, but ties at the current worst may be admitted by the
+    // id tie-break, so every candidate is still offered to the heap
+    // (WouldReject is strict for exactly this reason).
+    const float threshold = top.full() ? top.WorstDistance()
+                                       : std::numeric_limits<float>::infinity();
+    ComputeDistanceBatchGather(metric_, query, rows, dim_, n, dists, threshold);
+    for (size_t j = 0; j < n; ++j) {
+      if (!top.WouldReject(dists[j])) top.Push(dists[j], row_labels[j]);
     }
+    n = 0;
   };
-  std::priority_queue<Entry> top;
   for (size_t i = 0; i < labels_.size(); ++i) {
     if (!filter.Accepts(labels_[i])) continue;
-    const float d = ComputeDistance(metric_, query, data_.data() + i * dim_, dim_);
-    if (top.size() < k) {
-      top.push(Entry{d, labels_[i]});
-    } else if (k > 0 && Entry{d, labels_[i]} < top.top()) {
-      top.pop();
-      top.push(Entry{d, labels_[i]});
-    }
+    rows[n] = data_.data() + i * dim_;
+    row_labels[n] = labels_[i];
+    if (++n == kScanBatch) flush();
   }
+  if (n > 0) flush();
+
   std::vector<SearchHit> out;
-  out.reserve(top.size());
-  while (!top.empty()) {
-    out.push_back(SearchHit{top.top().distance, top.top().label});
-    top.pop();
-  }
-  std::reverse(out.begin(), out.end());
+  for (const auto& e : top.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
   return out;
 }
 
@@ -50,11 +62,26 @@ std::vector<SearchHit> BruteForceSearcher::RangeSearch(const float* query,
                                                        float threshold,
                                                        const FilterView& filter) const {
   std::vector<SearchHit> out;
+  const float* rows[kScanBatch];
+  uint64_t row_labels[kScanBatch];
+  float dists[kScanBatch];
+  size_t n = 0;
+  auto flush = [&] {
+    if (ComputeDistanceBatchGather(metric_, query, rows, dim_, n, dists,
+                                   threshold) > 0) {
+      for (size_t j = 0; j < n; ++j) {
+        if (dists[j] < threshold) out.push_back(SearchHit{dists[j], row_labels[j]});
+      }
+    }
+    n = 0;
+  };
   for (size_t i = 0; i < labels_.size(); ++i) {
     if (!filter.Accepts(labels_[i])) continue;
-    const float d = ComputeDistance(metric_, query, data_.data() + i * dim_, dim_);
-    if (d < threshold) out.push_back(SearchHit{d, labels_[i]});
+    rows[n] = data_.data() + i * dim_;
+    row_labels[n] = labels_[i];
+    if (++n == kScanBatch) flush();
   }
+  if (n > 0) flush();
   std::sort(out.begin(), out.end(), [](const SearchHit& a, const SearchHit& b) {
     if (a.distance != b.distance) return a.distance < b.distance;
     return a.label < b.label;

@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <mutex>
-#include <queue>
+
+#include "util/topk_heap.h"
 
 namespace tigervector {
+
+namespace {
+// Scan batch size for the gathered distance kernel (see brute_force.cc).
+constexpr size_t kScanBatch = 128;
+}  // namespace
 
 Status FlatIndex::AddPoint(uint64_t label, const float* vec) {
   std::unique_lock<std::shared_mutex> lock(mu_);
@@ -88,14 +95,28 @@ std::vector<SearchHit> FlatIndex::RangeSearch(const float* query, float threshol
   (void)ef;
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<SearchHit> out;
+  const float* rows[kScanBatch];
+  uint64_t row_labels[kScanBatch];
+  float dists[kScanBatch];
+  size_t n = 0;
+  auto flush = [&] {
+    if (ComputeDistanceBatchGather(metric_, query, rows, dim_, n, dists,
+                                   threshold) > 0) {
+      for (size_t j = 0; j < n; ++j) {
+        if (dists[j] < threshold) out.push_back(SearchHit{dists[j], row_labels[j]});
+      }
+    }
+    n = 0;
+  };
   for (size_t row = 0; row < order_.size(); ++row) {
     const uint64_t label = order_[row];
     auto it = slots_.find(label);
     if (it->second.deleted || !filter.Accepts(label)) continue;
-    const float d =
-        ComputeDistance(metric_, query, data_.data() + it->second.offset, dim_);
-    if (d < threshold) out.push_back(SearchHit{d, label});
+    rows[n] = data_.data() + it->second.offset;
+    row_labels[n] = label;
+    if (++n == kScanBatch) flush();
   }
+  if (n > 0) flush();
   std::sort(out.begin(), out.end(), [](const SearchHit& a, const SearchHit& b) {
     if (a.distance != b.distance) return a.distance < b.distance;
     return a.label < b.label;
@@ -106,35 +127,31 @@ std::vector<SearchHit> FlatIndex::RangeSearch(const float* query, float threshol
 std::vector<SearchHit> FlatIndex::BruteForceSearch(const float* query, size_t k,
                                                    const FilterView& filter) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  struct Entry {
-    float distance;
-    uint64_t label;
-    bool operator<(const Entry& o) const {
-      if (distance != o.distance) return distance < o.distance;
-      return label < o.label;
+  TopKHeap<uint64_t> heap(k);
+  const float* rows[kScanBatch];
+  uint64_t row_labels[kScanBatch];
+  float dists[kScanBatch];
+  size_t n = 0;
+  auto flush = [&] {
+    const float threshold = heap.full() ? heap.WorstDistance()
+                                        : std::numeric_limits<float>::infinity();
+    ComputeDistanceBatchGather(metric_, query, rows, dim_, n, dists, threshold);
+    for (size_t j = 0; j < n; ++j) {
+      if (!heap.WouldReject(dists[j])) heap.Push(dists[j], row_labels[j]);
     }
+    n = 0;
   };
-  std::priority_queue<Entry> heap;
   for (size_t row = 0; row < order_.size(); ++row) {
     const uint64_t label = order_[row];
     auto it = slots_.find(label);
     if (it->second.deleted || !filter.Accepts(label)) continue;
-    const float d =
-        ComputeDistance(metric_, query, data_.data() + it->second.offset, dim_);
-    if (heap.size() < k) {
-      heap.push(Entry{d, label});
-    } else if (k > 0 && Entry{d, label} < heap.top()) {
-      heap.pop();
-      heap.push(Entry{d, label});
-    }
+    rows[n] = data_.data() + it->second.offset;
+    row_labels[n] = label;
+    if (++n == kScanBatch) flush();
   }
+  if (n > 0) flush();
   std::vector<SearchHit> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.push_back(SearchHit{heap.top().distance, heap.top().label});
-    heap.pop();
-  }
-  std::reverse(out.begin(), out.end());
+  for (const auto& e : heap.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
   return out;
 }
 

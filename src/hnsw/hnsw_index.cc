@@ -4,12 +4,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <queue>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/io.h"
 #include "util/thread_pool.h"
+#include "util/topk_heap.h"
 
 namespace tigervector {
 
@@ -58,6 +60,20 @@ inline void CountDistComp(std::atomic<uint64_t>& stat) {
 #endif
   TV_COUNTER_INC("tv.hnsw.distance_evals_total");
 }
+
+// Batched form for the gathered-kernel paths: one atomic add per chunk
+// instead of one per vector pair.
+inline void CountDistComps(std::atomic<uint64_t>& stat, uint64_t n) {
+  if (n == 0) return;
+  stat.fetch_add(n, std::memory_order_relaxed);
+#if !defined(TIGERVECTOR_NO_METRICS)
+  tl_dist_evals += n;
+#endif
+  TV_COUNTER_ADD("tv.hnsw.distance_evals_total", n);
+}
+
+// Fixed chunk size for gathered batch scans (see brute_force.cc).
+constexpr size_t kScanBatch = 128;
 
 inline void CountHop(std::atomic<uint64_t>& stat) {
   stat.fetch_add(1, std::memory_order_relaxed);
@@ -124,12 +140,22 @@ uint32_t HnswIndex::GreedySearchLayer(const float* query, uint32_t entry,
       const auto& links = nodes_[curr].links;
       if (static_cast<int>(links.size()) > level) neighbors = links[level];
     }
-    for (uint32_t n : neighbors) {
-      const float d = Dist(query, n);
-      if (d < curr_dist) {
-        curr_dist = d;
-        curr = n;
-        improved = true;
+    // All of a node's neighbors are scored in one batched kernel call; the
+    // greedy step then walks to the best improvement found in the batch.
+    const float* rows[kScanBatch];
+    float dists[kScanBatch];
+    for (size_t n0 = 0; n0 < neighbors.size(); n0 += kScanBatch) {
+      const size_t n = std::min(kScanBatch, neighbors.size() - n0);
+      for (size_t j = 0; j < n; ++j) rows[j] = DataAt(neighbors[n0 + j]);
+      ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n,
+                                 dists);
+      CountDistComps(stat_dist_comps_, n);
+      for (size_t j = 0; j < n; ++j) {
+        if (dists[j] < curr_dist) {
+          curr_dist = dists[j];
+          curr = neighbors[n0 + j];
+          improved = true;
+        }
       }
     }
     CountHop(stat_hops_);
@@ -164,14 +190,41 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
       const auto& links = nodes_[c.id].links;
       if (static_cast<int>(links.size()) > level) neighbors = links[level];
     }
-    for (uint32_t n : neighbors) {
-      if (n >= visited.size() || visited[n]) continue;
-      visited[n] = 1;
-      const float d = Dist(query, n);
-      if (top.size() < ef || d < top.top().distance) {
-        top.push(Candidate{d, n});
-        if (top.size() > ef) top.pop();
-        frontier.push(Candidate{d, n});
+    // Neighbor expansion is the hot loop of HNSW search: score all
+    // unvisited neighbors of the popped node in one batched kernel call
+    // (prefetching upcoming rows), then admit survivors one by one.
+    const float* rows[kScanBatch];
+    uint32_t ids[kScanBatch];
+    float dists[kScanBatch];
+    size_t n = 0;
+    for (uint32_t nb : neighbors) {
+      if (nb >= visited.size() || visited[nb]) continue;
+      visited[nb] = 1;
+      ids[n] = nb;
+      rows[n] = DataAt(nb);
+      if (++n < kScanBatch) continue;
+      ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n,
+                                 dists);
+      CountDistComps(stat_dist_comps_, n);
+      for (size_t j = 0; j < n; ++j) {
+        if (top.size() < ef || dists[j] < top.top().distance) {
+          top.push(Candidate{dists[j], ids[j]});
+          if (top.size() > ef) top.pop();
+          frontier.push(Candidate{dists[j], ids[j]});
+        }
+      }
+      n = 0;
+    }
+    if (n > 0) {
+      ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n,
+                                 dists);
+      CountDistComps(stat_dist_comps_, n);
+      for (size_t j = 0; j < n; ++j) {
+        if (top.size() < ef || dists[j] < top.top().distance) {
+          top.push(Candidate{dists[j], ids[j]});
+          if (top.size() > ef) top.pop();
+          frontier.push(Candidate{dists[j], ids[j]});
+        }
       }
     }
   }
@@ -591,7 +644,22 @@ std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
                                                    const FilterView& filter) const {
   TraceSearchCost cost_scope;
   const uint32_t count = NodeCount();
-  std::priority_queue<Candidate> top;
+  TopKHeap<uint32_t> top(k);
+  const float* rows[kScanBatch];
+  uint32_t ids[kScanBatch];
+  float dists[kScanBatch];
+  size_t n = 0;
+  auto flush = [&] {
+    const float threshold = top.full() ? top.WorstDistance()
+                                       : std::numeric_limits<float>::infinity();
+    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n, dists,
+                               threshold);
+    CountDistComps(stat_dist_comps_, n);
+    for (size_t j = 0; j < n; ++j) {
+      if (!top.WouldReject(dists[j])) top.Push(dists[j], ids[j]);
+    }
+    n = 0;
+  };
   for (uint32_t id = 0; id < count; ++id) {
     uint64_t label;
     {
@@ -601,26 +669,20 @@ std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
       label = node.label;
     }
     if (!filter.Accepts(label)) continue;
-    const float d = Dist(query, id);
-    if (top.size() < k) {
-      top.push(Candidate{d, id});
-    } else if (k > 0 && d < top.top().distance) {
-      top.pop();
-      top.push(Candidate{d, id});
-    }
+    rows[n] = DataAt(id);
+    ids[n] = id;
+    if (++n == kScanBatch) flush();
   }
+  if (n > 0) flush();
   std::vector<SearchHit> out;
-  out.reserve(top.size());
-  while (!top.empty()) {
+  for (const auto& e : top.TakeSorted()) {
     uint64_t label;
     {
-      std::lock_guard<std::mutex> lock(node_locks_[top.top().id]);
-      label = nodes_[top.top().id].label;
+      std::lock_guard<std::mutex> lock(node_locks_[e.id]);
+      label = nodes_[e.id].label;
     }
-    out.push_back(SearchHit{top.top().distance, label});
-    top.pop();
+    out.push_back(SearchHit{e.distance, label});
   }
-  std::reverse(out.begin(), out.end());
   return out;
 }
 

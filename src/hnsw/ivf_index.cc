@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <mutex>
-#include <queue>
+
+#include "util/topk_heap.h"
 
 namespace tigervector {
+
+namespace {
+// Scan batch size for the gathered distance kernel (see brute_force.cc).
+constexpr size_t kScanBatch = 128;
+}  // namespace
 
 IvfFlatIndex::IvfFlatIndex(const IvfParams& params)
     : params_(params), rng_(params.seed) {
@@ -13,14 +20,20 @@ IvfFlatIndex::IvfFlatIndex(const IvfParams& params)
 }
 
 size_t IvfFlatIndex::NearestCentroidLocked(const float* vec) const {
+  // Centroids are contiguous: rank them with the fused batch kernel in
+  // fixed-size chunks (no per-call allocation; this runs on every insert).
   size_t best = 0;
-  float best_dist = 3.4e38f;
-  for (size_t c = 0; c < params_.nlist; ++c) {
-    const float d = ComputeDistance(params_.metric, vec,
-                                    centroids_.data() + c * params_.dim, params_.dim);
-    if (d < best_dist) {
-      best_dist = d;
-      best = c;
+  float best_dist = std::numeric_limits<float>::infinity();
+  float dists[kScanBatch];
+  for (size_t c0 = 0; c0 < params_.nlist; c0 += kScanBatch) {
+    const size_t n = std::min(kScanBatch, params_.nlist - c0);
+    ComputeDistanceBatch(params_.metric, vec, centroids_.data() + c0 * params_.dim,
+                         params_.dim, n, dists);
+    for (size_t j = 0; j < n; ++j) {
+      if (dists[j] < best_dist) {
+        best_dist = dists[j];
+        best = c0 + j;
+      }
     }
   }
   return best;
@@ -177,48 +190,46 @@ std::vector<SearchHit> IvfFlatIndex::TopKSearch(const float* query, size_t k,
     lock.unlock();
     return BruteForceSearch(query, k, filter);
   }
-  // Rank centroids, probe the closest nprobe lists.
+  // Rank centroids with one contiguous batch call, probe the closest
+  // nprobe lists.
+  std::vector<float> centroid_dists(params_.nlist);
+  ComputeDistanceBatch(params_.metric, query, centroids_.data(), params_.dim,
+                       params_.nlist, centroid_dists.data());
   std::vector<std::pair<float, size_t>> ranked;
   ranked.reserve(params_.nlist);
   for (size_t c = 0; c < params_.nlist; ++c) {
-    ranked.push_back({ComputeDistance(params_.metric, query,
-                                      centroids_.data() + c * params_.dim,
-                                      params_.dim),
-                      c});
+    ranked.push_back({centroid_dists[c], c});
   }
   std::sort(ranked.begin(), ranked.end());
   const size_t nprobe = NProbeFor(ef);
 
-  struct Entry {
-    float distance;
-    uint64_t label;
-    bool operator<(const Entry& o) const {
-      if (distance != o.distance) return distance < o.distance;
-      return label < o.label;
+  TopKHeap<uint64_t> heap(k);
+  const float* rows[kScanBatch];
+  uint64_t row_labels[kScanBatch];
+  float dists[kScanBatch];
+  size_t n = 0;
+  auto flush = [&] {
+    const float threshold = heap.full() ? heap.WorstDistance()
+                                        : std::numeric_limits<float>::infinity();
+    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n, dists,
+                               threshold);
+    for (size_t j = 0; j < n; ++j) {
+      if (!heap.WouldReject(dists[j])) heap.Push(dists[j], row_labels[j]);
     }
+    n = 0;
   };
-  std::priority_queue<Entry> heap;
   for (size_t p = 0; p < nprobe; ++p) {
     for (size_t idx : lists_[ranked[p].second]) {
       const Record& rec = records_[idx];
       if (rec.deleted || !filter.Accepts(rec.label)) continue;
-      const float d =
-          ComputeDistance(params_.metric, query, rec.value.data(), params_.dim);
-      if (heap.size() < k) {
-        heap.push(Entry{d, rec.label});
-      } else if (k > 0 && Entry{d, rec.label} < heap.top()) {
-        heap.pop();
-        heap.push(Entry{d, rec.label});
-      }
+      rows[n] = rec.value.data();
+      row_labels[n] = rec.label;
+      if (++n == kScanBatch) flush();
     }
   }
+  if (n > 0) flush();
   std::vector<SearchHit> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.push_back(SearchHit{heap.top().distance, heap.top().label});
-    heap.pop();
-  }
-  std::reverse(out.begin(), out.end());
+  for (const auto& e : heap.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
   return out;
 }
 
@@ -251,33 +262,30 @@ std::vector<SearchHit> IvfFlatIndex::RangeSearch(const float* query, float thres
 std::vector<SearchHit> IvfFlatIndex::BruteForceSearch(const float* query, size_t k,
                                                       const FilterView& filter) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  struct Entry {
-    float distance;
-    uint64_t label;
-    bool operator<(const Entry& o) const {
-      if (distance != o.distance) return distance < o.distance;
-      return label < o.label;
+  TopKHeap<uint64_t> heap(k);
+  const float* rows[kScanBatch];
+  uint64_t row_labels[kScanBatch];
+  float dists[kScanBatch];
+  size_t n = 0;
+  auto flush = [&] {
+    const float threshold = heap.full() ? heap.WorstDistance()
+                                        : std::numeric_limits<float>::infinity();
+    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n, dists,
+                               threshold);
+    for (size_t j = 0; j < n; ++j) {
+      if (!heap.WouldReject(dists[j])) heap.Push(dists[j], row_labels[j]);
     }
+    n = 0;
   };
-  std::priority_queue<Entry> heap;
   for (const Record& rec : records_) {
     if (rec.deleted || !filter.Accepts(rec.label)) continue;
-    const float d =
-        ComputeDistance(params_.metric, query, rec.value.data(), params_.dim);
-    if (heap.size() < k) {
-      heap.push(Entry{d, rec.label});
-    } else if (k > 0 && Entry{d, rec.label} < heap.top()) {
-      heap.pop();
-      heap.push(Entry{d, rec.label});
-    }
+    rows[n] = rec.value.data();
+    row_labels[n] = rec.label;
+    if (++n == kScanBatch) flush();
   }
+  if (n > 0) flush();
   std::vector<SearchHit> out;
-  out.reserve(heap.size());
-  while (!heap.empty()) {
-    out.push_back(SearchHit{heap.top().distance, heap.top().label});
-    heap.pop();
-  }
-  std::reverse(out.begin(), out.end());
+  for (const auto& e : heap.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
   return out;
 }
 

@@ -469,6 +469,8 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
       } else {
         details.push_back("tier: HNSW(" + accuracy + ") on every segment");
       }
+      details.push_back(std::string("simd: ") + simd::ActiveIsaName() +
+                        " distance kernels");
       return details;
     };
 
@@ -1020,6 +1022,8 @@ Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
     } else {
       node.details.push_back("strategy: pure vector search (no filter bitmap)");
     }
+    node.details.push_back(std::string("simd: ") + simd::ActiveIsaName() +
+                           " distance kernels");
     plan_idx = static_cast<int>(explain->nodes.size());
     explain->Add(std::move(node));
   }

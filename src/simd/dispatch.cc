@@ -1,0 +1,149 @@
+// Runtime ISA dispatch for the distance kernels: pick the widest level the
+// CPU executes once per process, let TV_SIMD=scalar|avx2|avx512 override it
+// for A/B runs and CI parity legs, and surface the decision as a startup
+// log line plus the "tv.simd.isa" gauge (0=scalar, 1=avx2, 2=avx512).
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "simd/kernels.h"
+#include "util/logging.h"
+
+namespace tigervector::simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TV_SIMD_X86 1
+#else
+#define TV_SIMD_X86 0
+#endif
+
+// Best level this CPU (and build) can execute. __builtin_cpu_supports
+// includes the OS XSAVE checks, so "supports avx2" really means the ymm
+// state is usable, not just that CPUID advertises it.
+IsaLevel DetectBestIsa() {
+#if TV_SIMD_X86 && defined(TV_HAVE_AVX512_KERNELS)
+  if (__builtin_cpu_supports("avx512f")) return IsaLevel::kAvx512;
+#endif
+#if TV_SIMD_X86 && defined(TV_HAVE_AVX2_KERNELS)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return IsaLevel::kAvx2;
+  }
+#endif
+  return IsaLevel::kScalar;
+}
+
+const KernelTable kScalarTable = {&internal::ScalarL2, &internal::ScalarIp,
+                                  &internal::ScalarCosine};
+
+#if defined(TV_HAVE_AVX2_KERNELS)
+const KernelTable kAvx2Table = {&internal::Avx2L2, &internal::Avx2Ip,
+                                &internal::Avx2Cosine};
+#endif
+
+#if defined(TV_HAVE_AVX512_KERNELS)
+const KernelTable kAvx512Table = {&internal::Avx512L2, &internal::Avx512Ip,
+                                  &internal::Avx512Cosine};
+#endif
+
+const KernelTable* TableFor(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return &kScalarTable;
+    case IsaLevel::kAvx2:
+#if defined(TV_HAVE_AVX2_KERNELS)
+      return &kAvx2Table;
+#else
+      return nullptr;
+#endif
+    case IsaLevel::kAvx512:
+#if defined(TV_HAVE_AVX512_KERNELS)
+      return &kAvx512Table;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool ParseIsaName(const std::string& text, IsaLevel* out) {
+  if (text == "scalar") {
+    *out = IsaLevel::kScalar;
+  } else if (text == "avx2") {
+    *out = IsaLevel::kAvx2;
+  } else if (text == "avx512") {
+    *out = IsaLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+struct ResolvedDispatch {
+  IsaLevel level;
+  const KernelTable* table;
+};
+
+ResolvedDispatch ResolveDispatch() {
+  const IsaLevel best = DetectBestIsa();
+  IsaLevel chosen = best;
+  const char* env = std::getenv("TV_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    IsaLevel requested;
+    if (!ParseIsaName(env, &requested)) {
+      TV_LOG(Warn) << "simd: unrecognized TV_SIMD='" << env
+                   << "' (want scalar|avx2|avx512), using " << IsaName(best);
+    } else if (requested > best) {
+      TV_LOG(Warn) << "simd: TV_SIMD=" << env
+                   << " not executable on this CPU/build, clamping to "
+                   << IsaName(best);
+    } else {
+      chosen = requested;
+    }
+  }
+  TV_LOG(Info) << "simd: dispatching distance kernels via " << IsaName(chosen)
+               << " (cpu best: " << IsaName(best) << ")";
+  TV_GAUGE_SET("tv.simd.isa", static_cast<int64_t>(chosen));
+  return ResolvedDispatch{chosen, TableFor(chosen)};
+}
+
+const ResolvedDispatch& GetDispatch() {
+  static const ResolvedDispatch dispatch = ResolveDispatch();
+  return dispatch;
+}
+
+}  // namespace
+
+const char* IsaName(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+IsaLevel ActiveIsa() { return GetDispatch().level; }
+
+const char* ActiveIsaName() { return IsaName(ActiveIsa()); }
+
+bool IsaSupported(IsaLevel level) {
+  return level <= DetectBestIsa() && TableFor(level) != nullptr;
+}
+
+const KernelTable* KernelsFor(IsaLevel level) {
+  return IsaSupported(level) ? TableFor(level) : nullptr;
+}
+
+namespace internal {
+
+const KernelTable& ActiveKernels() { return *GetDispatch().table; }
+
+}  // namespace internal
+
+}  // namespace tigervector::simd

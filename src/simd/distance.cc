@@ -1,6 +1,9 @@
 #include "simd/distance.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "simd/kernels.h"
 
 namespace tigervector {
 
@@ -16,9 +19,15 @@ const char* MetricName(Metric metric) {
   return "?";
 }
 
-float L2SquaredDistance(const float* a, const float* b, size_t dim) {
-  // Four accumulators break the dependency chain so the compiler can
-  // vectorize and pipeline the loop.
+// ---------------------------------------------------------------------------
+// Scalar reference kernels: the portable fallback every SIMD variant is
+// tested against. Four accumulators break the dependency chain so the
+// compiler can vectorize and pipeline the loops.
+// ---------------------------------------------------------------------------
+
+namespace simd::internal {
+
+float ScalarL2(const float* a, const float* b, size_t dim) {
   float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
   size_t i = 0;
   for (; i + 4 <= dim; i += 4) {
@@ -38,7 +47,7 @@ float L2SquaredDistance(const float* a, const float* b, size_t dim) {
   return acc0 + acc1 + acc2 + acc3;
 }
 
-float InnerProduct(const float* a, const float* b, size_t dim) {
+float ScalarIp(const float* a, const float* b, size_t dim) {
   float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
   size_t i = 0;
   for (; i + 4 <= dim; i += 4) {
@@ -51,7 +60,7 @@ float InnerProduct(const float* a, const float* b, size_t dim) {
   return acc0 + acc1 + acc2 + acc3;
 }
 
-float CosineDistance(const float* a, const float* b, size_t dim) {
+float ScalarCosine(const float* a, const float* b, size_t dim) {
   float dot = 0.f, na = 0.f, nb = 0.f;
   for (size_t i = 0; i < dim; ++i) {
     dot += a[i] * b[i];
@@ -59,26 +68,140 @@ float CosineDistance(const float* a, const float* b, size_t dim) {
     nb += b[i] * b[i];
   }
   const float denom = std::sqrt(na) * std::sqrt(nb);
-  if (denom == 0.f) return 1.f;
+  if (denom == 0.f) return 2.f;  // zero-norm sentinel: worst cosine distance
   return 1.f - dot / denom;
 }
 
+}  // namespace simd::internal
+
+// ---------------------------------------------------------------------------
+// Dispatched one-pair entry points.
+// ---------------------------------------------------------------------------
+
+float L2SquaredDistance(const float* a, const float* b, size_t dim) {
+  return simd::internal::ActiveKernels().l2(a, b, dim);
+}
+
+float InnerProduct(const float* a, const float* b, size_t dim) {
+  return simd::internal::ActiveKernels().ip(a, b, dim);
+}
+
+float CosineDistance(const float* a, const float* b, size_t dim) {
+  return simd::internal::ActiveKernels().cosine(a, b, dim);
+}
+
 float ComputeDistance(Metric metric, const float* a, const float* b, size_t dim) {
+  const simd::KernelTable& k = simd::internal::ActiveKernels();
   switch (metric) {
     case Metric::kL2:
-      return L2SquaredDistance(a, b, dim);
+      return k.l2(a, b, dim);
     case Metric::kIp:
-      return 1.f - InnerProduct(a, b, dim);
+      return 1.f - k.ip(a, b, dim);
     case Metric::kCosine:
-      return CosineDistance(a, b, dim);
+      return k.cosine(a, b, dim);
   }
   return 0.f;
 }
 
+// ---------------------------------------------------------------------------
+// Batched one-vs-many entry points.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Prefetch distance in rows: by the time the scan reaches row i, rows
+// i+1..i+kLookahead have had their leading cache lines requested. Only the
+// first few lines of a row are touched explicitly — the hardware stride
+// prefetcher follows on within the row.
+constexpr size_t kLookahead = 2;
+
+inline void PrefetchRow(const float* row, size_t dim) {
+  const size_t lines = std::min<size_t>((dim * sizeof(float) + 63) / 64, 4);
+  const char* p = reinterpret_cast<const char*>(row);
+  for (size_t l = 0; l < lines; ++l) __builtin_prefetch(p + l * 64, 0, 1);
+}
+
+using PairFn = float (*)(const float*, const float*, size_t);
+
+// Resolves the metric to a (kernel, post-transform) pair once per batch.
+struct BatchKernel {
+  PairFn fn;
+  bool one_minus;  // kIp reports 1 - dot as the distance
+};
+
+inline BatchKernel ResolveBatchKernel(Metric metric) {
+  const simd::KernelTable& k = simd::internal::ActiveKernels();
+  switch (metric) {
+    case Metric::kL2:
+      return {k.l2, false};
+    case Metric::kIp:
+      return {k.ip, true};
+    case Metric::kCosine:
+      return {k.cosine, false};
+  }
+  return {k.l2, false};
+}
+
+}  // namespace
+
+void L2SquaredDistanceBatch(const float* query, const float* rows, size_t dim,
+                            size_t count, float* out) {
+  const PairFn fn = simd::internal::ActiveKernels().l2;
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kLookahead < count) PrefetchRow(rows + (i + kLookahead) * dim, dim);
+    out[i] = fn(query, rows + i * dim, dim);
+  }
+}
+
+void InnerProductBatch(const float* query, const float* rows, size_t dim,
+                       size_t count, float* out) {
+  const PairFn fn = simd::internal::ActiveKernels().ip;
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kLookahead < count) PrefetchRow(rows + (i + kLookahead) * dim, dim);
+    out[i] = fn(query, rows + i * dim, dim);
+  }
+}
+
+void CosineDistanceBatch(const float* query, const float* rows, size_t dim,
+                         size_t count, float* out) {
+  const PairFn fn = simd::internal::ActiveKernels().cosine;
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kLookahead < count) PrefetchRow(rows + (i + kLookahead) * dim, dim);
+    out[i] = fn(query, rows + i * dim, dim);
+  }
+}
+
+size_t ComputeDistanceBatch(Metric metric, const float* query, const float* rows,
+                            size_t dim, size_t count, float* out, float threshold) {
+  const BatchKernel k = ResolveBatchKernel(metric);
+  size_t below = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kLookahead < count) PrefetchRow(rows + (i + kLookahead) * dim, dim);
+    const float raw = k.fn(query, rows + i * dim, dim);
+    const float d = k.one_minus ? 1.f - raw : raw;
+    out[i] = d;
+    if (d < threshold) ++below;
+  }
+  return below;
+}
+
+size_t ComputeDistanceBatchGather(Metric metric, const float* query,
+                                  const float* const* rows, size_t dim, size_t count,
+                                  float* out, float threshold) {
+  const BatchKernel k = ResolveBatchKernel(metric);
+  size_t below = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i + kLookahead < count) PrefetchRow(rows[i + kLookahead], dim);
+    const float raw = k.fn(query, rows[i], dim);
+    const float d = k.one_minus ? 1.f - raw : raw;
+    out[i] = d;
+    if (d < threshold) ++below;
+  }
+  return below;
+}
+
 float L2Norm(const float* a, size_t dim) {
-  float acc = 0.f;
-  for (size_t i = 0; i < dim; ++i) acc += a[i] * a[i];
-  return std::sqrt(acc);
+  return std::sqrt(simd::internal::ActiveKernels().ip(a, a, dim));
 }
 
 void NormalizeInPlace(float* a, size_t dim) {

@@ -2,6 +2,7 @@
 #define TIGERVECTOR_SIMD_DISTANCE_H_
 
 #include <cstddef>
+#include <limits>
 
 namespace tigervector {
 
@@ -9,20 +10,87 @@ namespace tigervector {
 // All metrics are expressed as distances (smaller is closer):
 //   kL2      -> squared Euclidean distance
 //   kIp      -> 1 - <a, b>            (assumes roughly normalized data)
-//   kCosine  -> 1 - cos(a, b)
+//   kCosine  -> 1 - cos(a, b); 2 (the metric maximum) when either vector
+//               has zero norm, so degenerate vectors sort last instead of
+//               reading as "orthogonal".
 enum class Metric { kL2 = 0, kIp = 1, kCosine = 2 };
 
 const char* MetricName(Metric metric);
 
-// Raw kernels. Unrolled scalar implementations; gcc auto-vectorizes them
-// with -O2 -ftree-vectorize on this target.
+namespace simd {
+
+// Instruction-set level of the distance kernels. Selected once per process
+// by CPUID-based runtime dispatch (best level the CPU executes), and
+// overridable with TV_SIMD=scalar|avx2|avx512 for A/B runs and CI parity
+// legs. An override above what the CPU supports clamps down with a warning.
+enum class IsaLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* IsaName(IsaLevel level);
+
+// The level the process dispatches through. Resolution happens on first
+// call (thread-safe); it also emits the startup log line and sets the
+// "tv.simd.isa" gauge.
+IsaLevel ActiveIsa();
+const char* ActiveIsaName();
+
+// True when kernels at `level` are compiled in and executable on this CPU.
+bool IsaSupported(IsaLevel level);
+
+// Raw one-pair kernels of one dispatch level. `cosine` is the cosine
+// *distance* (1 - cos, with the zero-norm sentinel of 2). Used by the
+// parity tests and the scalar-vs-dispatched benchmarks; normal callers go
+// through the dispatched entry points below.
+struct KernelTable {
+  float (*l2)(const float* a, const float* b, size_t dim);
+  float (*ip)(const float* a, const float* b, size_t dim);
+  float (*cosine)(const float* a, const float* b, size_t dim);
+};
+
+// Kernel table for `level`, or nullptr when the level is not compiled in
+// or not executable on this CPU (kScalar is always available).
+const KernelTable* KernelsFor(IsaLevel level);
+
+}  // namespace simd
+
+// One-pair kernels, dispatched through the per-process kernel table.
 float L2SquaredDistance(const float* a, const float* b, size_t dim);
 float InnerProduct(const float* a, const float* b, size_t dim);
 float CosineDistance(const float* a, const float* b, size_t dim);
 
-// Dispatches on `metric`. This is the single distance entry point used by
-// the HNSW index, brute-force search, and delta scans.
+// Dispatches on `metric`. This is the single-pair distance entry point used
+// by the HNSW index, brute-force search, and delta scans.
 float ComputeDistance(Metric metric, const float* a, const float* b, size_t dim);
+
+// ---------------------------------------------------------------------------
+// Batched one-query-vs-many entry points. Scans resolve the kernel pointer
+// once per batch instead of per pair and software-prefetch upcoming rows,
+// which is where most of the batching win comes from on large dims.
+// ---------------------------------------------------------------------------
+
+// `rows` is row-major contiguous (count rows, row stride = dim floats);
+// writes out[i] for every row.
+void L2SquaredDistanceBatch(const float* query, const float* rows, size_t dim,
+                            size_t count, float* out);
+void InnerProductBatch(const float* query, const float* rows, size_t dim,
+                       size_t count, float* out);
+void CosineDistanceBatch(const float* query, const float* rows, size_t dim,
+                         size_t count, float* out);
+
+// Fused batch: metric dispatch (kIp folds to 1 - dot), prefetch of upcoming
+// rows, and a candidate top-k threshold folded in — every out[i] is written,
+// and the return value is how many fell strictly below `threshold` (the
+// caller's current k-th worst), so scans can skip their push loop when a
+// whole batch is rejected.
+size_t ComputeDistanceBatch(
+    Metric metric, const float* query, const float* rows, size_t dim, size_t count,
+    float* out, float threshold = std::numeric_limits<float>::infinity());
+
+// Gather form for non-contiguous candidates (HNSW neighbor expansion, IVF
+// posting lists, delta scans): rows[i] points at the i-th candidate vector.
+size_t ComputeDistanceBatchGather(
+    Metric metric, const float* query, const float* const* rows, size_t dim,
+    size_t count, float* out,
+    float threshold = std::numeric_limits<float>::infinity());
 
 // L2 norm of a vector; used to pre-normalize cosine data.
 float L2Norm(const float* a, size_t dim);

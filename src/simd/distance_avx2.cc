@@ -1,0 +1,101 @@
+// AVX2+FMA one-pair kernels. This TU is compiled with -mavx2 -mfma and may
+// only be entered through the runtime dispatcher (dispatch.cc), which has
+// verified CPU support. Unaligned loads throughout: callers hand us rows of
+// arbitrary alignment (std::vector buffers, row offsets into larger
+// arrays). Two 8-lane FMA accumulators per stream keep both FMA ports busy;
+// the scalar tail handles dims that are not a multiple of 8.
+
+#if defined(TV_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "simd/kernels.h"
+
+namespace tigervector::simd::internal {
+
+namespace {
+
+inline float Hsum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+}  // namespace
+
+float Avx2L2(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 8 <= dim) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+    i += 8;
+  }
+  float total = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+float Avx2Ip(const float* a, const float* b, size_t dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8),
+                           acc1);
+  }
+  if (i + 8 <= dim) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    i += 8;
+  }
+  float total = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; i < dim; ++i) total += a[i] * b[i];
+  return total;
+}
+
+float Avx2Cosine(const float* a, const float* b, size_t dim) {
+  __m256 dot = _mm256_setzero_ps();
+  __m256 na = _mm256_setzero_ps();
+  __m256 nb = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 va = _mm256_loadu_ps(a + i);
+    const __m256 vb = _mm256_loadu_ps(b + i);
+    dot = _mm256_fmadd_ps(va, vb, dot);
+    na = _mm256_fmadd_ps(va, va, na);
+    nb = _mm256_fmadd_ps(vb, vb, nb);
+  }
+  float dot_s = Hsum256(dot), na_s = Hsum256(na), nb_s = Hsum256(nb);
+  for (; i < dim; ++i) {
+    dot_s += a[i] * b[i];
+    na_s += a[i] * a[i];
+    nb_s += b[i] * b[i];
+  }
+  const float denom = std::sqrt(na_s) * std::sqrt(nb_s);
+  if (denom == 0.f) return 2.f;  // zero-norm sentinel: worst cosine distance
+  return 1.f - dot_s / denom;
+}
+
+}  // namespace tigervector::simd::internal
+
+#endif  // TV_HAVE_AVX2_KERNELS

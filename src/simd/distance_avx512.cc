@@ -1,0 +1,104 @@
+// AVX-512F one-pair kernels. This TU is compiled with -mavx512f and may
+// only be entered through the runtime dispatcher (dispatch.cc), which has
+// verified CPU support. The non-multiple-of-16 tail is handled with masked
+// loads (zero-fill), so there is no scalar cleanup loop and short dims stay
+// branch-light. Two 16-lane FMA accumulators per stream.
+
+#if defined(TV_HAVE_AVX512_KERNELS)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "simd/kernels.h"
+
+namespace tigervector::simd::internal {
+
+namespace {
+
+inline __mmask16 TailMask(size_t remaining) {
+  return static_cast<__mmask16>((1u << remaining) - 1u);
+}
+
+}  // namespace
+
+float Avx512L2(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512 d0 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    const __m512 d1 =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i + 16), _mm512_loadu_ps(b + i + 16));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  if (i + 16 <= dim) {
+    const __m512 d =
+        _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+    i += 16;
+  }
+  if (i < dim) {
+    const __mmask16 m = TailMask(dim - i);
+    const __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(m, a + i),
+                                   _mm512_maskz_loadu_ps(m, b + i));
+    acc1 = _mm512_fmadd_ps(d, d, acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float Avx512Ip(const float* a, const float* b, size_t dim) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16),
+                           _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  if (i + 16 <= dim) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
+    i += 16;
+  }
+  if (i < dim) {
+    const __mmask16 m = TailMask(dim - i);
+    acc1 = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, a + i),
+                           _mm512_maskz_loadu_ps(m, b + i), acc1);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float Avx512Cosine(const float* a, const float* b, size_t dim) {
+  __m512 dot = _mm512_setzero_ps();
+  __m512 na = _mm512_setzero_ps();
+  __m512 nb = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512 va = _mm512_loadu_ps(a + i);
+    const __m512 vb = _mm512_loadu_ps(b + i);
+    dot = _mm512_fmadd_ps(va, vb, dot);
+    na = _mm512_fmadd_ps(va, va, na);
+    nb = _mm512_fmadd_ps(vb, vb, nb);
+  }
+  if (i < dim) {
+    const __mmask16 m = TailMask(dim - i);
+    const __m512 va = _mm512_maskz_loadu_ps(m, a + i);
+    const __m512 vb = _mm512_maskz_loadu_ps(m, b + i);
+    dot = _mm512_fmadd_ps(va, vb, dot);
+    na = _mm512_fmadd_ps(va, va, na);
+    nb = _mm512_fmadd_ps(vb, vb, nb);
+  }
+  const float dot_s = _mm512_reduce_add_ps(dot);
+  const float na_s = _mm512_reduce_add_ps(na);
+  const float nb_s = _mm512_reduce_add_ps(nb);
+  const float denom = std::sqrt(na_s) * std::sqrt(nb_s);
+  if (denom == 0.f) return 2.f;  // zero-norm sentinel: worst cosine distance
+  return 1.f - dot_s / denom;
+}
+
+}  // namespace tigervector::simd::internal
+
+#endif  // TV_HAVE_AVX512_KERNELS

@@ -1,0 +1,45 @@
+#ifndef TIGERVECTOR_SIMD_KERNELS_H_
+#define TIGERVECTOR_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+#include "simd/distance.h"
+
+// Internal per-ISA kernel implementations behind the runtime dispatcher.
+// Each translation unit is compiled with exactly the target flags its
+// kernels need (see src/simd/CMakeLists.txt: distance_avx2.cc gets
+// -mavx2 -mfma, distance_avx512.cc gets -mavx512f), so nothing outside
+// src/simd may include this header — calling an AVX-512 symbol on a CPU
+// without AVX-512 is an illegal instruction, and only dispatch.cc knows
+// when that is safe.
+//
+// Every cosine kernel must implement the zero-norm sentinel: if either
+// operand has zero norm the distance is 2.0f (the metric's maximum), so a
+// degenerate vector can never masquerade as "orthogonal" (1.0f) and sneak
+// into a top-k result.
+
+namespace tigervector::simd::internal {
+
+float ScalarL2(const float* a, const float* b, size_t dim);
+float ScalarIp(const float* a, const float* b, size_t dim);
+float ScalarCosine(const float* a, const float* b, size_t dim);
+
+#if defined(TV_HAVE_AVX2_KERNELS)
+float Avx2L2(const float* a, const float* b, size_t dim);
+float Avx2Ip(const float* a, const float* b, size_t dim);
+float Avx2Cosine(const float* a, const float* b, size_t dim);
+#endif
+
+#if defined(TV_HAVE_AVX512_KERNELS)
+float Avx512L2(const float* a, const float* b, size_t dim);
+float Avx512Ip(const float* a, const float* b, size_t dim);
+float Avx512Cosine(const float* a, const float* b, size_t dim);
+#endif
+
+// The per-process kernel table the dispatched entry points in distance.cc
+// call through (resolved once by dispatch.cc).
+const KernelTable& ActiveKernels();
+
+}  // namespace tigervector::simd::internal
+
+#endif  // TIGERVECTOR_SIMD_KERNELS_H_

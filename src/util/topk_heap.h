@@ -38,9 +38,14 @@ class TopKHeap {
     }
   }
 
-  // True when the heap is full and `distance` cannot enter it.
+  // True when the heap is full and `distance` cannot enter it regardless of
+  // id. Deliberately strict (>): a candidate tying the current worst
+  // distance may still be admitted by Push via the `id < other.id`
+  // tie-break, so callers that pre-filter with WouldReject must see `false`
+  // for it and fall through to Push — otherwise the same candidate stream
+  // yields a different top-k depending on whether the caller pre-filters.
   bool WouldReject(float distance) const {
-    return heap_.size() == k_ && k_ > 0 && distance >= heap_.top().distance;
+    return heap_.size() == k_ && k_ > 0 && distance > heap_.top().distance;
   }
 
   size_t size() const { return heap_.size(); }

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cfloat>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "simd/distance.h"
@@ -89,10 +93,15 @@ TEST(DistanceTest, CosineOrthogonalIsOne) {
   EXPECT_NEAR(CosineDistance(a.data(), b.data(), 2), 1.0f, 1e-6);
 }
 
-TEST(DistanceTest, CosineZeroVectorIsOne) {
+TEST(DistanceTest, CosineZeroVectorIsMetricMax) {
+  // A zero vector has no direction: "orthogonal" (1.0) would rank it ahead
+  // of genuinely opposed vectors, so the kernels pin it to the metric
+  // maximum instead.
   std::vector<float> a = {0, 0, 0};
   std::vector<float> b = {1, 2, 3};
-  EXPECT_FLOAT_EQ(CosineDistance(a.data(), b.data(), 3), 1.0f);
+  EXPECT_FLOAT_EQ(CosineDistance(a.data(), b.data(), 3), 2.0f);
+  EXPECT_FLOAT_EQ(CosineDistance(b.data(), a.data(), 3), 2.0f);
+  EXPECT_FLOAT_EQ(CosineDistance(a.data(), a.data(), 3), 2.0f);
 }
 
 TEST(DistanceTest, ComputeDistanceDispatch) {
@@ -132,6 +141,221 @@ TEST(DistanceTest, IpDistanceOrdersbyAlignment) {
   std::vector<float> far = {0.1f, 0.9f};
   EXPECT_LT(ComputeDistance(Metric::kIp, q.data(), near.data(), 2),
             ComputeDistance(Metric::kIp, q.data(), far.data(), 2));
+}
+
+// ---------------------------------------------------------------------------
+// ISA parity: every dispatchable kernel must agree with the scalar reference
+// within a documented tolerance, on every metric, including dimensions that
+// are not multiples of any SIMD width and unaligned base pointers.
+// ---------------------------------------------------------------------------
+
+// Tolerance model: a dot/L2 reduction over `dim` terms reassociated across
+// k lanes accumulates O(dim) rounding steps of FLT_EPSILON relative error
+// each; 8x slack covers the FMA-vs-separate-rounding difference between
+// scalar and vector code. Scaled by (1 + |ref|) so it behaves as an
+// absolute bound near zero and a relative one for large magnitudes.
+float ParityTol(size_t dim, float ref) {
+  return 8.0f * static_cast<float>(dim) * FLT_EPSILON * (1.0f + std::fabs(ref));
+}
+
+std::vector<simd::IsaLevel> SupportedLevels() {
+  std::vector<simd::IsaLevel> levels = {simd::IsaLevel::kScalar};
+  if (simd::IsaSupported(simd::IsaLevel::kAvx2)) {
+    levels.push_back(simd::IsaLevel::kAvx2);
+  }
+  if (simd::IsaSupported(simd::IsaLevel::kAvx512)) {
+    levels.push_back(simd::IsaLevel::kAvx512);
+  }
+  return levels;
+}
+
+class IsaParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IsaParityTest, AllLevelsMatchScalar) {
+  const size_t dim = GetParam();
+  const simd::KernelTable* scalar = simd::KernelsFor(simd::IsaLevel::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  Rng rng(101);
+  for (simd::IsaLevel level : SupportedLevels()) {
+    SCOPED_TRACE(simd::IsaName(level));
+    const simd::KernelTable* t = simd::KernelsFor(level);
+    ASSERT_NE(t, nullptr);
+    for (int it = 0; it < 8; ++it) {
+      auto a = RandomVec(&rng, dim, 4.0f);
+      auto b = RandomVec(&rng, dim, 4.0f);
+      const float l2_ref = scalar->l2(a.data(), b.data(), dim);
+      const float ip_ref = scalar->ip(a.data(), b.data(), dim);
+      const float cos_ref = scalar->cosine(a.data(), b.data(), dim);
+      EXPECT_NEAR(t->l2(a.data(), b.data(), dim), l2_ref, ParityTol(dim, l2_ref));
+      EXPECT_NEAR(t->ip(a.data(), b.data(), dim), ip_ref, ParityTol(dim, ip_ref));
+      EXPECT_NEAR(t->cosine(a.data(), b.data(), dim), cos_ref,
+                  ParityTol(dim, cos_ref));
+    }
+  }
+}
+
+TEST_P(IsaParityTest, UnalignedBasePointers) {
+  // Kernels must use unaligned loads: feed them pointers offset one float
+  // (4 bytes) from the allocation so any aligned-load assumption faults or
+  // mismatches.
+  const size_t dim = GetParam();
+  const simd::KernelTable* scalar = simd::KernelsFor(simd::IsaLevel::kScalar);
+  Rng rng(102);
+  std::vector<float> abuf = RandomVec(&rng, dim + 1, 3.0f);
+  std::vector<float> bbuf = RandomVec(&rng, dim + 1, 3.0f);
+  const float* a = abuf.data() + 1;
+  const float* b = bbuf.data() + 1;
+  const float l2_ref = scalar->l2(a, b, dim);
+  const float ip_ref = scalar->ip(a, b, dim);
+  const float cos_ref = scalar->cosine(a, b, dim);
+  for (simd::IsaLevel level : SupportedLevels()) {
+    SCOPED_TRACE(simd::IsaName(level));
+    const simd::KernelTable* t = simd::KernelsFor(level);
+    EXPECT_NEAR(t->l2(a, b, dim), l2_ref, ParityTol(dim, l2_ref));
+    EXPECT_NEAR(t->ip(a, b, dim), ip_ref, ParityTol(dim, ip_ref));
+    EXPECT_NEAR(t->cosine(a, b, dim), cos_ref, ParityTol(dim, cos_ref));
+  }
+}
+
+TEST_P(IsaParityTest, DenormalAndNegativeZeroInputs) {
+  // Denormals (~1e-40) and negative zeros must not diverge between scalar
+  // and vector paths (the build does not enable flush-to-zero).
+  const size_t dim = GetParam();
+  const simd::KernelTable* scalar = simd::KernelsFor(simd::IsaLevel::kScalar);
+  std::vector<float> a(dim), b(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    a[i] = (i % 3 == 0) ? -0.0f : 1e-40f * static_cast<float>(i % 7);
+    b[i] = (i % 2 == 0) ? 1e-40f : -0.0f;
+  }
+  const float l2_ref = scalar->l2(a.data(), b.data(), dim);
+  const float ip_ref = scalar->ip(a.data(), b.data(), dim);
+  const float cos_ref = scalar->cosine(a.data(), b.data(), dim);
+  for (simd::IsaLevel level : SupportedLevels()) {
+    SCOPED_TRACE(simd::IsaName(level));
+    const simd::KernelTable* t = simd::KernelsFor(level);
+    EXPECT_NEAR(t->l2(a.data(), b.data(), dim), l2_ref, ParityTol(dim, l2_ref));
+    EXPECT_NEAR(t->ip(a.data(), b.data(), dim), ip_ref, ParityTol(dim, ip_ref));
+    // All-denormal inputs underflow both norms to (near) zero, which every
+    // level must map to the same sentinel or the same finite value.
+    EXPECT_NEAR(t->cosine(a.data(), b.data(), dim), cos_ref,
+                ParityTol(dim, cos_ref));
+  }
+}
+
+TEST_P(IsaParityTest, CosineZeroVectorSentinelOnEveryLevel) {
+  const size_t dim = GetParam();
+  std::vector<float> zero(dim, 0.0f);
+  Rng rng(103);
+  auto b = RandomVec(&rng, dim, 2.0f);
+  for (simd::IsaLevel level : SupportedLevels()) {
+    SCOPED_TRACE(simd::IsaName(level));
+    const simd::KernelTable* t = simd::KernelsFor(level);
+    EXPECT_FLOAT_EQ(t->cosine(zero.data(), b.data(), dim), 2.0f);
+    EXPECT_FLOAT_EQ(t->cosine(b.data(), zero.data(), dim), 2.0f);
+    EXPECT_FLOAT_EQ(t->cosine(zero.data(), zero.data(), dim), 2.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddDims, IsaParityTest,
+                         ::testing::Values(1, 3, 17, 100, 1031));
+
+// ---------------------------------------------------------------------------
+// Batched entry points must agree with the pairwise entry points (they run
+// the same dispatched kernel, so agreement is exact) and honor the
+// threshold-count contract.
+// ---------------------------------------------------------------------------
+
+class BatchAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchAgreementTest, ContiguousMatchesPairwise) {
+  const size_t dim = GetParam();
+  const size_t count = 37;  // not a multiple of any internal chunk
+  Rng rng(104);
+  auto query = RandomVec(&rng, dim, 2.0f);
+  auto rows = RandomVec(&rng, dim * count, 2.0f);
+  std::vector<float> dists(count);
+  for (Metric m : {Metric::kL2, Metric::kIp, Metric::kCosine}) {
+    SCOPED_TRACE(MetricName(m));
+    ComputeDistanceBatch(m, query.data(), rows.data(), dim, count, dists.data());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_FLOAT_EQ(dists[i],
+                      ComputeDistance(m, query.data(), rows.data() + i * dim, dim));
+    }
+  }
+}
+
+TEST_P(BatchAgreementTest, GatherMatchesPairwise) {
+  const size_t dim = GetParam();
+  const size_t count = 29;
+  Rng rng(105);
+  auto query = RandomVec(&rng, dim, 2.0f);
+  std::vector<std::vector<float>> storage;
+  std::vector<const float*> rows;
+  for (size_t i = 0; i < count; ++i) {
+    storage.push_back(RandomVec(&rng, dim, 2.0f));
+    rows.push_back(storage.back().data());
+  }
+  std::vector<float> dists(count);
+  for (Metric m : {Metric::kL2, Metric::kIp, Metric::kCosine}) {
+    SCOPED_TRACE(MetricName(m));
+    ComputeDistanceBatchGather(m, query.data(), rows.data(), dim, count,
+                               dists.data());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_FLOAT_EQ(dists[i], ComputeDistance(m, query.data(), rows[i], dim));
+    }
+  }
+}
+
+TEST_P(BatchAgreementTest, ThresholdCountsStrictlyBelow) {
+  const size_t dim = GetParam();
+  const size_t count = 41;
+  Rng rng(106);
+  auto query = RandomVec(&rng, dim, 2.0f);
+  auto rows = RandomVec(&rng, dim * count, 2.0f);
+  std::vector<float> dists(count);
+  // First pass without threshold to learn the distances, then verify the
+  // fused count against a median threshold (and an exact-tie threshold:
+  // ties must NOT count, the contract is strictly below).
+  ComputeDistanceBatch(Metric::kL2, query.data(), rows.data(), dim, count,
+                       dists.data());
+  std::vector<float> sorted = dists;
+  std::sort(sorted.begin(), sorted.end());
+  for (float threshold : {sorted[count / 2], sorted[0], sorted[count - 1]}) {
+    size_t expect = 0;
+    for (float d : dists) {
+      if (d < threshold) ++expect;
+    }
+    EXPECT_EQ(ComputeDistanceBatch(Metric::kL2, query.data(), rows.data(), dim,
+                                   count, dists.data(), threshold),
+              expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BatchAgreementTest, ::testing::Values(3, 100, 768));
+
+TEST(SimdDispatchTest, EnvOverrideIsRespected) {
+  // The CI matrix runs this binary under TV_SIMD=scalar; assert the
+  // override actually landed. With no override (or an unparseable one) the
+  // active level can be anything the CPU supports.
+  const char* env = std::getenv("TV_SIMD");
+  if (env != nullptr && std::string(env) == "scalar") {
+    EXPECT_EQ(simd::ActiveIsa(), simd::IsaLevel::kScalar);
+    EXPECT_STREQ(simd::ActiveIsaName(), "scalar");
+  }
+  // Whatever was chosen must be a level this build+CPU can execute.
+  EXPECT_TRUE(simd::IsaSupported(simd::ActiveIsa()));
+  EXPECT_NE(simd::KernelsFor(simd::ActiveIsa()), nullptr);
+}
+
+TEST(SimdDispatchTest, ScalarTableAlwaysAvailable) {
+  EXPECT_TRUE(simd::IsaSupported(simd::IsaLevel::kScalar));
+  ASSERT_NE(simd::KernelsFor(simd::IsaLevel::kScalar), nullptr);
+}
+
+TEST(SimdDispatchTest, IsaNamesStable) {
+  EXPECT_STREQ(simd::IsaName(simd::IsaLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::IsaName(simd::IsaLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd::IsaName(simd::IsaLevel::kAvx512), "avx512");
 }
 
 }  // namespace

@@ -211,6 +211,44 @@ TEST(TopKHeapTest, WouldReject) {
   EXPECT_FALSE(heap.WouldReject(1.5f));
 }
 
+TEST(TopKHeapTest, WouldRejectIsStrictOnTies) {
+  // Regression: WouldReject used to reject candidates equal to the current
+  // worst distance, but Push admits such a candidate when its id wins the
+  // tie-break — so callers pre-filtering with WouldReject silently dropped
+  // results Push would have kept.
+  TopKHeap<uint64_t> heap(2);
+  heap.Push(1.0f, 10);
+  heap.Push(2.0f, 20);
+  ASSERT_TRUE(heap.full());
+  EXPECT_FALSE(heap.WouldReject(2.0f));  // a tie may still enter via id
+  heap.Push(2.0f, 5);                    // smaller id: displaces (2.0, 20)
+  auto got = heap.TakeSorted();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].id, 5u);
+}
+
+TEST(TopKHeapTest, PrefilterMatchesDirectPushOnDuplicateDistances) {
+  // A candidate stream heavy with duplicated distances must produce the
+  // same top-k whether or not the caller pre-filters with WouldReject.
+  Rng rng(21);
+  std::vector<std::pair<float, uint64_t>> items;
+  for (uint64_t i = 0; i < 400; ++i) {
+    items.push_back({static_cast<float>(rng.NextBounded(8)), i});
+  }
+  TopKHeap<uint64_t> direct(10), filtered(10);
+  for (const auto& [d, id] : items) direct.Push(d, id);
+  for (const auto& [d, id] : items) {
+    if (!filtered.WouldReject(d)) filtered.Push(d, id);
+  }
+  auto a = direct.TakeSorted();
+  auto b = filtered.TakeSorted();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+    EXPECT_EQ(a[i].id, b[i].id);
+  }
+}
+
 TEST(TopKHeapTest, TieBreaksOnIdDeterministically) {
   TopKHeap<uint64_t> heap_a(2), heap_b(2);
   heap_a.Push(1.0f, 5);
