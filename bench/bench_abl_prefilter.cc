@@ -77,5 +77,77 @@ int main(int argc, char** argv) {
   std::printf(
       "\n(the paper's argument: post-filtering needs extra search rounds at low\n"
       " selectivity, while pre-filtering always does exactly one call.)\n");
+
+  // ---- Cached vs cold pre-filter searches -------------------------------
+  // Repeated RAG queries hit the top-k result cache: the warm leg re-issues
+  // the same (query, filter) pairs and must be served from the cache, the
+  // cold leg bypasses it every time. Hit rate comes from the database's own
+  // tv.cache.topk counters (also exported via --metrics-out).
+  PrintHeader("Ablation: top-k result cache, cold vs warm (k=" +
+              std::to_string(k) + ")");
+  PrintRow({"selectivity", "cold ms", "warm ms", "speedup", "warm hit rate"});
+  const size_t rounds = 5;
+  Rng cache_rng(29);
+  for (double selectivity : {0.01, 0.1, 0.5}) {
+    VertexSet filter;
+    for (size_t i = 0; i < n; ++i) {
+      if (cache_rng.NextDouble() < selectivity) filter.insert(instance.vids[i]);
+    }
+    if (filter.empty()) continue;
+
+    Database::VectorSearchFnOptions cold_opts;
+    cold_opts.filter = &filter;
+    cold_opts.ef = 128;
+    cold_opts.bypass_cache = true;
+    Timer cold_timer;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (size_t q = 0; q < nq; ++q) {
+        std::vector<float> query(dataset.QueryVector(q),
+                                 dataset.QueryVector(q) + dataset.dim);
+        if (!instance.db->VectorSearch({{"Item", "emb"}}, query, k, cold_opts)
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+    const double cold_ms = cold_timer.ElapsedMillis() / (rounds * nq);
+
+    Database::VectorSearchFnOptions warm_opts;
+    warm_opts.filter = &filter;
+    warm_opts.ef = 128;
+    for (size_t q = 0; q < nq; ++q) {  // priming pass: all misses
+      std::vector<float> query(dataset.QueryVector(q),
+                               dataset.QueryVector(q) + dataset.dim);
+      if (!instance.db->VectorSearch({{"Item", "emb"}}, query, k, warm_opts)
+               .ok()) {
+        std::abort();
+      }
+    }
+    const auto warm_before = instance.db->cache()->topk_stats();
+    Timer warm_timer;
+    for (size_t r = 0; r < rounds; ++r) {
+      for (size_t q = 0; q < nq; ++q) {
+        std::vector<float> query(dataset.QueryVector(q),
+                                 dataset.QueryVector(q) + dataset.dim);
+        if (!instance.db->VectorSearch({{"Item", "emb"}}, query, k, warm_opts)
+                 .ok()) {
+          std::abort();
+        }
+      }
+    }
+    const double warm_ms = warm_timer.ElapsedMillis() / (rounds * nq);
+    const auto warm_after = instance.db->cache()->topk_stats();
+    const uint64_t hits = warm_after.hits - warm_before.hits;
+    const uint64_t lookups = hits + (warm_after.misses - warm_before.misses);
+    PrintRow({Fmt(selectivity * 100, 1) + "%", Fmt(cold_ms, 4), Fmt(warm_ms, 4),
+              Fmt(cold_ms / warm_ms, 1) + "x",
+              lookups == 0 ? "n/a"
+                           : Fmt(100.0 * static_cast<double>(hits) /
+                                     static_cast<double>(lookups),
+                                 1) + "%"});
+  }
+  std::printf(
+      "\n(warm rows re-issue identical (query, filter) pairs: answers come from\n"
+      " the MVCC-keyed result cache without touching the index. Target: >=5x.)\n");
   return 0;
 }

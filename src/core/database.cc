@@ -10,6 +10,7 @@ Database::Database(Options options) : options_(std::move(options)) {
   // logged (and the tv.simd.isa gauge set) at open time, not on the first
   // search.
   simd::ActiveIsa();
+  cache_ = std::make_unique<cache::QueryCache>(options_.cache);
   store_ = std::make_unique<GraphStore>(&schema_, options_.store);
   embeddings_ = std::make_unique<EmbeddingService>(store_.get(), options_.embeddings);
   store_->SetEmbeddingSink(embeddings_.get());
@@ -107,22 +108,31 @@ Result<VertexSet> Database::VectorSearch(
                                    "' cannot read any requested vertex type");
   }
   VectorSearchRequest request;
-  request.attrs = permitted;
+  request.attrs = std::move(permitted);
   request.query = query.data();
   request.k = k;
   request.ef = options.ef;
   request.pool = pool_.get();
+  // Pin the MVCC horizon once, before any per-attribute work: every segment
+  // search answers at exactly this tid and the result cache keys on it.
+  request.read_tid =
+      options.read_tid != kMaxTid ? options.read_tid : store_->visible_tid();
+  // The candidate set is fingerprinted once per search (it is the same for
+  // every attribute); the O(vid_upper_bound) bitmap materialization is
+  // deferred into the miss path so a warm cache hit skips it entirely.
+  cache::Fingerprint filter_fp;
   Bitmap filter_bitmap;
+  std::function<Status()> materialize;
   if (options.filter != nullptr) {
-    filter_bitmap = VertexSetToBitmap(*options.filter, store_->vid_upper_bound());
-    request.filter = FilterView(&filter_bitmap);
+    filter_fp = cache::FingerprintIdSetUnordered(*options.filter);
+    materialize = [&]() {
+      filter_bitmap = VertexSetToBitmap(*options.filter, store_->vid_upper_bound());
+      request.filter = FilterView(&filter_bitmap);
+      return Status::OK();
+    };
   }
-  // With a simulated MPP cluster the search scatters to the logical servers
-  // and gathers their local top-k lists; the merge invariant keeps the
-  // result bit-identical to the single-node path.
-  auto result = cluster_ != nullptr
-                    ? cluster_->DistributedTopK(request, options.mpp_stats)
-                    : embeddings_->TopKSearch(request);
+  auto result = CachedTopK(request, query.size(), filter_fp, options.bypass_cache,
+                           materialize, options.mpp_stats, options.cache_outcome);
   if (!result.ok()) return result.status();
   if (options.result_stats != nullptr) *options.result_stats = *result;
   VertexSet out;
@@ -133,6 +143,72 @@ Result<VertexSet> Database::VectorSearch(
     }
   }
   return out;
+}
+
+Result<VectorSearchResult> Database::CachedTopK(
+    VectorSearchRequest& request, size_t query_dim,
+    const cache::Fingerprint& filter_fp, bool bypass_cache,
+    const std::function<Status()>& materialize_filter,
+    Cluster::DistributedStats* mpp_stats, cache::Outcome* outcome) {
+  // With a simulated MPP cluster the search scatters to the logical servers
+  // and gathers their local top-k lists; the merge invariant keeps the
+  // result bit-identical to the single-node path, so both share one cache.
+  auto run = [&]() -> Result<VectorSearchResult> {
+    if (materialize_filter != nullptr) TV_RETURN_NOT_OK(materialize_filter());
+    return cluster_ != nullptr ? cluster_->DistributedTopK(request, mpp_stats)
+                               : embeddings_->TopKSearch(request);
+  };
+  if (outcome != nullptr) *outcome = cache::Outcome::kBypass;
+  // A search overlapping a structural change (vacuum merge, rebuild) can
+  // observe a half-merged index; such answers are neither served from nor
+  // admitted to the cache.
+  if (bypass_cache || !cache_->enabled() || request.read_tid == kMaxTid ||
+      !embeddings_->structure_stable()) {
+    return run();
+  }
+  cache::Fingerprint fp;
+  for (const auto& [type_name, attr] : request.attrs) {
+    fp = cache::CombineFingerprints(fp, cache::FingerprintString(type_name));
+    fp = cache::CombineFingerprints(fp, cache::FingerprintString(attr));
+  }
+  fp = cache::CombineFingerprints(
+      fp, cache::FingerprintBytes(request.query, query_dim * sizeof(float)));
+  fp = cache::CombineFingerprint(fp, request.k);
+  fp = cache::CombineFingerprint(fp, request.ef);
+  fp = cache::CombineFingerprint(fp, request.bruteforce_threshold);
+  const uint64_t structure_version = embeddings_->structure_version();
+  const cache::CacheKey key =
+      cache::TopKKey(fp, filter_fp, request.read_tid, structure_version);
+  if (cache::QueryCache::TopKPtr entry = cache_->LookupTopK(key)) {
+    if (outcome != nullptr) *outcome = cache::Outcome::kHit;
+    VectorSearchResult cached;
+    cached.hits.reserve(entry->hits.size());
+    for (const auto& [distance, vid] : entry->hits) {
+      cached.hits.push_back(SearchHit{distance, vid});
+    }
+    cached.segments_searched = entry->segments_searched;
+    cached.bruteforce_segments = entry->bruteforce_segments;
+    cached.delta_candidates = entry->delta_candidates;
+    return cached;
+  }
+  if (outcome != nullptr) *outcome = cache::Outcome::kMiss;
+  auto result = run();
+  if (!result.ok()) return result;
+  // Admit only if no structural change raced with the computation; the
+  // version re-check pairs with the end-of-operation bump in the service.
+  if (embeddings_->structure_stable() &&
+      embeddings_->structure_version() == structure_version) {
+    auto entry = std::make_shared<cache::QueryCache::TopKEntry>();
+    entry->hits.reserve(result->hits.size());
+    for (const SearchHit& hit : result->hits) {
+      entry->hits.emplace_back(hit.distance, hit.label);
+    }
+    entry->segments_searched = result->segments_searched;
+    entry->bruteforce_segments = result->bruteforce_segments;
+    entry->delta_candidates = result->delta_candidates;
+    cache_->InsertTopK(key, std::move(entry));
+  }
+  return result;
 }
 
 }  // namespace tigervector

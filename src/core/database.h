@@ -1,12 +1,14 @@
 #ifndef TIGERVECTOR_CORE_DATABASE_H_
 #define TIGERVECTOR_CORE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "algo/traversal.h"
+#include "cache/query_cache.h"
 #include "core/access_control.h"
 #include "embedding/embedding_service.h"
 #include "graph/graph_store.h"
@@ -26,6 +28,9 @@ class Database {
   struct Options {
     GraphStore::Options store;
     EmbeddingService::Options embeddings;
+    // Two-tier query cache (predicate bitmaps + top-k results); the
+    // TV_CACHE environment variable overrides `cache.enabled`.
+    cache::QueryCache::Options cache;
     size_t num_threads = 4;
     // >1 instantiates the simulated MPP cluster for distributed search.
     size_t num_servers = 1;
@@ -43,6 +48,8 @@ class Database {
   const EmbeddingService* embeddings() const { return embeddings_.get(); }
   ThreadPool* pool() { return pool_.get(); }
   Cluster* cluster() { return cluster_.get(); }
+  cache::QueryCache* cache() { return cache_.get(); }
+  const cache::QueryCache* cache() const { return cache_.get(); }
   AccessController* access() { return &access_; }
   const AccessController* access() const { return &access_; }
 
@@ -96,6 +103,17 @@ class Database {
     // When non-null and the database runs a simulated MPP cluster, receives
     // the per-server scatter/gather timings.
     Cluster::DistributedStats* mpp_stats = nullptr;
+    // MVCC horizon the search answers at. kMaxTid pins the currently
+    // visible tid at call time; callers composing a search into a larger
+    // read (the executor) pass their own snapshot so the whole statement
+    // observes one horizon.
+    Tid read_tid = kMaxTid;
+    // Skip the top-k result cache for this call (both lookup and insert).
+    // Used by differential tests comparing cached vs uncached answers.
+    bool bypass_cache = false;
+    // When non-null, receives whether the top-k cache hit, missed, or was
+    // bypassed — EXPLAIN ANALYZE's `cache:` node detail.
+    cache::Outcome* cache_outcome = nullptr;
   };
   Result<VertexSet> VectorSearch(
       const std::vector<std::pair<std::string, std::string>>& attrs,
@@ -107,6 +125,19 @@ class Database {
     return VectorSearch(attrs, query, k, VectorSearchFnOptions{});
   }
 
+  // Top-k search through the result cache. `request.read_tid` must already
+  // be pinned to a real horizon (not kMaxTid) for the cache to engage.
+  // `filter_fp` fingerprints the candidate set request.filter accepts
+  // (default Fingerprint{} = accept-all); `materialize_filter`, when
+  // non-null, is invoked exactly once before the underlying search runs on
+  // a miss or bypass — a cache hit skips it, so callers can defer building
+  // the (potentially large) filter bitmap into it.
+  Result<VectorSearchResult> CachedTopK(
+      VectorSearchRequest& request, size_t query_dim,
+      const cache::Fingerprint& filter_fp, bool bypass_cache,
+      const std::function<Status()>& materialize_filter,
+      Cluster::DistributedStats* mpp_stats, cache::Outcome* outcome);
+
  private:
   Options options_;
   Schema schema_;
@@ -115,6 +146,7 @@ class Database {
   std::unique_ptr<EmbeddingService> embeddings_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<cache::QueryCache> cache_;
 };
 
 }  // namespace tigervector

@@ -273,6 +273,7 @@ Status EmbeddingService::GetEmbedding(const std::string& vertex_type,
 }
 
 Result<size_t> EmbeddingService::RunDeltaMerge() {
+  ScopedStructureChange structure_change(this);
   const Tid up_to = store_->visible_tid();
   size_t sealed = 0;
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -291,6 +292,7 @@ Result<size_t> EmbeddingService::RunDeltaMerge() {
 }
 
 Result<size_t> EmbeddingService::RunIndexMerge(ThreadPool* pool) {
+  ScopedStructureChange structure_change(this);
   const Tid up_to = store_->visible_tid();
   size_t merged = 0;
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -306,6 +308,7 @@ Result<size_t> EmbeddingService::RunIndexMerge(ThreadPool* pool) {
 }
 
 Status EmbeddingService::RebuildAllIndexes(ThreadPool* pool) {
+  ScopedStructureChange structure_change(this);
   std::shared_lock<std::shared_mutex> lock(mu_);
   for (auto& [key, state] : attr_states_) {
     for (auto& seg : state.segments) {
@@ -350,6 +353,7 @@ Status EmbeddingService::SaveIndexSnapshots(const std::string& dir,
 }
 
 Status EmbeddingService::LoadIndexSnapshots(const std::string& dir) {
+  ScopedStructureChange structure_change(this);
   FILE* manifest = std::fopen((dir + "/embedding_snapshots.manifest").c_str(), "r");
   if (manifest == nullptr) {
     return Status::IOError("cannot open manifest in " + dir);
@@ -383,6 +387,7 @@ Status EmbeddingService::LoadIndexSnapshots(const std::string& dir) {
 
 Status EmbeddingService::RecoverSnapshots(const std::string& dir,
                                           RecoveryStats* stats) {
+  ScopedStructureChange structure_change(this);
   FILE* manifest = std::fopen((dir + "/embedding_snapshots.manifest").c_str(), "r");
   if (manifest == nullptr) return Status::OK();  // no snapshot set to adopt
   char attr_buf[256];
@@ -473,6 +478,7 @@ bool ParseDeltaFileName(const std::string& name, DeltaFileName* out) {
 
 Status EmbeddingService::RecoverDeltaFiles(const std::string& dir,
                                            RecoveryStats* stats) {
+  ScopedStructureChange structure_change(this);
   if (dir.empty()) return Status::OK();
   auto listing = io::ListDir(dir);
   if (!listing.ok()) return Status::OK();  // no delta directory yet

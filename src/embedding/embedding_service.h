@@ -149,6 +149,25 @@ class EmbeddingService : public EmbeddingSink {
   size_t active_searches() const { return active_searches_.load(); }
   const Options& options() const { return options_; }
 
+  // --- structure version (cache invalidation key) ---
+  // Monotone counter bumped at the END of every operation that changes the
+  // search structure without a commit: delta merge, index merge, rebuild,
+  // snapshot load, recovery adoption. Commits do not bump it — the commit
+  // horizon (read_tid) already keys cached results across commits; this
+  // covers the vacuum/merge side where approximate (HNSW) answers can
+  // change with no tid advancing.
+  uint64_t structure_version() const {
+    return structure_version_.load(std::memory_order_acquire);
+  }
+  // False while a structural operation is in flight. The top-k result
+  // cache bypasses both lookups and inserts in that window: a search
+  // overlapping a merge may observe a half-merged structure and is not
+  // reproducible, so it must neither be served from nor admitted to the
+  // cache.
+  bool structure_stable() const {
+    return structure_changes_inflight_.load(std::memory_order_acquire) == 0;
+  }
+
  private:
   struct AttrKey {
     VertexTypeId vtype;
@@ -177,11 +196,31 @@ class EmbeddingService : public EmbeddingSink {
   Result<VectorSearchResult> FanOut(const VectorSearchRequest& request,
                                     SegmentFn segment_fn) const;
 
+  // RAII guard for structural operations: marks the structure unstable for
+  // its lifetime and bumps the version on exit (before clearing the
+  // in-flight mark, so observers that see the structure stable again also
+  // see the new version).
+  class ScopedStructureChange {
+   public:
+    explicit ScopedStructureChange(EmbeddingService* service) : service_(service) {
+      service_->structure_changes_inflight_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ScopedStructureChange() {
+      service_->structure_version_.fetch_add(1, std::memory_order_acq_rel);
+      service_->structure_changes_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+   private:
+    EmbeddingService* service_;
+  };
+
   GraphStore* store_;
   Options options_;
   mutable std::shared_mutex mu_;  // guards attr_states_ map & segment slots
   std::map<AttrKey, AttrState> attr_states_;
   mutable std::atomic<size_t> active_searches_{0};
+  std::atomic<uint64_t> structure_version_{0};
+  std::atomic<uint32_t> structure_changes_inflight_{0};
 };
 
 }  // namespace tigervector

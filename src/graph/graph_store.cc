@@ -218,6 +218,7 @@ Result<Tid> GraphStore::CommitTransaction(const std::vector<Mutation>& mutations
     }
   }
   visible_tid_.store(tid, std::memory_order_release);
+  graph_version_.fetch_add(1, std::memory_order_acq_rel);
   TV_COUNTER_INC("tv.graph.commits_total");
   TV_COUNTER_ADD("tv.graph.committed_mutations_total", mutations.size());
   TV_HISTOGRAM_OBSERVE("tv.graph.commit_seconds", timer.ElapsedSeconds());
@@ -240,6 +241,7 @@ Status GraphStore::ReplayRecords(const std::vector<WriteAheadLog::Record>& recor
   }
   next_tid_.store(max_tid);
   visible_tid_.store(max_tid);
+  graph_version_.fetch_add(1, std::memory_order_acq_rel);
   VertexId expect = next_vid_.load();
   if (max_vid > expect) next_vid_.store(max_vid);
   if (max_vid > 0) EnsureSegmentsFor(max_vid - 1);
@@ -376,6 +378,7 @@ size_t GraphStore::VacuumGraph() {
   }
   size_t applied = 0;
   for (GraphSegment* seg : segments) applied += seg->Vacuum(up_to);
+  graph_version_.fetch_add(1, std::memory_order_acq_rel);
   return applied;
 }
 

@@ -107,6 +107,13 @@ class GraphStore {
   // their read_tid.
   Tid visible_tid() const { return visible_tid_.load(std::memory_order_acquire); }
 
+  // Store-wide monotone version, bumped on every commit and every graph
+  // vacuum. Together with the per-segment versions it lets caches detect
+  // "anything changed anywhere" without walking segments.
+  uint64_t graph_version() const {
+    return graph_version_.load(std::memory_order_acquire);
+  }
+
   // --- Reads ---
   bool IsVisible(VertexId vid, Tid read_tid) const;
   // Type id of a vertex, or error when the slot was never filled.
@@ -164,6 +171,7 @@ class GraphStore {
   std::atomic<VertexId> next_vid_{0};
   std::atomic<Tid> next_tid_{0};
   std::atomic<Tid> visible_tid_{0};
+  std::atomic<uint64_t> graph_version_{0};
   std::mutex commit_mu_;
 
   mutable std::shared_mutex bitmap_mu_;

@@ -26,6 +26,7 @@ Status GraphSegment::ApplyInsertVertex(VertexId vid, VertexTypeId vtype,
   rec.deleted_tid = kMaxTid;
   rec.attrs = std::move(attrs);
   ++used_slots_;
+  BumpVersion(tid);
   return Status::OK();
 }
 
@@ -39,6 +40,7 @@ Status GraphSegment::ApplySetAttr(VertexId vid, uint16_t attr_idx, Value value,
     return Status::OutOfRange("attr index " + std::to_string(attr_idx));
   }
   attr_deltas_.push_back(AttrDelta{tid, OffsetOf(vid), attr_idx, std::move(value)});
+  BumpVersion(tid);
   return Status::OK();
 }
 
@@ -50,6 +52,7 @@ Status GraphSegment::ApplyDeleteVertex(VertexId vid, Tid tid) {
     return Status::NotFound("vertex " + std::to_string(vid));
   }
   rec.deleted_tid = tid;
+  BumpVersion(tid);
   return Status::OK();
 }
 
@@ -59,6 +62,7 @@ Status GraphSegment::ApplyAddEdge(VertexId src_vid, EdgeTypeId etype, VertexId p
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto& list = out ? out_edges_[OffsetOf(src_vid)] : in_edges_[OffsetOf(src_vid)];
   list.push_back(EdgeRec{etype, peer, tid, kMaxTid});
+  BumpVersion(tid);
   return Status::OK();
 }
 
@@ -70,6 +74,7 @@ Status GraphSegment::ApplyDeleteEdge(VertexId src_vid, EdgeTypeId etype, VertexI
   for (EdgeRec& e : list) {
     if (e.etype == etype && e.peer == peer && e.deleted_tid == kMaxTid) {
       e.deleted_tid = tid;
+      BumpVersion(tid);
       return Status::OK();
     }
   }
@@ -163,6 +168,10 @@ size_t GraphSegment::Vacuum(Tid up_to_tid) {
                  list.end());
     }
   }
+  // The fold itself changes no MVCC-visible state at or above up_to_tid,
+  // but bumping keeps version-keyed caches conservatively fresh across
+  // vacuum boundaries (commit/vacuum/merge all advance the version).
+  BumpVersion(up_to_tid);
   return applied;
 }
 

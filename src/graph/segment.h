@@ -1,6 +1,7 @@
 #ifndef TIGERVECTOR_GRAPH_SEGMENT_H_
 #define TIGERVECTOR_GRAPH_SEGMENT_H_
 
+#include <atomic>
 #include <functional>
 #include <shared_mutex>
 #include <vector>
@@ -64,6 +65,21 @@ class GraphSegment {
   size_t Vacuum(Tid up_to_tid);
 
   size_t pending_attr_deltas() const;
+
+  // --- MVCC visibility version (cache invalidation key) ---
+  // Monotone counter bumped by every committed mutation applied to this
+  // segment and by every vacuum fold. Cached artifacts derived from this
+  // segment's contents (predicate bitmaps) embed the version in their key,
+  // so any change makes stale entries unreachable without invalidation
+  // walks.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  // Highest transaction id applied to this segment. A reader whose
+  // read_tid is below this value must not share version-keyed cache
+  // entries with readers at the latest horizon.
+  Tid last_applied_tid() const {
+    return last_applied_tid_.load(std::memory_order_acquire);
+  }
+
   SegmentId id() const { return id_; }
   VertexId base_vid() const { return base_vid_; }
   uint32_t capacity() const { return capacity_; }
@@ -86,6 +102,15 @@ class GraphSegment {
     Value value;
   };
 
+  // Called (under the write lock) after a successful mutation or vacuum.
+  void BumpVersion(Tid tid) {
+    version_.fetch_add(1, std::memory_order_acq_rel);
+    Tid prev = last_applied_tid_.load(std::memory_order_relaxed);
+    while (tid > prev && !last_applied_tid_.compare_exchange_weak(
+                             prev, tid, std::memory_order_acq_rel)) {
+    }
+  }
+
   uint32_t OffsetOf(VertexId vid) const { return static_cast<uint32_t>(vid - base_vid_); }
   bool InRange(VertexId vid) const {
     return vid >= base_vid_ && vid < base_vid_ + capacity_;
@@ -99,6 +124,8 @@ class GraphSegment {
   std::vector<std::vector<EdgeRec>> out_edges_;
   std::vector<std::vector<EdgeRec>> in_edges_;
   uint32_t used_slots_ = 0;
+  std::atomic<uint64_t> version_{0};
+  std::atomic<Tid> last_applied_tid_{0};
   mutable std::shared_mutex mu_;
 };
 

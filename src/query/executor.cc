@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <sstream>
 
+#include "cache/query_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/distance.h"
@@ -112,6 +115,55 @@ std::string FmtSelectivity(size_t kept, size_t universe) {
   std::snprintf(buf, sizeof(buf), "%.4f",
                 static_cast<double>(kept) / static_cast<double>(universe));
   return buf;
+}
+
+// Collects the $parameter names referenced by an expression, in a stable
+// (traversal) order.
+void CollectParamNames(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == Expr::Kind::kParam) {
+    if (std::find(out->begin(), out->end(), expr.param) == out->end()) {
+      out->push_back(expr.param);
+    }
+  }
+  if (expr.lhs != nullptr) CollectParamNames(*expr.lhs, out);
+  if (expr.rhs != nullptr) CollectParamNames(*expr.rhs, out);
+}
+
+// Folds one bound parameter value into a fingerprint, tagged by type so
+// e.g. int64 3 and double 3.0 cannot alias.
+cache::Fingerprint FingerprintParamValue(cache::Fingerprint fp,
+                                         const QueryParam& value) {
+  if (std::holds_alternative<int64_t>(value)) {
+    fp = cache::CombineFingerprint(fp, 1);
+    return cache::CombineFingerprint(fp,
+                                     static_cast<uint64_t>(std::get<int64_t>(value)));
+  }
+  if (std::holds_alternative<double>(value)) {
+    const double d = std::get<double>(value);
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    fp = cache::CombineFingerprint(fp, 2);
+    return cache::CombineFingerprint(fp, bits);
+  }
+  if (std::holds_alternative<std::string>(value)) {
+    fp = cache::CombineFingerprint(fp, 3);
+    return cache::CombineFingerprints(
+        fp, cache::FingerprintString(std::get<std::string>(value)));
+  }
+  const auto& vec = std::get<std::vector<float>>(value);
+  fp = cache::CombineFingerprint(fp, 4);
+  return cache::CombineFingerprints(
+      fp, cache::FingerprintBytes(vec.data(), vec.size() * sizeof(float)));
+}
+
+// Renders a ScanCacheProbe as the `cache:` actual value.
+std::string ScanCacheLabel(size_t hits, size_t misses, size_t bypasses) {
+  const bool h = hits > 0, m = misses > 0, b = bypasses > 0;
+  if (h && !m && !b) return "hit";
+  if (m && !h && !b) return "miss";
+  if (!h && !m) return "bypass";
+  return "partial(hit=" + std::to_string(hits) + ",miss=" + std::to_string(misses) +
+         ",bypass=" + std::to_string(bypasses) + ")";
 }
 
 }  // namespace
@@ -264,18 +316,22 @@ Result<bool> QueryExecutor::EvalPredicate(const Expr& expr, VertexId vid, Tid re
 }
 
 Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
-                                         const QueryParams& params) const {
+                                         const QueryParams& params,
+                                         ScanCacheProbe* probe) const {
   VertexSet base;
   auto passes = [&](VertexId vid) -> Result<bool> {
     for (const Expr* pred : node.predicates) {
+      TV_COUNTER_INC("tv.query.predicate_evals_total");
       auto ok = EvalPredicate(*pred, vid, read_tid, params);
       if (!ok.ok()) return ok;
       if (!*ok) return false;
     }
     return true;
   };
-  Status status = Status::OK();
   if (node.var != nullptr) {
+    // Variable-bound sets are query-local; their contents are not keyed by
+    // any store version, so they never touch the bitmap cache.
+    if (probe != nullptr) probe->bypasses += 1;
     for (VertexId vid : *node.var) {
       if (!db_->store()->IsVisible(vid, read_tid)) continue;
       auto vt = db_->store()->GetVertexType(vid);
@@ -298,8 +354,41 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
         "permission denied: role '" + role_ + "' cannot read vertex type " +
         db_->schema()->vertex_type(node.type_id).name);
   }
-  db_->store()->ForEachVertexOfType(
-      static_cast<VertexTypeId>(node.type_id), read_tid, nullptr, [&](VertexId vid) {
+  cache::QueryCache* cache = db_->cache();
+  const bool cacheable = cache != nullptr && cache->enabled() && !cache_bypass_;
+  // Predicate fingerprint: type + normalized predicate text + the values of
+  // every referenced $parameter (same text with different bindings must not
+  // alias).
+  cache::Fingerprint pred_fp;
+  if (cacheable) {
+    pred_fp = cache::CombineFingerprint(
+        pred_fp, static_cast<uint64_t>(node.type_id));
+    std::vector<std::string> param_names;
+    for (const Expr* pred : node.predicates) {
+      pred_fp = cache::CombineFingerprints(
+          pred_fp, cache::FingerprintString(ExprToString(*pred)));
+      CollectParamNames(*pred, &param_names);
+    }
+    for (const std::string& name : param_names) {
+      pred_fp = cache::CombineFingerprints(pred_fp, cache::FingerprintString(name));
+      auto it = params.find(name);
+      // A missing binding fails evaluation identically regardless of cache
+      // state, so it need not be fingerprinted.
+      if (it != params.end()) {
+        pred_fp = FingerprintParamValue(pred_fp, it->second);
+      }
+    }
+  }
+  const size_t num_segments = db_->store()->NumSegments();
+  for (size_t i = 0; i < num_segments; ++i) {
+    const GraphSegment* seg = db_->store()->SegmentAt(i);
+    // Version-keyed entries describe the segment at its latest applied
+    // horizon; a reader pinned below that horizon sees different rows and
+    // must scan directly.
+    if (!cacheable || seg->last_applied_tid() > read_tid) {
+      if (probe != nullptr) probe->bypasses += 1;
+      Status status = Status::OK();
+      seg->ForEachVertex(node.type_id, read_tid, [&](VertexId vid) {
         if (!status.ok()) return;
         auto ok = passes(vid);
         if (!ok.ok()) {
@@ -308,7 +397,42 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
         }
         if (*ok) base.insert(vid);
       });
-  TV_RETURN_NOT_OK_STMT(status);
+      TV_RETURN_NOT_OK_STMT(status);
+      continue;
+    }
+    const uint64_t version = seg->version();
+    const cache::CacheKey key = cache::BitmapKey(pred_fp, seg->id(), version);
+    if (cache::QueryCache::BitmapPtr bits = cache->LookupBitmap(key)) {
+      if (probe != nullptr) probe->hits += 1;
+      const VertexId base_vid = seg->base_vid();
+      for (size_t off = 0; off < bits->size(); ++off) {
+        if (bits->Test(off)) base.insert(base_vid + off);
+      }
+      continue;
+    }
+    if (probe != nullptr) probe->misses += 1;
+    auto fresh = std::make_shared<Bitmap>(seg->capacity());
+    Status status = Status::OK();
+    const VertexId base_vid = seg->base_vid();
+    seg->ForEachVertex(node.type_id, read_tid, [&](VertexId vid) {
+      if (!status.ok()) return;
+      auto ok = passes(vid);
+      if (!ok.ok()) {
+        status = ok.status();
+        return;
+      }
+      if (*ok) {
+        base.insert(vid);
+        fresh->Set(static_cast<size_t>(vid - base_vid));
+      }
+    });
+    TV_RETURN_NOT_OK_STMT(status);
+    // Admit only if no commit or vacuum raced with the scan; a racing
+    // writer would leave the bitmap describing neither version.
+    if (seg->version() == version) {
+      cache->InsertBitmap(key, std::move(fresh));
+    }
+  }
   return base;
 }
 
@@ -567,13 +691,14 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
   // ---- Candidate sets: forward then backward semi-join ----
   Timer cand_timer;
   std::vector<VertexSet> cand(nodes.size());
+  std::vector<ScanCacheProbe> probes(nodes.size());
   {
-    auto base0 = BaseSet(nodes[0], read_tid, params);
+    auto base0 = BaseSet(nodes[0], read_tid, params, &probes[0]);
     if (!base0.ok()) return base0.status();
     cand[0] = std::move(base0).value();
   }
   for (size_t i = 0; i + 1 < nodes.size(); ++i) {
-    auto base_next = BaseSet(nodes[i + 1], read_tid, params);
+    auto base_next = BaseSet(nodes[i + 1], read_tid, params, &probes[i + 1]);
     if (!base_next.ok()) return base_next.status();
     const VertexSet& allowed = *base_next;
     VertexSet next;
@@ -604,6 +729,9 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
   if (explain != nullptr) {
     for (size_t i = 0; i < nodes.size(); ++i) {
       add_actual(node_plan_idx[i], "rows", std::to_string(cand[i].size()));
+      add_actual(node_plan_idx[i], "cache",
+                 ScanCacheLabel(probes[i].hits, probes[i].misses,
+                                probes[i].bypasses));
     }
     for (size_t e = 0; e < stmt.pattern.edges.size(); ++e) {
       add_actual(edge_plan_idx[e], "rows_out", std::to_string(cand[e + 1].size()));
@@ -657,6 +785,8 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     request.query = (*query)->data();
     request.k = 16;
     request.pool = db_->pool();
+    // The whole statement answers at one MVCC horizon.
+    request.read_tid = read_tid;
     // Pre-filter: pure single-node range scans skip the bitmap entirely.
     Bitmap bitmap;
     const bool pure = nodes.size() == 1 && node.predicates.empty() &&
@@ -702,6 +832,9 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     add_actual(plan_idx, "hnsw_distance_evals",
                std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
     add_actual(plan_idx, "hnsw_hops", std::to_string(TraceCounter("hnsw.hops") - hops0));
+    // Range results (unbounded hit count, ef-doubling restarts) are not
+    // admitted to the top-k result cache.
+    add_actual(plan_idx, "cache", "bypass");
     if (db_->cluster() != nullptr) {
       for (size_t s = 0; s < mpp_stats.server_seconds.size(); ++s) {
         add_actual(plan_idx, "server_" + std::to_string(s),
@@ -889,21 +1022,32 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     request.query = (*query)->data();
     request.k = k;
     request.pool = db_->pool();
+    // The whole statement answers at one MVCC horizon; the result cache
+    // keys on it.
+    request.read_tid = read_tid;
     Bitmap bitmap;
     const bool pure = nodes.size() == 1 && nodes[idx].predicates.empty() &&
                       nodes[idx].var == nullptr && ranges.empty();
+    cache::Fingerprint filter_fp;
+    std::function<Status()> materialize;
     if (!pure) {
       // Pre-filter: the graph pattern + predicates become the bitmap
-      // consumed by one EmbeddingAction (Sec. 5.2/5.3).
-      bitmap = VertexSetToBitmap(cand[idx], db_->store()->vid_upper_bound());
-      request.filter = FilterView(&bitmap);
+      // consumed by one EmbeddingAction (Sec. 5.2/5.3). The cheap
+      // order-independent fingerprint keys the result cache; the
+      // O(vid_upper_bound) bitmap is only built on a miss.
+      filter_fp = cache::FingerprintIdSetUnordered(cand[idx]);
+      materialize = [&]() {
+        bitmap = VertexSetToBitmap(cand[idx], db_->store()->vid_upper_bound());
+        request.filter = FilterView(&bitmap);
+        return Status::OK();
+      };
     }
     const uint64_t dist0 = TraceCounter("hnsw.distance_evals");
     const uint64_t hops0 = TraceCounter("hnsw.hops");
     Cluster::DistributedStats mpp_stats;
-    auto hits = db_->cluster() != nullptr
-                    ? db_->cluster()->DistributedTopK(request, &mpp_stats)
-                    : db_->embeddings()->TopKSearch(request);
+    cache::Outcome topk_outcome = cache::Outcome::kBypass;
+    auto hits = db_->CachedTopK(request, (*query)->size(), filter_fp, cache_bypass_,
+                                materialize, &mpp_stats, &topk_outcome);
     if (!hits.ok()) return hits.status();
     result.vertices.clear();
     for (const SearchHit& h : hits->hits) {
@@ -927,6 +1071,7 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
                std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
     add_actual(topk_plan_idx, "hnsw_hops",
                std::to_string(TraceCounter("hnsw.hops") - hops0));
+    add_actual(topk_plan_idx, "cache", cache::OutcomeName(topk_outcome));
     if (db_->cluster() != nullptr) {
       for (size_t s = 0; s < mpp_stats.server_seconds.size(); ++s) {
         add_actual(topk_plan_idx, "server_" + std::to_string(s),
@@ -1031,8 +1176,11 @@ Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
 
   VectorSearchResult search_stats;
   Cluster::DistributedStats mpp_stats;
+  cache::Outcome vs_outcome = cache::Outcome::kBypass;
   options.result_stats = &search_stats;
   options.mpp_stats = &mpp_stats;
+  options.bypass_cache = cache_bypass_;
+  options.cache_outcome = &vs_outcome;
   const uint64_t dist0 = TraceCounter("hnsw.distance_evals");
   const uint64_t hops0 = TraceCounter("hnsw.hops");
   auto out = db_->VectorSearch(stmt.attrs, **query, k, options);
@@ -1052,6 +1200,7 @@ Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
                          std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
     actuals.emplace_back("hnsw_hops",
                          std::to_string(TraceCounter("hnsw.hops") - hops0));
+    actuals.emplace_back("cache", cache::OutcomeName(vs_outcome));
     if (db_->cluster() != nullptr) {
       for (size_t s = 0; s < mpp_stats.server_seconds.size(); ++s) {
         actuals.emplace_back("server_" + std::to_string(s),

@@ -71,6 +71,13 @@ class QueryExecutor {
   void SetRole(std::string role) { role_ = std::move(role); }
   const std::string& role() const { return role_; }
 
+  // When set, this executor skips both tiers of the query cache (lookups
+  // and inserts) without touching the database-wide toggle. Differential
+  // tests run the same query through a cached and a bypassing executor and
+  // compare bit-for-bit.
+  void set_cache_bypass(bool bypass) { cache_bypass_ = bypass; }
+  bool cache_bypass() const { return cache_bypass_; }
+
   // `explain` (optional) receives the plan description; with
   // `execute = false` (EXPLAIN without ANALYZE) the plan is built from the
   // statement alone and the block is not evaluated.
@@ -104,12 +111,24 @@ class QueryExecutor {
   Result<Value> EvalValue(const Expr& expr, VertexId vid, Tid read_tid,
                           const QueryParams& params) const;
 
+  // Per-BaseSet tally of predicate-bitmap cache outcomes, summarized as
+  // the `cache:` actual of the VertexAction plan node.
+  struct ScanCacheProbe {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t bypasses = 0;
+  };
+
   // Base candidate set of a node (type scan or variable), with predicates.
+  // Type scans consult the per-segment predicate bitmap cache; `probe`
+  // (optional) receives the per-segment outcome tally.
   Result<VertexSet> BaseSet(const ResolvedNode& node, Tid read_tid,
-                            const QueryParams& params) const;
+                            const QueryParams& params,
+                            ScanCacheProbe* probe = nullptr) const;
 
   Database* db_;
   std::string role_;
+  bool cache_bypass_ = false;
 };
 
 // Renders an expression back to text (used in plan output and errors).

@@ -227,9 +227,15 @@ Result<ScriptResult> GsqlSession::Run(const std::string& script,
   Timer parse_timer;
   auto statements = ParseScript(body);
   obs::RecordSpanMicros("query.parse", parse_timer.ElapsedMicros());
+  // PROFILE measures the work a query actually does; serving it from the
+  // query cache would profile a lookup instead of the search. Force a
+  // bypass for the profiled run and restore the session setting after.
+  const bool saved_bypass = executor_.cache_bypass();
+  if (profiled) executor_.set_cache_bypass(true);
   Status status = statements.ok()
                       ? ExecuteStatements(*statements, params, execute, &result)
                       : statements.status();
+  if (profiled) executor_.set_cache_bypass(saved_bypass);
 
 #if !defined(TIGERVECTOR_NO_METRICS)
   if (!status.ok()) {

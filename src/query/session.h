@@ -60,6 +60,12 @@ class GsqlSession {
   // Role all subsequent statements run under (empty = superuser).
   void SetRole(std::string role) { executor_.SetRole(std::move(role)); }
 
+  // Skips both query-cache tiers (lookups and inserts) for this session's
+  // statements without touching the database-wide toggle. Differential
+  // tests run the same script through a cached and a bypassing session and
+  // compare results bit-for-bit.
+  void SetCacheBypass(bool bypass) { executor_.set_cache_bypass(bypass); }
+
   // Injects a vertex set variable from C++ (e.g. produced by a graph
   // algorithm such as Louvain) for use in subsequent scripts.
   void SetVariable(const std::string& name, VertexSet value) {

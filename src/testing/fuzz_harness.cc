@@ -175,6 +175,11 @@ class FuzzCase {
   };
   bool RunSelect(const std::string& script, const QueryParams& params,
                  bool want_distances, QueryRun* out);
+  // Cache differential for VectorSearch() scripts that PRINT the result set
+  // and distance map: reruns with the cache bypassed and compares both
+  // prints bit-for-bit against `run`.
+  bool CacheDiffVectorSearch(const std::string& script, const QueryParams& params,
+                             const QueryRun& run);
   bool CheckSoundness(const std::string& script, const QueryRun& run,
                       const std::string& type, const std::vector<float>& qv,
                       const VertexSet* candidates);
@@ -642,6 +647,75 @@ bool FuzzCase::RunSelect(const std::string& script, const QueryParams& params,
                   "distance map missing: " + dist.status().ToString(), script);
     }
     out->distances = dist->prints[0].distances;
+  }
+  if (opts_.cache_diff) {
+    // Cache differential: the identical script, bypassing both cache tiers,
+    // must produce bit-for-bit the same answer. The rerun rebinds the same
+    // session variables to the same values (the tape is single-threaded),
+    // so session state is unchanged afterwards.
+    session_->SetCacheBypass(true);
+    auto uncached = session_->Run(run_script, params);
+    QueryRun raw;
+    bool raw_ok = uncached.ok() && !uncached->prints.empty();
+    if (raw_ok) {
+      raw.vids = uncached->prints[0].vertices;
+      if (want_distances && !raw.vids.empty()) {
+        auto dist = session_->Run("PRINT @@R_dist;");
+        raw_ok = dist.ok() && !dist->prints.empty();
+        if (raw_ok) raw.distances = dist->prints[0].distances;
+      }
+    }
+    session_->SetCacheBypass(false);
+    if (!raw_ok) {
+      return Fail("cache-divergence", "uncached rerun failed", run_script);
+    }
+    if (raw.vids != out->vids) {
+      return Fail("cache-divergence",
+                  "cached run returned " + std::to_string(out->vids.size()) +
+                      " vids, uncached rerun " + std::to_string(raw.vids.size()) +
+                      " (or different ids)",
+                  run_script);
+    }
+    for (VertexId vid : out->vids) {
+      auto a = out->distances.find(vid);
+      auto b = raw.distances.find(vid);
+      const bool has_a = a != out->distances.end();
+      const bool has_b = b != raw.distances.end();
+      if (has_a != has_b || (has_a && a->second != b->second)) {
+        return Fail("cache-divergence",
+                    "distance mismatch for vid " + std::to_string(vid),
+                    run_script);
+      }
+    }
+  }
+  return true;
+}
+
+bool FuzzCase::CacheDiffVectorSearch(const std::string& script,
+                                     const QueryParams& params,
+                                     const QueryRun& run) {
+  if (!opts_.cache_diff) return true;
+  session_->SetCacheBypass(true);
+  auto uncached = session_->Run(script, params);
+  session_->SetCacheBypass(false);
+  if (!uncached.ok() || uncached->prints.size() < 2) {
+    return Fail("cache-divergence", "uncached VectorSearch rerun failed", script);
+  }
+  if (uncached->prints[0].vertices != run.vids) {
+    return Fail("cache-divergence",
+                "cached VectorSearch returned different vertex set", script);
+  }
+  const auto& raw_dist = uncached->prints[1].distances;
+  for (VertexId vid : run.vids) {
+    auto a = run.distances.find(vid);
+    auto b = raw_dist.find(vid);
+    const bool has_a = a != run.distances.end();
+    const bool has_b = b != raw_dist.end();
+    if (has_a != has_b || (has_a && a->second != b->second)) {
+      return Fail("cache-divergence",
+                  "VectorSearch distance mismatch for vid " + std::to_string(vid),
+                  script);
+    }
   }
   return true;
 }
@@ -1132,6 +1206,7 @@ bool FuzzCase::QueryVectorSearchFn(Rng& r, const std::vector<float>& qv) {
     }
     run.vids = result->prints[0].vertices;
     run.distances = result->prints[1].distances;
+    if (!CacheDiffVectorSearch(script, params, run)) return false;
     // VectorSearch's vertex-set-variable filter must behave as a hard
     // pre-filter: nothing outside Cand may appear.
     const VertexSet* cand_var = session_->GetVariable("Cand");
@@ -1162,6 +1237,7 @@ bool FuzzCase::QueryVectorSearchFn(Rng& r, const std::vector<float>& qv) {
   }
   run.vids = result->prints[0].vertices;
   run.distances = result->prints[1].distances;
+  if (!CacheDiffVectorSearch(script, params, run)) return false;
   ++stats_.soundness_checks;
   for (VertexId vid : run.vids) {
     const GoldenVertex* v = model_.Get(vid);
@@ -1546,6 +1622,7 @@ std::string ReproCommand(const FuzzOptions& options, const std::vector<size_t>& 
                     " --ops=" + std::to_string(options.ops);
   if (options.with_faults) cmd += " --faults";
   if (!options.with_mpp) cmd += " --no-mpp";
+  if (options.cache_diff) cmd += " --cache";
   if (!skip.empty()) cmd += " --skip=" + JoinIndices(skip);
   return cmd;
 }

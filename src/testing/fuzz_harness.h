@@ -53,6 +53,11 @@ struct FuzzOptions {
   // identical (the prefix only adds plan-node annotation), and the session
   // must produce a non-empty analyzed plan for each block.
   bool explain_analyze = false;
+  // Cache differential: rerun every query with the query cache bypassed
+  // (the TV_CACHE=off path) and fail on any result divergence — vertex ids
+  // and distances must match bit-for-bit, including across fault-injected
+  // crash/recover cycles.
+  bool cache_diff = false;
   // Echo each executed op (and generated GSQL) to stderr.
   bool verbose = false;
 };

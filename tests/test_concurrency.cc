@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/database.h"
+#include "query/session.h"
 #include "workload/driver.h"
 
 namespace tigervector {
@@ -160,6 +161,214 @@ TEST_F(ConcurrencyFixture, DeleteDuringSearchNeverReturnsDeleted) {
     ASSERT_TRUE(result.ok());
     for (const auto& hit : result->hits) EXPECT_NE(hit.label, victim);
   }
+}
+
+// ---------------- Cached vs uncached under concurrency ----------------
+//
+// The query cache must never change an answer: a cached session and a
+// bypassing session reading at the same MVCC horizon (same visible tid,
+// graph version, and index structure version) must produce bit-for-bit
+// identical results while writers and the vacuum race them. Comparisons are
+// only scored when the horizon is provably stable across the pair; a final
+// quiesced pass guarantees the test always scores at least one.
+
+class CacheConcurrencyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Database::Options options;
+    options.store.segment_capacity = 64;
+    options.embeddings.index_params.m = 8;
+    options.embeddings.index_params.ef_construction = 48;
+    db_ = std::make_unique<Database>(options);
+    GsqlSession ddl(db_.get());
+    auto r = ddl.Run(
+        "CREATE VERTEX Item (grp INT);"
+        "ALTER VERTEX Item ADD EMBEDDING ATTRIBUTE emb (DIMENSION = 8,"
+        " MODEL = M, INDEX = HNSW, DATATYPE = FLOAT, METRIC = L2);");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (int i = 0; i < 300; ++i) {
+      Transaction txn = db_->Begin();
+      auto vid = txn.InsertVertex("Item", {int64_t{i % 4}});
+      ASSERT_TRUE(vid.ok());
+      ASSERT_TRUE(txn.SetEmbedding(*vid, "Item", "emb", Vec(i)).ok());
+      ASSERT_TRUE(txn.Commit().ok());
+      vids_.push_back(*vid);
+    }
+    ASSERT_TRUE(db_->Vacuum().ok());
+  }
+
+  std::vector<float> Vec(int i) {
+    std::vector<float> v(8, 0.f);
+    v[0] = static_cast<float>(i);
+    v[1] = static_cast<float>(i % 13);
+    return v;
+  }
+
+  // `stable` must hold at both ends of a comparison window: the structure
+  // version only bumps when a merge *finishes*, so a merge still in flight
+  // at both samples would otherwise be invisible while the two legs observe
+  // different mid-merge index states.
+  struct Horizon {
+    Tid visible_tid;
+    uint64_t graph_version;
+    uint64_t structure_version;
+    bool stable;
+    bool operator==(const Horizon& o) const {
+      return visible_tid == o.visible_tid && graph_version == o.graph_version &&
+             structure_version == o.structure_version && stable && o.stable;
+    }
+  };
+
+  Horizon Sample() const {
+    return Horizon{db_->store()->visible_tid(), db_->store()->graph_version(),
+                   db_->embeddings()->structure_version(),
+                   db_->embeddings()->structure_stable()};
+  }
+
+  // Runs `script` through both sessions; when the horizon held still across
+  // the pair, the printed vertex sets must match exactly. Returns whether a
+  // comparison was scored.
+  bool CompareSessions(GsqlSession* cached, GsqlSession* bypass,
+                       const std::string& script, const QueryParams& params,
+                       std::atomic<int>* errors) {
+    const Horizon before = Sample();
+    auto warm = cached->Run(script, params);
+    auto raw = bypass->Run(script, params);
+    if (!(Sample() == before)) return false;  // a writer raced the pair
+    if (!warm.ok() || !raw.ok()) {
+      errors->fetch_add(1);
+      return true;
+    }
+    if (warm->prints.size() != raw->prints.size() ||
+        warm->prints[0].vertices != raw->prints[0].vertices) {
+      errors->fetch_add(1);
+    }
+    return true;
+  }
+
+  // Direct-API leg: two VectorSearch calls pinned to the same read_tid, one
+  // through the cache and one bypassing it. Distances compared bit-for-bit.
+  bool CompareDirect(const std::vector<float>& q, std::atomic<int>* errors) {
+    const Horizon before = Sample();
+    std::unordered_map<VertexId, float> warm_dist, raw_dist;
+    Database::VectorSearchFnOptions warm_opts;
+    warm_opts.read_tid = before.visible_tid;
+    warm_opts.distance_map = &warm_dist;
+    auto warm = db_->VectorSearch({{"Item", "emb"}}, q, 5, warm_opts);
+    Database::VectorSearchFnOptions raw_opts;
+    raw_opts.read_tid = before.visible_tid;
+    raw_opts.distance_map = &raw_dist;
+    raw_opts.bypass_cache = true;
+    auto raw = db_->VectorSearch({{"Item", "emb"}}, q, 5, raw_opts);
+    if (!(Sample() == before)) return false;
+    if (!warm.ok() || !raw.ok() || !(*warm == *raw)) {
+      errors->fetch_add(1);
+      return true;
+    }
+    for (const VertexId vid : *warm) {
+      const auto w = warm_dist.find(vid);
+      const auto r = raw_dist.find(vid);
+      if (w == warm_dist.end() || r == raw_dist.end() || w->second != r->second) {
+        errors->fetch_add(1);
+        break;
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::vector<VertexId> vids_;
+};
+
+TEST_F(CacheConcurrencyFixture, CachedReadersRaceMutatorsAndVacuum) {
+  constexpr int kReaders = 3;
+  constexpr int kMutators = 2;
+  const std::string filtered =
+      "R = SELECT s FROM (s:Item) WHERE s.grp = 1"
+      " ORDER BY VECTOR_DIST(s.emb, $qv) LIMIT 5; PRINT R;";
+  const std::string pure =
+      "R = SELECT s FROM (s:Item)"
+      " ORDER BY VECTOR_DIST(s.emb, $qv) LIMIT 5; PRINT R;";
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::atomic<int> checks{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      GsqlSession cached(db_.get());
+      GsqlSession bypass(db_.get());
+      bypass.SetCacheBypass(true);
+      int i = t * 101;
+      while (!stop.load()) {
+        QueryParams params;
+        params["qv"] = Vec(i % 350);
+        // Reuse a small pool of vectors so warm entries actually get hit.
+        const std::string& script = (i % 2 == 0) ? filtered : pure;
+        if (CompareSessions(&cached, &bypass, script, params, &errors)) {
+          checks.fetch_add(1);
+        }
+        if (CompareDirect(Vec(i % 350), &errors)) checks.fetch_add(1);
+        ++i;
+      }
+    });
+  }
+  // Updates touch only the lower half of the seeded vids and deletes only
+  // the upper half, so no mutator ever writes a vertex another one deleted.
+  std::vector<std::thread> mutators;
+  std::atomic<size_t> next_delete_slot{0};
+  for (int m = 0; m < kMutators; ++m) {
+    mutators.emplace_back([&, m] {
+      for (int round = 0; round < 120; ++round) {
+        Transaction txn = db_->Begin();
+        const int op = (m + round) % 4;
+        bool ok = true;
+        if (op == 0) {
+          auto vid = txn.InsertVertex("Item", {int64_t{round % 4}});
+          ok = vid.ok() &&
+               txn.SetEmbedding(*vid, "Item", "emb", Vec(3000 + round)).ok();
+        } else if (op == 1) {
+          ok = txn.SetEmbedding(vids_[(m * 97 + round) % 150], "Item", "emb",
+                                Vec(4000 + round))
+                   .ok();
+        } else if (op == 2) {
+          ok = txn.SetAttr(vids_[(m * 89 + round) % 150], "Item", "grp",
+                           int64_t{(round + 1) % 4})
+                   .ok();
+        } else {
+          // Each delete claims a distinct slot: no vid is deleted twice.
+          const size_t slot = 150 + next_delete_slot.fetch_add(1) % 150;
+          ok = txn.DeleteVertex(vids_[slot]).ok();
+        }
+        if (!ok || !txn.Commit().ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  std::thread vacuum([&] {
+    for (int i = 0; i < 6; ++i) {
+      if (!db_->Vacuum().ok()) errors.fetch_add(1);
+    }
+  });
+  for (auto& t : mutators) t.join();
+  vacuum.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  // Quiesced pass: the horizon cannot move now, so every comparison scores.
+  GsqlSession cached(db_.get());
+  GsqlSession bypass(db_.get());
+  bypass.SetCacheBypass(true);
+  int final_checks = 0;
+  for (int i = 0; i < 8; ++i) {
+    QueryParams params;
+    params["qv"] = Vec(i * 37);
+    ASSERT_TRUE(CompareSessions(&cached, &bypass, filtered, params, &errors));
+    ASSERT_TRUE(CompareSessions(&cached, &bypass, pure, params, &errors));
+    ASSERT_TRUE(CompareDirect(Vec(i * 37), &errors));
+    final_checks += 3;
+  }
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GE(checks.load() + final_checks, 24);
 }
 
 TEST(OpenLoopDriverTest, MeasuresFromSchedule) {

@@ -19,6 +19,10 @@
 //                 \flightrec ID FILE    dump record as Chrome trace JSON
 //                                       (load FILE in chrome://tracing)
 //                 \slowlog FILE         append slow queries to FILE as JSONL
+//                 \cache                query-cache stats (both tiers)
+//                 \cache on|off         enable/disable at runtime (TV_CACHE=off
+//                                       disables at startup)
+//                 \cache clear          drop all cached entries
 //                 \quit
 //
 // Prefixing a statement with PROFILE prints a per-stage timing breakdown
@@ -132,6 +136,25 @@ bool HandleShellCommand(const std::string& line, Database* db, GsqlSession* sess
                   file.c_str());
     } else {
       std::printf("slowlog failed: %s\n", st.ToString().c_str());
+    }
+    return true;
+  }
+  if (cmd == "\\cache") {
+    std::string arg;
+    in >> arg;
+    if (arg.empty()) {
+      std::fputs(db->cache()->RenderStats().c_str(), stdout);
+    } else if (arg == "on") {
+      db->cache()->set_enabled(true);
+      std::printf("query cache enabled\n");
+    } else if (arg == "off") {
+      db->cache()->set_enabled(false);
+      std::printf("query cache disabled (entries retained)\n");
+    } else if (arg == "clear") {
+      db->cache()->Clear();
+      std::printf("query cache cleared\n");
+    } else {
+      std::printf("usage: \\cache [on|off|clear]\n");
     }
     return true;
   }

@@ -32,7 +32,9 @@ void PrintUsage() {
                "usage: tv_fuzz [--seed=N | --seeds=A:B] [--ops=N] [--faults]\n"
                "               [--no-mpp] [--duration=SECS] [--min-recall=R]\n"
                "               [--skip=i,j,k] [--shrink] [--work-dir=DIR]\n"
-               "               [--explain-analyze] [--verbose]\n");
+               "               [--explain-analyze] [--cache] [--verbose]\n"
+               "  --cache reruns every query with the query cache bypassed\n"
+               "  and fails on any cached-vs-uncached divergence\n");
 }
 
 bool ParseSizeList(const std::string& text, std::vector<size_t>* out) {
@@ -109,6 +111,8 @@ int main(int argc, char** argv) {
       options.with_mpp = false;
     } else if (arg == "--explain-analyze") {
       options.explain_analyze = true;
+    } else if (arg == "--cache") {
+      options.cache_diff = true;
     } else if (arg == "--shrink") {
       shrink = true;
     } else if (arg == "--verbose") {
