@@ -62,23 +62,30 @@ inline Fingerprint CombineFingerprints(Fingerprint a, const Fingerprint& b) {
 
 // Order-independent fingerprint of an unordered id container (e.g. a
 // VertexSet candidate filter): per-id mixes are folded with commutative
-// sum/xor so iteration order cannot change the key.
+// accumulators so iteration order cannot change the key. Sum/xor alone
+// would make the fold a linear map over the per-id mixes (collisions
+// reduce to solving a small linear system rather than inverting the
+// mixer), so a fourth accumulator rotates each mix by an amount derived
+// from the id itself — the data-dependent rotation breaks linearity while
+// staying commutative.
 template <typename Container>
 Fingerprint FingerprintIdSetUnordered(const Container& ids) {
-  uint64_t sum1 = 0, xor1 = 0, sum2 = 0;
+  uint64_t sum1 = 0, xor1 = 0, sum2 = 0, rot = 0;
   uint64_t n = 0;
   for (const auto& id : ids) {
     const uint64_t v = static_cast<uint64_t>(id);
     const uint64_t a = Mix64(v + 0x9e3779b97f4a7c15ULL);
     const uint64_t b = Mix64(v ^ 0xc2b2ae3d27d4eb4fULL);
+    const unsigned r = static_cast<unsigned>(b & 63);
     sum1 += a;
     xor1 ^= a;
     sum2 += b;
+    rot += (a << r) | (a >> ((64 - r) & 63));
     ++n;
   }
   Fingerprint fp;
-  fp.hi = Mix64(sum1 + Mix64(xor1 ^ n));
-  fp.lo = Mix64(sum2 ^ Mix64(n + 0xa0761d6478bd642fULL));
+  fp.hi = Mix64(sum1 + Mix64(xor1 ^ n)) ^ Mix64(rot);
+  fp.lo = Mix64(sum2 ^ Mix64(n + 0xa0761d6478bd642fULL)) + Mix64(rot ^ n);
   return fp;
 }
 
@@ -170,13 +177,17 @@ class ShardedLruCache {
   size_t Insert(const CacheKey& key, Value value, size_t bytes) {
     Shard& s = ShardFor(key);
     std::lock_guard<std::mutex> lock(s.mu);
+    // Reject an oversized entry before touching any existing entry for the
+    // key: a replacement that cannot be admitted must not silently drop
+    // the (still valid — keys are content-addressed) value it would have
+    // replaced.
+    if (bytes > per_shard_capacity_) return 0;
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       s.bytes -= it->second->bytes;
       s.lru.erase(it->second);
       s.map.erase(it);
     }
-    if (bytes > per_shard_capacity_) return 0;
     size_t evicted = 0;
     while (s.bytes + bytes > per_shard_capacity_ && !s.lru.empty()) {
       const Entry& tail = s.lru.back();

@@ -103,12 +103,18 @@ class GraphSegment {
   };
 
   // Called (under the write lock) after a successful mutation or vacuum.
+  // The horizon is raised BEFORE the version: cache readers capture
+  // version() first and then gate on last_applied_tid() <= read_tid, so a
+  // version observed by a reader must never be newer than the horizon it
+  // checks next. The reverse order would let a reader pinned below this
+  // mutation's tid pair the old horizon with the new version and admit a
+  // stale bitmap under the new version's key.
   void BumpVersion(Tid tid) {
-    version_.fetch_add(1, std::memory_order_acq_rel);
     Tid prev = last_applied_tid_.load(std::memory_order_relaxed);
     while (tid > prev && !last_applied_tid_.compare_exchange_weak(
                              prev, tid, std::memory_order_acq_rel)) {
     }
+    version_.fetch_add(1, std::memory_order_acq_rel);
   }
 
   uint32_t OffsetOf(VertexId vid) const { return static_cast<uint32_t>(vid - base_vid_); }

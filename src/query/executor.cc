@@ -382,6 +382,12 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
   const size_t num_segments = db_->store()->NumSegments();
   for (size_t i = 0; i < num_segments; ++i) {
     const GraphSegment* seg = db_->store()->SegmentAt(i);
+    // Capture the version BEFORE the horizon gate. BumpVersion publishes
+    // last_applied_tid before version, so a racing commit either trips the
+    // gate below (horizon already raised) or fails the admit re-check
+    // after the scan (version raised) — it can never pair the old horizon
+    // with the new version and key a stale bitmap under it.
+    const uint64_t version = seg->version();
     // Version-keyed entries describe the segment at its latest applied
     // horizon; a reader pinned below that horizon sees different rows and
     // must scan directly.
@@ -400,7 +406,6 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
       TV_RETURN_NOT_OK_STMT(status);
       continue;
     }
-    const uint64_t version = seg->version();
     const cache::CacheKey key = cache::BitmapKey(pred_fp, seg->id(), version);
     if (cache::QueryCache::BitmapPtr bits = cache->LookupBitmap(key)) {
       if (probe != nullptr) probe->hits += 1;
@@ -428,8 +433,11 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
     });
     TV_RETURN_NOT_OK_STMT(status);
     // Admit only if no commit or vacuum raced with the scan; a racing
-    // writer would leave the bitmap describing neither version.
-    if (seg->version() == version) {
+    // writer would leave the bitmap describing neither version. The
+    // horizon re-check is belt-and-braces for the window where a racing
+    // mutation has raised last_applied_tid but its version bump is not
+    // yet visible to this thread.
+    if (seg->version() == version && seg->last_applied_tid() <= read_tid) {
       cache->InsertBitmap(key, std::move(fresh));
     }
   }

@@ -36,8 +36,8 @@ TEST(FingerprintTest, ExactValuePins) {
   EXPECT_EQ(s.lo, 0x192eb386ccd63e44ULL);
   const std::vector<uint64_t> ids = {3, 7, 11};
   const Fingerprint u = cache::FingerprintIdSetUnordered(ids);
-  EXPECT_EQ(u.hi, 0xdd124d0332efc8e3ULL);
-  EXPECT_EQ(u.lo, 0xeabd14a7b2eaa9d4ULL);
+  EXPECT_EQ(u.hi, 0xd051c81a8bcb1e00ULL);
+  EXPECT_EQ(u.lo, 0xe12c4545c37feb44ULL);
   const float q[4] = {1.0f, 2.0f, 3.0f, 4.0f};
   const Fingerprint b = cache::FingerprintBytes(q, sizeof(q));
   EXPECT_EQ(b.hi, 0x0db431570f940fb2ULL);
@@ -130,6 +130,21 @@ TEST(ShardedLruTest, OversizedEntryNotAdmitted) {
   EXPECT_FALSE(lru.Lookup(Key(9), &out));
   EXPECT_TRUE(lru.Lookup(Key(1), &out));  // nothing was evicted for it
   EXPECT_EQ(lru.entries(), 1u);
+}
+
+TEST(ShardedLruTest, OversizedReplacementKeepsExistingEntry) {
+  // A replacement that cannot be admitted must leave the previously cached
+  // entry intact (keys are content-addressed, so the old value is still
+  // valid) and count no eviction for it.
+  ShardedLruCache<int> lru(100, 1);
+  lru.Insert(Key(1), 101, 40);
+  EXPECT_EQ(lru.Insert(Key(1), 999, 500), 0u);  // larger than the shard
+  int out = 0;
+  ASSERT_TRUE(lru.Lookup(Key(1), &out));
+  EXPECT_EQ(out, 101);
+  EXPECT_EQ(lru.entries(), 1u);
+  EXPECT_EQ(lru.bytes(), 40u);
+  EXPECT_EQ(lru.evictions(), 0u);
 }
 
 TEST(ShardedLruTest, ReplaceUpdatesBytes) {
