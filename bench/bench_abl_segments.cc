@@ -40,5 +40,42 @@ int main(int argc, char** argv) {
     PrintRow({std::to_string(num_segments), std::to_string(capacity),
               Fmt(instance.build_seconds), Fmt(recall, 4), Fmt(ms, 3)});
   }
+
+  // SQ8 quantization A/B (Sec. 3.2 storage/perf trade-off): the same
+  // dataset with the embedding attribute pinned to fp32 vs QUANT=SQ8 at a
+  // fixed 16-segment layout. SQ8 rows sweep the rerank budget: quantized
+  // scans rank on int8 codes and rescore the top rerank_factor*k with exact
+  // fp32, so rerank=1 is the cheapest (and lowest-recall) setting and
+  // larger budgets buy recall back with more exact rescores.
+  PrintHeader("Ablation: SQ8 quantization A/B (" + std::to_string(n) +
+              " vectors, 16 segments, k=" + std::to_string(k) + ", ef=128)");
+  PrintRow({"quant", "rerank", "build s", "recall", "latency ms", "reranked/q"});
+  const uint32_t ab_capacity = static_cast<uint32_t>((n + 15) / 16);
+  for (const bool sq8 : {false, true}) {
+    auto instance = LoadTigerVector(dataset, ab_capacity, 16, 128,
+                                    sq8 ? QuantOption::kSq8 : QuantOption::kOff);
+    for (const size_t rerank : sq8 ? std::vector<size_t>{1, 2, 3}
+                                   : std::vector<size_t>{0}) {
+      RecallMeter meter;
+      size_t reranked = 0;
+      Timer timer;
+      for (size_t q = 0; q < nq; ++q) {
+        VectorSearchRequest request;
+        request.attrs = {{"Item", "emb"}};
+        request.query = dataset.QueryVector(q);
+        request.k = k;
+        request.ef = 128;
+        request.rerank_factor = rerank;
+        auto result = instance.db->embeddings()->TopKSearch(request);
+        if (!result.ok()) std::abort();
+        reranked += result->reranked;
+        meter.Add(HitsRecall(dataset, q, result->hits, k));
+      }
+      const double ms = timer.ElapsedMillis() / nq;
+      PrintRow({sq8 ? "sq8" : "off", sq8 ? std::to_string(rerank) + "x" : "-",
+                Fmt(instance.build_seconds), Fmt(meter.Mean(), 4), Fmt(ms, 3),
+                std::to_string(reranked / nq)});
+    }
+  }
   return 0;
 }

@@ -62,7 +62,7 @@ size_t ClientThreads() { return EnvSize("TV_BENCH_THREADS", 16); }
 
 TigerVectorInstance LoadTigerVector(const VectorDataset& dataset,
                                     uint32_t segment_capacity, size_t m,
-                                    size_t ef_construction) {
+                                    size_t ef_construction, QuantOption quant) {
   TigerVectorInstance instance;
   Database::Options options;
   options.store.segment_capacity = segment_capacity;
@@ -75,6 +75,7 @@ TigerVectorInstance LoadTigerVector(const VectorDataset& dataset,
   info.dimension = dataset.dim;
   info.model = "bench";
   info.metric = dataset.metric;
+  info.quant = quant;
   auto vt = instance.db->schema()->CreateVertexType("Item", {});
   if (!vt.ok()) std::abort();
   if (!instance.db->schema()->AddEmbeddingAttr("Item", "emb", info).ok()) {

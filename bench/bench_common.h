@@ -40,10 +40,13 @@ struct TigerVectorInstance {
 };
 
 // Loads `dataset` into a fresh database. segment_capacity controls the
-// per-segment index size (paper Sec. 4.2).
+// per-segment index size (paper Sec. 4.2); quant pins the embedding
+// attribute's quantization in the schema so A/B sweeps don't depend on the
+// TV_QUANT environment (which is resolved once per process).
 TigerVectorInstance LoadTigerVector(const VectorDataset& dataset,
                                     uint32_t segment_capacity = 8192,
-                                    size_t m = 16, size_t ef_construction = 128);
+                                    size_t m = 16, size_t ef_construction = 128,
+                                    QuantOption quant = QuantOption::kDefault);
 
 // recall@k of one hit list (labels in base-index space) against the ground
 // truth of query q. Thin adapter over the shared RecallBetween so every

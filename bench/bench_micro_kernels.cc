@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/distance.h"
+#include "simd/sq8.h"
 #include "util/rng.h"
 
 namespace tigervector {
@@ -151,6 +152,85 @@ void BM_DistanceBatch(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * kRows * dim * sizeof(float));
 }
 BENCHMARK(BM_DistanceBatch)->Apply(AbSweep);
+
+// --- SQ8 int8 kernels ---
+//
+// Same A/B convention as the fp32 kernels: range(1)==0 pins the scalar
+// int8 kernel, range(1)==1 the dispatched one. The results are bit-identical
+// (pure integer arithmetic), so the A/B is purely about throughput.
+const simd::Sq8KernelTable* Sq8AbTable(int64_t which) {
+  return which == 0 ? simd::Sq8KernelsFor(simd::IsaLevel::kScalar)
+                    : simd::Sq8KernelsFor(simd::ActiveIsa());
+}
+
+std::vector<int8_t> RandomCodes(size_t count, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int8_t> codes(count * dim);
+  for (int8_t& c : codes) {
+    c = static_cast<int8_t>(static_cast<int64_t>(rng.NextBounded(255)) - 127);
+  }
+  return codes;
+}
+
+void BM_Sq8L2Kernel(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  const simd::Sq8KernelTable* table = Sq8AbTable(state.range(1));
+  SetIsaLabel(state, state.range(1));
+  auto codes = RandomCodes(2, dim, 41);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->l2(codes.data(), codes.data() + dim, dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 2 * dim * sizeof(int8_t));
+}
+
+void BM_Sq8DotKernel(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  const simd::Sq8KernelTable* table = Sq8AbTable(state.range(1));
+  SetIsaLabel(state, state.range(1));
+  auto codes = RandomCodes(2, dim, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->dot(codes.data(), codes.data() + dim, dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 2 * dim * sizeof(int8_t));
+}
+BENCHMARK(BM_Sq8L2Kernel)->Apply(AbSweep);
+BENCHMARK(BM_Sq8DotKernel)->Apply(AbSweep);
+
+// The quantization acceptance gate: the SQ8 batched L2 scan must be >= 2x
+// the items/sec of the dispatched fp32 batched scan at dim 768 (compare
+// against BM_DistanceBatch/768/1). Codes are 4x smaller than floats and the
+// int8 kernel does ~2 elements per pmaddwd lane, so the scan is memory- and
+// compute-cheaper; this pins that it actually materializes end to end.
+void BM_Sq8DistanceBatch(benchmark::State& state) {
+  const size_t dim = state.range(0);
+  const bool gather = state.range(1) != 0;
+  state.SetLabel(gather ? "gather" : "contiguous");
+  constexpr size_t kRows = 1024;
+  auto query = RandomCodes(1, dim, 43);
+  auto rows = RandomCodes(kRows, dim, 44);
+  const int64_t query_norm = simd::Sq8CodeNorm(query.data(), dim);
+  std::vector<const int8_t*> row_ptrs(kRows);
+  for (size_t i = 0; i < kRows; ++i) row_ptrs[i] = rows.data() + i * dim;
+  std::vector<float> dists(kRows);
+  constexpr float kScale = 0.05f;
+  for (auto _ : state) {
+    if (gather) {
+      simd::Sq8DistanceBatchGather(Metric::kL2, query.data(), query_norm, kScale,
+                                   row_ptrs.data(), nullptr, dim, kRows,
+                                   dists.data());
+    } else {
+      simd::Sq8DistanceBatch(Metric::kL2, query.data(), query_norm, kScale,
+                             rows.data(), nullptr, dim, kRows, dists.data());
+    }
+    benchmark::DoNotOptimize(dists.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.SetBytesProcessed(state.iterations() * kRows * dim * sizeof(int8_t));
+}
+BENCHMARK(BM_Sq8DistanceBatch)->Apply(AbSweep);
 
 // Shared index for the search benchmarks (built once).
 HnswIndex* SharedIndex(size_t n, size_t dim) {

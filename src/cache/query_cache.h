@@ -284,6 +284,8 @@ class QueryCache {
     size_t segments_searched = 0;
     size_t bruteforce_segments = 0;
     size_t delta_candidates = 0;
+    size_t quant_segments = 0;  // so hit-path EXPLAIN ANALYZE stays faithful
+    size_t reranked = 0;
   };
 
   using BitmapPtr = std::shared_ptr<const Bitmap>;

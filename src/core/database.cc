@@ -2,14 +2,16 @@
 
 #include "embedding/embedding_type.h"
 #include "simd/distance.h"
+#include "simd/sq8.h"
 
 namespace tigervector {
 
 Database::Database(Options options) : options_(std::move(options)) {
-  // Resolve the distance-kernel dispatch up front so the selected ISA is
-  // logged (and the tv.simd.isa gauge set) at open time, not on the first
-  // search.
+  // Resolve the distance-kernel dispatch and quantization mode up front so
+  // the selected ISA / TV_QUANT choice is logged (and the tv.simd.isa /
+  // tv.quant.mode gauges set) at open time, not on the first search.
   simd::ActiveIsa();
+  simd::ActiveQuantMode();
   cache_ = std::make_unique<cache::QueryCache>(options_.cache);
   store_ = std::make_unique<GraphStore>(&schema_, options_.store);
   embeddings_ = std::make_unique<EmbeddingService>(store_.get(), options_.embeddings);
@@ -112,6 +114,7 @@ Result<VertexSet> Database::VectorSearch(
   request.query = query.data();
   request.k = k;
   request.ef = options.ef;
+  request.rerank_factor = options.rerank_factor;
   request.pool = pool_.get();
   // Pin the MVCC horizon once, before any per-attribute work: every segment
   // search answers at exactly this tid and the result cache keys on it.
@@ -176,6 +179,14 @@ Result<VectorSearchResult> Database::CachedTopK(
   fp = cache::CombineFingerprint(fp, request.k);
   fp = cache::CombineFingerprint(fp, request.ef);
   fp = cache::CombineFingerprint(fp, request.bruteforce_threshold);
+  // Quantized and exact scans return different (both correct) approximate
+  // answers, and the rerank budget shapes the quantized one — salt the key
+  // with both so TV_QUANT / rerank_factor A/B runs never share entries.
+  fp = cache::CombineFingerprint(
+      fp, static_cast<uint64_t>(simd::ActiveQuantMode()));
+  fp = cache::CombineFingerprint(fp, request.rerank_factor != 0
+                                         ? request.rerank_factor
+                                         : simd::DefaultRerankFactor());
   const uint64_t structure_version = embeddings_->structure_version();
   const cache::CacheKey key =
       cache::TopKKey(fp, filter_fp, request.read_tid, structure_version);
@@ -189,6 +200,8 @@ Result<VectorSearchResult> Database::CachedTopK(
     cached.segments_searched = entry->segments_searched;
     cached.bruteforce_segments = entry->bruteforce_segments;
     cached.delta_candidates = entry->delta_candidates;
+    cached.quant_segments = entry->quant_segments;
+    cached.reranked = entry->reranked;
     return cached;
   }
   if (outcome != nullptr) *outcome = cache::Outcome::kMiss;
@@ -206,6 +219,8 @@ Result<VectorSearchResult> Database::CachedTopK(
     entry->segments_searched = result->segments_searched;
     entry->bruteforce_segments = result->bruteforce_segments;
     entry->delta_candidates = result->delta_candidates;
+    entry->quant_segments = result->quant_segments;
+    entry->reranked = result->reranked;
     cache_->InsertTopK(key, std::move(entry));
   }
   return result;

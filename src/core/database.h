@@ -111,6 +111,9 @@ class Database {
     // Skip the top-k result cache for this call (both lookup and insert).
     // Used by differential tests comparing cached vs uncached answers.
     bool bypass_cache = false;
+    // Rerank multiple for quantized (SQ8) scans; 0 uses the process default
+    // (TV_RERANK_FACTOR). Part of the result-cache key either way.
+    size_t rerank_factor = 0;
     // When non-null, receives whether the top-k cache hit, missed, or was
     // bypassed — EXPLAIN ANALYZE's `cache:` node detail.
     cache::Outcome* cache_outcome = nullptr;

@@ -7,6 +7,7 @@
 #include "hnsw/flat_index.h"
 #include "hnsw/ivf_index.h"
 #include "obs/metrics.h"
+#include "simd/sq8.h"
 #include "obs/trace.h"
 #include "util/io.h"
 #include "util/thread_pool.h"
@@ -22,17 +23,22 @@ constexpr uint64_t kDeltaFileMagic = 0x54475644'454c5432ULL;  // "TGVDELT2"
 // embedding type decides which native index backs each segment).
 std::unique_ptr<VectorIndex> CreateVectorIndex(const EmbeddingTypeInfo& info,
                                                const HnswParams& params) {
+  const bool sq8 = QuantEnabled(info);
   switch (info.index) {
-    case VectorIndexType::kHnsw:
-      return std::make_unique<HnswIndex>(params);
+    case VectorIndexType::kHnsw: {
+      HnswParams hnsw = params;
+      hnsw.sq8 = sq8;
+      return std::make_unique<HnswIndex>(hnsw);
+    }
     case VectorIndexType::kFlat:
-      return std::make_unique<FlatIndex>(params.dim, params.metric);
+      return std::make_unique<FlatIndex>(params.dim, params.metric, sq8);
     case VectorIndexType::kIvfFlat: {
       IvfParams ivf;
       ivf.dim = params.dim;
       ivf.metric = params.metric;
       ivf.nlist = std::max<size_t>(8, params.max_elements / 128);
       ivf.seed = params.seed;
+      ivf.sq8 = sq8;
       return std::make_unique<IvfFlatIndex>(ivf);
     }
   }
@@ -220,6 +226,10 @@ Result<size_t> EmbeddingSegment::IndexMerge(Tid up_to_tid, ThreadPool* pool) {
   // Runs unlocked so searches and commits proceed; the shared_ptr keeps the
   // index alive even if a concurrent RebuildIndex swaps in a fresh one.
   TV_RETURN_NOT_OK(index->UpdateItems(items, pool));
+  // Merge-triggered requantization: the segment's value distribution just
+  // changed, so refresh the SQ8 statistics and codes (no-op on fp32-only
+  // indexes). Also unlocked — concurrent searches keep their tier snapshot.
+  TV_RETURN_NOT_OK(index->TrainQuantization());
 
   // Retire the merged files and advance the merged horizon; this is the
   // snapshot switch point (paper Fig. 4).
@@ -300,6 +310,7 @@ Status EmbeddingSegment::RebuildIndex(ThreadPool* pool) {
     for (size_t i = 0; i < entries.size(); ++i) add_one(i);
   }
   TV_RETURN_NOT_OK(status);
+  TV_RETURN_NOT_OK(fresh->TrainQuantization());
   for (DeltaFile& f : pending_.sealed) {
     if (!f.path.empty()) (void)io::RemoveFile(f.path);
   }
@@ -380,9 +391,18 @@ EmbeddingSegment::SearchOutput EmbeddingSegment::TopKSearch(
         base_vid_, base_vid_ + capacity_);
     bruteforce = valid < options.bruteforce_threshold;
   }
-  std::vector<SearchHit> index_hits =
-      bruteforce ? index_->BruteForceSearch(query, options.k, composite)
-                 : index_->TopKSearch(query, options.k, options.ef, composite);
+  // Per-query quantization scope: lets the index rank on SQ8 codes (when a
+  // trained tier exists) with this query's rerank factor, and reports back
+  // how many candidates the index actually reranked.
+  std::vector<SearchHit> index_hits;
+  {
+    simd::ScopedQuantQuery quant_scope(true, options.rerank_factor);
+    index_hits = bruteforce
+                     ? index_->BruteForceSearch(query, options.k, composite)
+                     : index_->TopKSearch(query, options.k, options.ef, composite);
+    out.used_quant = quant_scope.quant_scans() > 0;
+    out.reranked = quant_scope.reranked();
+  }
   out.used_bruteforce = bruteforce;
 
   TopKHeap<VertexId> heap(options.k);
@@ -433,6 +453,10 @@ EmbeddingSegment::SearchOutput EmbeddingSegment::RangeSearch(
         base_vid_, base_vid_ + capacity_);
     bruteforce = valid < options.bruteforce_threshold;
   }
+  // Range answers stay exact: disable quantized scans for the whole call
+  // (the index's own RangeSearch also pins this, but the brute-force tier
+  // here would otherwise approximate).
+  simd::ScopedQuantQuery exact_scope(false, 0);
   if (bruteforce) {
     for (const SearchHit& h :
          index_->BruteForceSearch(query, index_->size(), composite)) {

@@ -96,12 +96,17 @@ class EmbeddingSegment {
     // When a filter bitmap leaves fewer than this many valid points in the
     // segment, fall back to exact scan (paper Sec. 5.1). 0 disables.
     size_t bruteforce_threshold = 0;
+    // Rerank multiple for quantized scans (candidates kept = factor * k);
+    // 0 uses the process default (TV_RERANK_FACTOR, normally 3).
+    size_t rerank_factor = 0;
   };
 
   struct SearchOutput {
     std::vector<SearchHit> hits;
     bool used_bruteforce = false;
     size_t delta_candidates = 0;
+    bool used_quant = false;     // the index ranked on SQ8 codes
+    size_t reranked = 0;         // candidates rescored with exact fp32
   };
 
   // Combines index-snapshot search with a brute-force scan over pending

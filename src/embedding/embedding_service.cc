@@ -185,6 +185,8 @@ Result<VectorSearchResult> EmbeddingService::FanOut(const VectorSearchRequest& r
     EmbeddingSegment::SearchOutput out = segment_fn(*segments[i]);
     std::lock_guard<std::mutex> lock(merge_mu);
     if (out.used_bruteforce) ++result.bruteforce_segments;
+    if (out.used_quant) ++result.quant_segments;
+    result.reranked += out.reranked;
     result.delta_candidates += out.delta_candidates;
     result.hits.insert(result.hits.end(), out.hits.begin(), out.hits.end());
   };
@@ -210,6 +212,7 @@ Result<VectorSearchResult> EmbeddingService::TopKSearch(
   seg_options.bruteforce_threshold = request.bruteforce_threshold != 0
                                          ? request.bruteforce_threshold
                                          : options_.bruteforce_threshold;
+  seg_options.rerank_factor = request.rerank_factor;
   auto result = FanOut(request, [&](const EmbeddingSegment& segment) {
     return segment.TopKSearch(request.query, seg_options);
   });

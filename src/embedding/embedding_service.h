@@ -30,6 +30,8 @@ struct VectorSearchRequest {
   Tid read_tid = kMaxTid;
   // Per-segment brute-force fallback threshold; 0 uses the service default.
   size_t bruteforce_threshold = 0;
+  // Rerank multiple for quantized (SQ8) scans; 0 uses the process default.
+  size_t rerank_factor = 0;
   // When non-null, only segments with segment_mask[seg_id % mask_size]
   // semantics... restricted to these segment ids (used by the MPP layer to
   // scope a request to one logical server's shard). Empty -> all segments.
@@ -42,6 +44,8 @@ struct VectorSearchResult {
   size_t segments_searched = 0;
   size_t bruteforce_segments = 0;  // segments that took the exact-scan path
   size_t delta_candidates = 0;     // candidates served from the delta overlay
+  size_t quant_segments = 0;       // segments that ranked on SQ8 codes
+  size_t reranked = 0;             // candidates rescored with exact fp32
 };
 
 // The embedding service module (paper Sec. 4.2): owns every embedding

@@ -1,5 +1,7 @@
 #include "embedding/embedding_type.h"
 
+#include "simd/sq8.h"
+
 namespace tigervector {
 
 namespace {
@@ -35,8 +37,27 @@ std::string EmbeddingTypeInfo::ToString() const {
   out += DataTypeName(data_type);
   out += ", METRIC=";
   out += MetricName(metric);
+  // QUANT only appears when pinned, so schemas written before the option
+  // existed round-trip byte-identical.
+  if (quant == QuantOption::kOff) {
+    out += ", QUANT=OFF";
+  } else if (quant == QuantOption::kSq8) {
+    out += ", QUANT=SQ8";
+  }
   out += ")";
   return out;
+}
+
+bool QuantEnabled(const EmbeddingTypeInfo& info) {
+  switch (info.quant) {
+    case QuantOption::kOff:
+      return false;
+    case QuantOption::kSq8:
+      return true;
+    case QuantOption::kDefault:
+      break;
+  }
+  return simd::ActiveQuantMode() == simd::QuantMode::kSq8;
 }
 
 Status CheckCompatible(const EmbeddingTypeInfo& a, const EmbeddingTypeInfo& b) {
@@ -56,7 +77,8 @@ Status CheckCompatible(const EmbeddingTypeInfo& a, const EmbeddingTypeInfo& b) {
     return Status::Incompatible(std::string("embedding metric mismatch: ") +
                                 MetricName(a.metric) + " vs " + MetricName(b.metric));
   }
-  // Index type is deliberately not compared.
+  // Index type and quantization are deliberately not compared: both change
+  // how vectors are searched, never what the vectors mean.
   return Status::OK();
 }
 

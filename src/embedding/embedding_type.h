@@ -18,6 +18,10 @@ enum class VectorIndexType : uint8_t { kHnsw = 0, kFlat = 1, kIvfFlat = 2 };
 // Element type of stored vectors.
 enum class VectorDataType : uint8_t { kFloat32 = 0 };
 
+// Per-attribute quantization choice. kDefault defers to the process-wide
+// TV_QUANT mode; QUANT = SQ8 / QUANT = OFF in the schema pin it either way.
+enum class QuantOption : uint8_t { kDefault = 0, kOff = 1, kSq8 = 2 };
+
 // Metadata of the `embedding` attribute type (paper Sec. 4.1): the vector is
 // not just a LIST<FLOAT> — dimensionality, generating model, index choice,
 // element type, and similarity metric are first-class schema properties.
@@ -27,9 +31,14 @@ struct EmbeddingTypeInfo {
   VectorIndexType index = VectorIndexType::kHnsw;
   VectorDataType data_type = VectorDataType::kFloat32;
   Metric metric = Metric::kCosine;
+  QuantOption quant = QuantOption::kDefault;
 
   std::string ToString() const;
 };
+
+// Resolves the attribute's effective quantization: an explicit schema
+// option wins; kDefault falls back to the process-wide TV_QUANT mode.
+bool QuantEnabled(const EmbeddingTypeInfo& info);
 
 // Two embedding attributes may participate in the same vector search iff
 // everything except the index type matches (paper Sec. 4.1: "If all aspects

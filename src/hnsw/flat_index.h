@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hnsw/vector_index.h"
+#include "simd/sq8.h"
 
 namespace tigervector {
 
@@ -15,7 +16,8 @@ namespace tigervector {
 // that additional index types slot into TigerVector (paper Sec. 4.4).
 class FlatIndex : public VectorIndex {
  public:
-  FlatIndex(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+  FlatIndex(size_t dim, Metric metric, bool sq8 = false)
+      : dim_(dim), metric_(metric), sq8_(sq8) {}
 
   Status AddPoint(uint64_t label, const float* vec) override;
   Status UpdateItems(const std::vector<VectorIndexUpdate>& items,
@@ -43,6 +45,11 @@ class FlatIndex : public VectorIndex {
   std::vector<uint64_t> Labels() const override;
   std::string index_type() const override { return "FLAT"; }
 
+  // (Re)trains the SQ8 tier from the stored rows; everything happens under
+  // the index's exclusive lock, so unlike HNSW there are no racy encodes.
+  Status TrainQuantization() override;
+  bool quant_active() const override;
+
  private:
   struct Slot {
     bool deleted = false;
@@ -51,11 +58,19 @@ class FlatIndex : public VectorIndex {
 
   size_t dim_;
   Metric metric_;
+  bool sq8_;
   mutable std::shared_mutex mu_;
   std::unordered_map<uint64_t, Slot> slots_;
   std::vector<float> data_;
   std::vector<uint64_t> order_;  // label per stored row
   size_t live_ = 0;
+
+  // SQ8 tier (maintained only once trained): codes_ parallels data_ byte
+  // for float, norms_ holds one code self-dot per stored row.
+  bool quant_trained_ = false;
+  simd::Sq8Params qparams_;
+  std::vector<int8_t> codes_;
+  std::vector<int64_t> norms_;
 };
 
 }  // namespace tigervector

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/io.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 #include "util/topk_heap.h"
 
@@ -18,6 +19,10 @@ namespace tigervector {
 namespace {
 constexpr uint32_t kInvalidId = UINT32_MAX;
 constexpr uint64_t kFileMagic = 0x54475648'4e535731ULL;  // "TGVHNSW1"
+// Quantizer trailer appended after the v1 body. v1 readers stop at the end
+// of the body, so the trailer is invisible to them; a missing trailer means
+// a legacy fp32-only snapshot.
+constexpr uint64_t kQuantTrailerMagic = 0x54475651'38543152ULL;  // "TGVQ8T1R"
 
 #if defined(__SANITIZE_THREAD__)
 #define TV_NO_SANITIZE_THREAD __attribute__((no_sanitize_thread))
@@ -40,6 +45,35 @@ constexpr uint64_t kFileMagic = 0x54475648'4e535731ULL;  // "TGVHNSW1"
 TV_NO_SANITIZE_THREAD void RelaxedCopyVector(float* dst, const float* src,
                                              size_t n) {
   for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+// In-place code overwrite for the SQ8 tier (same benign-race contract as
+// RelaxedCopyVector): a concurrent quantized search may observe a torn code
+// row, which only perturbs that query's candidate ranking — never its
+// reported distances, which are reranked against exact fp32.
+TV_NO_SANITIZE_THREAD void RelaxedEncodeRow(const simd::Sq8Params& params,
+                                            const float* vec, size_t dim,
+                                            int8_t* codes, int64_t* norm) {
+  simd::Sq8Encode(params, vec, dim, codes);
+  *norm = simd::Sq8CodeNorm(codes, dim);
+}
+
+// FNV-1a over the trailer's parameter bytes: cheap tear detection for the
+// crash-recovery path (a torn trailer must demote the index to fp32, never
+// install garbage quantizer statistics).
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t QuantParamsChecksum(const simd::Sq8Params& p) {
+  uint64_t h = Fnv1a(&p.scale, sizeof(p.scale), 1469598103934665603ULL);
+  h = Fnv1a(p.min.data(), p.min.size() * sizeof(float), h);
+  return Fnv1a(p.max.data(), p.max.size() * sizeof(float), h);
 }
 
 // Per-instance stats stay authoritative for per-segment attribution; the
@@ -121,6 +155,43 @@ float HnswIndex::Dist(const float* query, uint32_t id) const {
   return ComputeDistance(params_.metric, query, DataAt(id), params_.dim);
 }
 
+void HnswIndex::ScoreBatchGather(const float* query, const Sq8View* qv,
+                                 const uint32_t* ids, size_t n, float* dists,
+                                 float threshold) const {
+  if (qv == nullptr) {
+    const float* rows[kScanBatch];
+    for (size_t j = 0; j < n; ++j) rows[j] = DataAt(ids[j]);
+    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n, dists,
+                               threshold);
+    CountDistComps(stat_dist_comps_, n);
+    return;
+  }
+  const int8_t* crows[kScanBatch];
+  int64_t cnorms[kScanBatch];
+  size_t qpos[kScanBatch];
+  float qdists[kScanBatch];
+  size_t nq = 0;
+  for (size_t j = 0; j < n; ++j) {
+    const uint32_t id = ids[j];
+    if (id < qv->encoded) {
+      crows[nq] = qv->tier->codes.data() + size_t{id} * params_.dim;
+      cnorms[nq] = qv->tier->norms[id];
+      qpos[nq] = j;
+      ++nq;
+    } else {
+      // Inserted after training: no codes yet, score exact.
+      dists[j] = ComputeDistance(params_.metric, query, DataAt(id), params_.dim);
+    }
+  }
+  if (nq > 0) {
+    simd::Sq8DistanceBatchGather(params_.metric, qv->qcode, qv->qnorm,
+                           qv->tier->params.scale, crows, cnorms, params_.dim, nq,
+                           qdists, threshold);
+    for (size_t j = 0; j < nq; ++j) dists[qpos[j]] = qdists[j];
+  }
+  CountDistComps(stat_dist_comps_, n);
+}
+
 int HnswIndex::DrawLevel() {
   double u = level_rng_.NextDouble();
   if (u < 1e-12) u = 1e-12;
@@ -165,7 +236,8 @@ uint32_t HnswIndex::GreedySearchLayer(const float* query, uint32_t entry,
 
 std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
                                                          uint32_t entry, size_t ef,
-                                                         int level) const {
+                                                         int level,
+                                                         const Sq8View* qv) const {
   // top: max-heap of the ef closest found so far; frontier: min-heap of
   // nodes to expand.
   std::priority_queue<Candidate> top;
@@ -173,7 +245,9 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
       frontier;
   std::vector<uint8_t> visited(NodeCount(), 0);
 
-  const float entry_dist = Dist(query, entry);
+  float entry_dist;
+  ScoreBatchGather(query, qv, &entry, 1, &entry_dist,
+                   std::numeric_limits<float>::infinity());
   top.push(Candidate{entry_dist, entry});
   frontier.push(Candidate{entry_dist, entry});
   visited[entry] = 1;
@@ -192,20 +266,14 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
     }
     // Neighbor expansion is the hot loop of HNSW search: score all
     // unvisited neighbors of the popped node in one batched kernel call
-    // (prefetching upcoming rows), then admit survivors one by one.
-    const float* rows[kScanBatch];
+    // (prefetching upcoming rows), then admit survivors one by one. With a
+    // quant view the batch ranks on int8 codes instead of fp32 rows.
     uint32_t ids[kScanBatch];
     float dists[kScanBatch];
     size_t n = 0;
-    for (uint32_t nb : neighbors) {
-      if (nb >= visited.size() || visited[nb]) continue;
-      visited[nb] = 1;
-      ids[n] = nb;
-      rows[n] = DataAt(nb);
-      if (++n < kScanBatch) continue;
-      ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n,
-                                 dists);
-      CountDistComps(stat_dist_comps_, n);
+    auto admit = [&] {
+      ScoreBatchGather(query, qv, ids, n, dists,
+                       std::numeric_limits<float>::infinity());
       for (size_t j = 0; j < n; ++j) {
         if (top.size() < ef || dists[j] < top.top().distance) {
           top.push(Candidate{dists[j], ids[j]});
@@ -214,19 +282,14 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
         }
       }
       n = 0;
+    };
+    for (uint32_t nb : neighbors) {
+      if (nb >= visited.size() || visited[nb]) continue;
+      visited[nb] = 1;
+      ids[n] = nb;
+      if (++n == kScanBatch) admit();
     }
-    if (n > 0) {
-      ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n,
-                                 dists);
-      CountDistComps(stat_dist_comps_, n);
-      for (size_t j = 0; j < n; ++j) {
-        if (top.size() < ef || dists[j] < top.top().distance) {
-          top.push(Candidate{dists[j], ids[j]});
-          if (top.size() > ef) top.pop();
-          frontier.push(Candidate{dists[j], ids[j]});
-        }
-      }
-    }
+    if (n > 0) admit();
   }
 
   std::vector<Candidate> out;
@@ -353,6 +416,18 @@ Status HnswIndex::InsertInternal(uint64_t label, const float* vec) {
                 params_.dim * sizeof(float));
     node_count_.store(static_cast<uint32_t>(nodes_.size()),
                       std::memory_order_release);
+    // Inserts are serialized under global_mu_ with dense ids, so extending
+    // the encoded prefix here keeps it contiguous: searches taking an
+    // `encoded` snapshot never see a gap.
+    if (sq8_tier_ != nullptr &&
+        sq8_tier_->encoded.load(std::memory_order_relaxed) == id) {
+      Sq8Tier* tier = sq8_tier_.get();
+      simd::Sq8Encode(tier->params, vec, params_.dim,
+                      tier->codes.data() + size_t{id} * params_.dim);
+      tier->norms[id] = simd::Sq8CodeNorm(
+          tier->codes.data() + size_t{id} * params_.dim, params_.dim);
+      tier->encoded.store(id + 1, std::memory_order_release);
+    }
     entry = entry_point_;
     search_from_level = max_level_;
     if (entry_point_ == kInvalidId) {
@@ -394,6 +469,21 @@ Status HnswIndex::UpdateInternal(uint32_t id, const float* vec) {
     if (nodes_[id].deleted) {
       nodes_[id].deleted = false;
       live_count_.fetch_add(1);
+    }
+  }
+  {
+    // Keep the code row of an in-place update in sync with its fp32 row
+    // (stale segment params are fine — the rerank is exact; stale codes
+    // pointing at the old vector would not be).
+    std::shared_ptr<Sq8Tier> tier;
+    {
+      std::lock_guard<std::mutex> lock(global_mu_);
+      tier = sq8_tier_;
+    }
+    if (tier != nullptr && id < tier->encoded.load(std::memory_order_acquire)) {
+      RelaxedEncodeRow(tier->params, vec, params_.dim,
+                       tier->codes.data() + size_t{id} * params_.dim,
+                       &tier->norms[id]);
     }
   }
   // Repair the updated node's out-links level by level: its old neighbors
@@ -590,20 +680,60 @@ std::vector<SearchHit> HnswIndex::TopKSearch(const float* query, size_t k, size_
   std::vector<SearchHit> out;
   uint32_t entry;
   int top_level;
+  std::shared_ptr<Sq8Tier> tier;
   {
     std::lock_guard<std::mutex> lock(global_mu_);
     entry = entry_point_;
     top_level = max_level_;
+    tier = sq8_tier_;
   }
   if (entry == kInvalidId || k == 0) return out;
   ef = std::max(ef, k);
 
+  const bool use_quant = tier != nullptr && simd::ScopedQuantQuery::Enabled();
+
   uint32_t curr = entry;
+  // The greedy upper-layer descent stays fp32: it touches O(log n) nodes,
+  // so quantizing it saves nothing measurable and would add a second place
+  // recall can leak.
   for (int level = top_level; level > 0; --level) {
     curr = GreedySearchLayer(query, curr, level);
   }
-  std::vector<Candidate> cands = SearchLayer(query, curr, ef, 0);
-  out.reserve(std::min(k, cands.size()));
+
+  if (!use_quant) {
+    std::vector<Candidate> cands = SearchLayer(query, curr, ef, 0);
+    out.reserve(std::min(k, cands.size()));
+    for (const Candidate& c : cands) {
+      uint64_t label;
+      {
+        std::lock_guard<std::mutex> lock(node_locks_[c.id]);
+        const Node& node = nodes_[c.id];
+        if (node.deleted) continue;
+        label = node.label;
+      }
+      if (!filter.Accepts(label)) continue;
+      out.push_back(SearchHit{c.distance, label});
+      if (out.size() >= k) break;
+    }
+    return out;
+  }
+
+  // Quantized search: widen the beam to at least the rerank budget, rank it
+  // on int8 codes, then rescore the best rerank_factor*k surviving
+  // candidates with exact fp32 — reported distances are always exact.
+  const size_t budget =
+      std::max<size_t>(1, simd::ScopedQuantQuery::RerankFactor()) * k;
+  std::vector<int8_t> qcode(params_.dim);
+  simd::Sq8Encode(tier->params, query, params_.dim, qcode.data());
+  const Sq8View qv{tier.get(), qcode.data(),
+                   simd::Sq8CodeNorm(qcode.data(), params_.dim),
+                   tier->encoded.load(std::memory_order_acquire)};
+  std::vector<Candidate> cands =
+      SearchLayer(query, curr, std::max(ef, budget), 0, &qv);
+  std::vector<uint32_t> rids;
+  std::vector<uint64_t> rlabels;
+  rids.reserve(std::min(budget, cands.size()));
+  rlabels.reserve(std::min(budget, cands.size()));
   for (const Candidate& c : cands) {
     uint64_t label;
     {
@@ -613,15 +743,36 @@ std::vector<SearchHit> HnswIndex::TopKSearch(const float* query, size_t k, size_
       label = node.label;
     }
     if (!filter.Accepts(label)) continue;
-    out.push_back(SearchHit{c.distance, label});
-    if (out.size() >= k) break;
+    rids.push_back(c.id);
+    rlabels.push_back(label);
+    if (rids.size() >= budget) break;
   }
-  return out;
+  std::vector<float> exact(rids.size());
+  for (size_t j0 = 0; j0 < rids.size(); j0 += kScanBatch) {
+    const size_t bn = std::min(kScanBatch, rids.size() - j0);
+    ScoreBatchGather(query, nullptr, rids.data() + j0, bn, exact.data() + j0,
+                     std::numeric_limits<float>::infinity());
+  }
+  simd::NoteQuantScan(rids.size());
+  std::vector<SearchHit> reranked;
+  reranked.reserve(rids.size());
+  for (size_t j = 0; j < rids.size(); ++j) {
+    reranked.push_back(SearchHit{exact[j], rlabels[j]});
+  }
+  std::sort(reranked.begin(), reranked.end(), [](const SearchHit& a, const SearchHit& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.label < b.label;
+  });
+  if (reranked.size() > k) reranked.resize(k);
+  return reranked;
 }
 
 std::vector<SearchHit> HnswIndex::RangeSearch(const float* query, float threshold,
                                               size_t initial_k, size_t ef,
                                               const FilterView& filter) const {
+  // Range answers must stay exact in both engine tiers (the differential
+  // harness and the expanding-k median test both depend on true distances),
+  // so range search always runs on fp32 regardless of the quant tier.
+  simd::ScopedQuantQuery exact_scope(false, 0);
   size_t k = std::max<size_t>(1, initial_k);
   const size_t total = NodeCount();
   std::vector<SearchHit> hits;
@@ -644,17 +795,36 @@ std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
                                                    const FilterView& filter) const {
   TraceSearchCost cost_scope;
   const uint32_t count = NodeCount();
-  TopKHeap<uint32_t> top(k);
-  const float* rows[kScanBatch];
+  std::shared_ptr<Sq8Tier> tier;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    tier = sq8_tier_;
+  }
+  const bool use_quant =
+      tier != nullptr && simd::ScopedQuantQuery::Enabled() && k > 0;
+  // With a quant tier the scan ranks on int8 codes into a rerank_factor*k
+  // heap, then rescores the survivors exactly; without one it is the exact
+  // fp32 scan.
+  const size_t heap_k =
+      use_quant ? std::max<size_t>(1, simd::ScopedQuantQuery::RerankFactor()) * k
+                : k;
+  std::vector<int8_t> qcode;
+  Sq8View qv{nullptr, nullptr, 0, 0};
+  if (use_quant) {
+    qcode.resize(params_.dim);
+    simd::Sq8Encode(tier->params, query, params_.dim, qcode.data());
+    qv = Sq8View{tier.get(), qcode.data(),
+                 simd::Sq8CodeNorm(qcode.data(), params_.dim),
+                 tier->encoded.load(std::memory_order_acquire)};
+  }
+  TopKHeap<uint32_t> top(heap_k);
   uint32_t ids[kScanBatch];
   float dists[kScanBatch];
   size_t n = 0;
   auto flush = [&] {
     const float threshold = top.full() ? top.WorstDistance()
                                        : std::numeric_limits<float>::infinity();
-    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n, dists,
-                               threshold);
-    CountDistComps(stat_dist_comps_, n);
+    ScoreBatchGather(query, use_quant ? &qv : nullptr, ids, n, dists, threshold);
     for (size_t j = 0; j < n; ++j) {
       if (!top.WouldReject(dists[j])) top.Push(dists[j], ids[j]);
     }
@@ -669,21 +839,98 @@ std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
       label = node.label;
     }
     if (!filter.Accepts(label)) continue;
-    rows[n] = DataAt(id);
     ids[n] = id;
     if (++n == kScanBatch) flush();
   }
   if (n > 0) flush();
-  std::vector<SearchHit> out;
-  for (const auto& e : top.TakeSorted()) {
+  if (!use_quant) {
+    std::vector<SearchHit> out;
+    for (const auto& e : top.TakeSorted()) {
+      uint64_t label;
+      {
+        std::lock_guard<std::mutex> lock(node_locks_[e.id]);
+        label = nodes_[e.id].label;
+      }
+      out.push_back(SearchHit{e.distance, label});
+    }
+    return out;
+  }
+  // Rerank: exact fp32 over the approx-ranked survivors, then the true top k.
+  const auto approx = top.TakeSorted();
+  std::vector<uint32_t> rids;
+  rids.reserve(approx.size());
+  for (const auto& e : approx) rids.push_back(e.id);
+  std::vector<float> exact(rids.size());
+  for (size_t j0 = 0; j0 < rids.size(); j0 += kScanBatch) {
+    const size_t bn = std::min(kScanBatch, rids.size() - j0);
+    ScoreBatchGather(query, nullptr, rids.data() + j0, bn, exact.data() + j0,
+                     std::numeric_limits<float>::infinity());
+  }
+  simd::NoteQuantScan(rids.size());
+  std::vector<SearchHit> reranked;
+  reranked.reserve(rids.size());
+  for (size_t j = 0; j < rids.size(); ++j) {
     uint64_t label;
     {
-      std::lock_guard<std::mutex> lock(node_locks_[e.id]);
-      label = nodes_[e.id].label;
+      std::lock_guard<std::mutex> lock(node_locks_[rids[j]]);
+      label = nodes_[rids[j]].label;
     }
-    out.push_back(SearchHit{e.distance, label});
+    reranked.push_back(SearchHit{exact[j], label});
   }
-  return out;
+  std::sort(reranked.begin(), reranked.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.label < b.label;
+            });
+  if (reranked.size() > k) reranked.resize(k);
+  return reranked;
+}
+
+Status HnswIndex::TrainQuantization() {
+  if (!params_.sq8) return Status::OK();
+  const uint32_t count = NodeCount();
+  if (count == 0) return Status::OK();
+  // Pass 1: per-dimension min/max over every stored row (deleted rows too —
+  // they only widen the range, never skew it). Rows may race in-place
+  // updates; the annotated copy makes that benign torn read explicit.
+  std::vector<float> row(params_.dim);
+  simd::Sq8Trainer trainer(params_.dim);
+  for (uint32_t id = 0; id < count; ++id) {
+    RelaxedCopyVector(row.data(), DataAt(id), params_.dim);
+    trainer.Observe(row.data());
+  }
+  auto tier = std::make_shared<Sq8Tier>();
+  tier->params = trainer.Finish();
+  if (!tier->params.valid()) return Status::OK();
+  tier->codes.resize(params_.max_elements * params_.dim);
+  tier->norms.resize(params_.max_elements);
+  // Pass 2: encode everything observed so far.
+  for (uint32_t id = 0; id < count; ++id) {
+    RelaxedCopyVector(row.data(), DataAt(id), params_.dim);
+    int8_t* codes = tier->codes.data() + size_t{id} * params_.dim;
+    simd::Sq8Encode(tier->params, row.data(), params_.dim, codes);
+    tier->norms[id] = simd::Sq8CodeNorm(codes, params_.dim);
+  }
+  {
+    // Rows inserted while we trained get encoded under the same lock that
+    // serializes inserts, so the installed tier's prefix is gap-free.
+    std::lock_guard<std::mutex> lock(global_mu_);
+    for (uint32_t id = count; id < nodes_.size(); ++id) {
+      int8_t* codes = tier->codes.data() + size_t{id} * params_.dim;
+      simd::Sq8Encode(tier->params, DataAt(id), params_.dim, codes);
+      tier->norms[id] = simd::Sq8CodeNorm(codes, params_.dim);
+    }
+    tier->encoded.store(static_cast<uint32_t>(nodes_.size()),
+                        std::memory_order_release);
+    sq8_tier_ = std::move(tier);
+  }
+  TV_COUNTER_INC("tv.quant.trainings_total");
+  return Status::OK();
+}
+
+bool HnswIndex::quant_active() const {
+  std::lock_guard<std::mutex> lock(global_mu_);
+  return sq8_tier_ != nullptr;
 }
 
 size_t HnswIndex::size() const { return live_count_.load(); }
@@ -763,6 +1010,27 @@ Status HnswIndex::SaveToFile(const std::string& path) const {
     ok = ok && f.Write(data_.data() + i * params_.dim,
                        params_.dim * sizeof(float)).ok();
   }
+  // Quantizer trailer: mode byte plus (when trained) the per-dimension
+  // min/max statistics and derived scale, checksummed so recovery can tell
+  // a torn trailer from a trained one. Codes are NOT persisted — they are
+  // re-derived deterministically from the fp32 rows at load, which is what
+  // makes the rerank set bit-for-bit stable across crash/recover.
+  std::shared_ptr<Sq8Tier> tier;
+  {
+    std::lock_guard<std::mutex> lock(global_mu_);
+    tier = sq8_tier_;
+  }
+  const uint8_t quant_mode = params_.sq8 ? 1 : 0;
+  const uint8_t has_params = tier != nullptr ? 1 : 0;
+  ok = ok && WritePod(&f, kQuantTrailerMagic) && WritePod(&f, quant_mode) &&
+       WritePod(&f, has_params);
+  if (ok && has_params != 0) {
+    const simd::Sq8Params& qp = tier->params;
+    ok = WritePod(&f, qp.scale) &&
+         f.Write(qp.min.data(), qp.min.size() * sizeof(float)).ok() &&
+         f.Write(qp.max.data(), qp.max.size() * sizeof(float)).ok() &&
+         WritePod(&f, QuantParamsChecksum(qp));
+  }
   if (!ok) return Status::IOError("short write to " + path);
   return f.Commit();
 }
@@ -820,6 +1088,48 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::LoadFromFile(const std::string& pa
   index->live_count_.store(live);
   index->node_count_.store(static_cast<uint32_t>(index->nodes_.size()),
                            std::memory_order_release);
+
+  // Quantizer trailer. Absent (clean EOF right after the body) means a
+  // legacy fp32-only snapshot; present-but-torn demotes to fp32 with a
+  // warning instead of installing garbage quantizer statistics — the graph
+  // itself is intact either way.
+  uint64_t qmagic = 0;
+  if (ReadPod(f, &qmagic)) {
+    uint8_t quant_mode = 0, has_params = 0;
+    simd::Sq8Params qp;
+    bool qok = qmagic == kQuantTrailerMagic && ReadPod(f, &quant_mode) &&
+               ReadPod(f, &has_params) && quant_mode <= 1 && has_params <= 1;
+    if (qok && has_params != 0) {
+      qp.min.resize(dim);
+      qp.max.resize(dim);
+      uint64_t checksum = 0;
+      qok = ReadPod(f, &qp.scale) &&
+            f->Read(qp.min.data(), dim * sizeof(float)).ok() &&
+            f->Read(qp.max.data(), dim * sizeof(float)).ok() &&
+            ReadPod(f, &checksum) && checksum == QuantParamsChecksum(qp);
+    }
+    if (!qok) {
+      TV_LOG(Warn) << "hnsw: torn or corrupt quantizer trailer in " << path
+                   << ", serving fp32 only";
+      TV_COUNTER_INC("tv.quant.trailer_corrupt_total");
+    } else {
+      index->params_.sq8 = quant_mode == 1;
+      if (index->params_.sq8 && has_params != 0 && qp.valid()) {
+        auto tier = std::make_shared<Sq8Tier>();
+        tier->params = std::move(qp);
+        tier->codes.resize(cap * dim);
+        tier->norms.resize(cap);
+        for (uint64_t i = 0; i < count; ++i) {
+          int8_t* codes = tier->codes.data() + i * dim;
+          simd::Sq8Encode(tier->params, index->data_.data() + i * dim, dim, codes);
+          tier->norms[i] = simd::Sq8CodeNorm(codes, dim);
+        }
+        tier->encoded.store(static_cast<uint32_t>(count),
+                            std::memory_order_release);
+        index->sq8_tier_ = std::move(tier);
+      }
+    }
+  }
   return index;
 }
 

@@ -11,6 +11,7 @@
 
 #include "hnsw/vector_index.h"
 #include "simd/distance.h"
+#include "simd/sq8.h"
 #include "util/bitmap.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -28,6 +29,7 @@ struct HnswParams {
   size_t ef_construction = 128; // beam width during build
   size_t max_elements = 0;      // hard capacity of the index
   uint64_t seed = 42;           // level-draw seed (deterministic builds)
+  bool sq8 = false;             // keep an int8 SQ8 tier beside the fp32 rows
 };
 
 // Cumulative counters the index reports so the engine can measure its
@@ -112,6 +114,13 @@ class HnswIndex : public VectorIndex {
   std::string index_type() const override { return "HNSW"; }
   const HnswParams& params() const { return params_; }
 
+  // (Re)trains the SQ8 tier from the currently stored rows: per-dimension
+  // min/max over the segment, one symmetric scale, then every row encoded.
+  // No-op unless the index was built with params.sq8. Safe to call while
+  // searches run; searches pick up the new tier on their next snapshot.
+  Status TrainQuantization() override;
+  bool quant_active() const override;
+
   // Snapshot of the cumulative counters.
   HnswStats stats() const;
   void ResetStats();
@@ -139,8 +148,36 @@ class HnswIndex : public VectorIndex {
     bool operator>(const Candidate& other) const { return distance > other.distance; }
   };
 
+  // The quantized tier living beside the fp32 rows. Immutable once
+  // installed except for the `encoded` high-water mark (ids below it have
+  // valid codes) and in-place row re-encodes, which race searches the same
+  // benign way fp32 in-place updates do. The tier pointer itself is guarded
+  // by global_mu_; searches copy the shared_ptr once per call.
+  struct Sq8Tier {
+    simd::Sq8Params params;
+    std::vector<int8_t> codes;         // capacity * dim
+    std::vector<int64_t> norms;        // capacity (code self-dot, for cosine)
+    std::atomic<uint32_t> encoded{0};  // ids [0, encoded) are encoded
+  };
+
+  // Per-query view of the tier: the encoded query plus the high-water mark
+  // snapshot, so one search scores against a consistent prefix.
+  struct Sq8View {
+    const Sq8Tier* tier;
+    const int8_t* qcode;
+    int64_t qnorm;
+    uint32_t encoded;
+  };
+
   const float* DataAt(uint32_t id) const { return data_.data() + size_t{id} * params_.dim; }
   float Dist(const float* query, uint32_t id) const;
+
+  // Scores `ids[0..n)` against `query` into `dists`. With a quant view,
+  // encoded ids rank on int8 codes and ids past the encoded prefix (inserted
+  // after training) fall back to exact fp32 — both approximate the same
+  // metric, so beam ordering stays coherent. n <= kScanBatch.
+  void ScoreBatchGather(const float* query, const Sq8View* qv, const uint32_t* ids,
+                        size_t n, float* dists, float threshold) const;
 
   // Node count published for lock-free readers. nodes_ is reserved to
   // max_elements up front so its buffer never moves; a reader that acquires
@@ -153,8 +190,10 @@ class HnswIndex : public VectorIndex {
   uint32_t GreedySearchLayer(const float* query, uint32_t entry, int level) const;
 
   // Best-first beam search at `level`; returns up to ef closest candidates.
+  // A non-null `qv` switches neighbor scoring to the quantized tier (used
+  // only at layer 0; the greedy upper-layer descent stays fp32).
   std::vector<Candidate> SearchLayer(const float* query, uint32_t entry, size_t ef,
-                                     int level) const;
+                                     int level, const Sq8View* qv = nullptr) const;
 
   // Heuristic neighbor selection (HNSW Algorithm 4).
   void SelectNeighbors(const float* base, std::vector<Candidate>& candidates,
@@ -177,6 +216,7 @@ class HnswIndex : public VectorIndex {
   std::unique_ptr<std::mutex[]> node_locks_;  // one per internal slot
   mutable std::mutex global_mu_;            // entry point + node allocation
   std::atomic<uint32_t> node_count_{0};  // == nodes_.size(), release-published
+  std::shared_ptr<Sq8Tier> sq8_tier_;   // guarded by global_mu_ (pointer only)
   uint32_t entry_point_ = UINT32_MAX;
   int max_level_ = -1;
   Rng level_rng_;

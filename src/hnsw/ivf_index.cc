@@ -5,6 +5,7 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "util/topk_heap.h"
 
 namespace tigervector {
@@ -86,6 +87,17 @@ void IvfFlatIndex::TrainLocked() {
   trained_ = true;
 }
 
+void IvfFlatIndex::EncodeRecordLocked(size_t idx) {
+  if (qcodes_.size() < records_.size()) {
+    qcodes_.resize(records_.size());
+    qnorms_.resize(records_.size(), 0);
+  }
+  qcodes_[idx].resize(params_.dim);
+  simd::Sq8Encode(qparams_, records_[idx].value.data(), params_.dim,
+                  qcodes_[idx].data());
+  qnorms_[idx] = simd::Sq8CodeNorm(qcodes_[idx].data(), params_.dim);
+}
+
 Status IvfFlatIndex::AddPoint(uint64_t label, const float* vec) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = by_label_.find(label);
@@ -96,6 +108,7 @@ Status IvfFlatIndex::AddPoint(uint64_t label, const float* vec) {
       rec.deleted = false;
       ++live_;
     }
+    if (quant_trained_) EncodeRecordLocked(it->second);
     if (trained_) {
       // Move to the (possibly different) nearest list.
       const size_t list = NearestCentroidLocked(vec);
@@ -120,10 +133,31 @@ Status IvfFlatIndex::AddPoint(uint64_t label, const float* vec) {
   records_.push_back(std::move(rec));
   by_label_.emplace(label, idx);
   ++live_;
+  if (quant_trained_) EncodeRecordLocked(idx);
   if (!trained_ && live_ >= std::max(params_.train_threshold, params_.nlist)) {
     TrainLocked();
   }
   return Status::OK();
+}
+
+Status IvfFlatIndex::TrainQuantization() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!params_.sq8 || records_.empty()) return Status::OK();
+  simd::Sq8Trainer trainer(params_.dim);
+  for (const Record& rec : records_) trainer.Observe(rec.value.data());
+  qparams_ = trainer.Finish();
+  if (!qparams_.valid()) return Status::OK();
+  quant_trained_ = true;
+  qcodes_.resize(records_.size());
+  qnorms_.resize(records_.size(), 0);
+  for (size_t i = 0; i < records_.size(); ++i) EncodeRecordLocked(i);
+  TV_COUNTER_INC("tv.quant.trainings_total");
+  return Status::OK();
+}
+
+bool IvfFlatIndex::quant_active() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return quant_trained_;
 }
 
 Status IvfFlatIndex::UpdateItems(const std::vector<VectorIndexUpdate>& items,
@@ -203,16 +237,38 @@ std::vector<SearchHit> IvfFlatIndex::TopKSearch(const float* query, size_t k,
   std::sort(ranked.begin(), ranked.end());
   const size_t nprobe = NProbeFor(ef);
 
-  TopKHeap<uint64_t> heap(k);
+  const bool use_quant =
+      quant_trained_ && simd::ScopedQuantQuery::Enabled() && k > 0;
+  // Quantized probe: rank the probed lists' rows on int8 codes into a
+  // rerank_factor*k heap, rescore the survivors exactly below.
+  const size_t heap_k =
+      use_quant ? std::max<size_t>(1, simd::ScopedQuantQuery::RerankFactor()) * k
+                : k;
+  std::vector<int8_t> qcode;
+  int64_t qnorm = 0;
+  if (use_quant) {
+    qcode.resize(params_.dim);
+    simd::Sq8Encode(qparams_, query, params_.dim, qcode.data());
+    qnorm = simd::Sq8CodeNorm(qcode.data(), params_.dim);
+  }
+  TopKHeap<uint64_t> heap(heap_k);
   const float* rows[kScanBatch];
+  const int8_t* crows[kScanBatch];
+  int64_t cnorms[kScanBatch];
   uint64_t row_labels[kScanBatch];
   float dists[kScanBatch];
   size_t n = 0;
   auto flush = [&] {
     const float threshold = heap.full() ? heap.WorstDistance()
                                         : std::numeric_limits<float>::infinity();
-    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n, dists,
-                               threshold);
+    if (use_quant) {
+      simd::Sq8DistanceBatchGather(params_.metric, qcode.data(), qnorm,
+                                   qparams_.scale, crows, cnorms, params_.dim, n,
+                                   dists, threshold);
+    } else {
+      ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n,
+                                 dists, threshold);
+    }
     for (size_t j = 0; j < n; ++j) {
       if (!heap.WouldReject(dists[j])) heap.Push(dists[j], row_labels[j]);
     }
@@ -222,21 +278,59 @@ std::vector<SearchHit> IvfFlatIndex::TopKSearch(const float* query, size_t k,
     for (size_t idx : lists_[ranked[p].second]) {
       const Record& rec = records_[idx];
       if (rec.deleted || !filter.Accepts(rec.label)) continue;
-      rows[n] = rec.value.data();
+      if (use_quant) {
+        crows[n] = qcodes_[idx].data();
+        cnorms[n] = qnorms_[idx];
+      } else {
+        rows[n] = rec.value.data();
+      }
       row_labels[n] = rec.label;
       if (++n == kScanBatch) flush();
     }
   }
   if (n > 0) flush();
-  std::vector<SearchHit> out;
-  for (const auto& e : heap.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
-  return out;
+  if (!use_quant) {
+    std::vector<SearchHit> out;
+    for (const auto& e : heap.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
+    return out;
+  }
+  return RerankLocked(query, k, heap.TakeSorted());
+}
+
+std::vector<SearchHit> IvfFlatIndex::RerankLocked(
+    const float* query, size_t k,
+    const std::vector<TopKHeap<uint64_t>::Entry>& approx) const {
+  const float* rows[kScanBatch];
+  float dists[kScanBatch];
+  std::vector<SearchHit> reranked;
+  reranked.reserve(approx.size());
+  for (size_t j0 = 0; j0 < approx.size(); j0 += kScanBatch) {
+    const size_t bn = std::min(kScanBatch, approx.size() - j0);
+    for (size_t j = 0; j < bn; ++j) {
+      rows[j] = records_[by_label_.find(approx[j0 + j].id)->second].value.data();
+    }
+    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, bn, dists);
+    for (size_t j = 0; j < bn; ++j) {
+      reranked.push_back(SearchHit{dists[j], approx[j0 + j].id});
+    }
+  }
+  simd::NoteQuantScan(approx.size());
+  std::sort(reranked.begin(), reranked.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.label < b.label;
+            });
+  if (reranked.size() > k) reranked.resize(k);
+  return reranked;
 }
 
 std::vector<SearchHit> IvfFlatIndex::RangeSearch(const float* query, float threshold,
                                                  size_t initial_k, size_t ef,
                                                  const FilterView& filter) const {
-  // Same expanding-k adaptation used for HNSW (paper Sec. 4.4).
+  // Same expanding-k adaptation used for HNSW (paper Sec. 4.4). Range
+  // answers stay exact fp32 regardless of the quant tier (the differential
+  // harness and the median stop test both depend on true distances).
+  simd::ScopedQuantQuery exact_scope(false, 0);
   size_t k = std::max<size_t>(1, initial_k);
   std::vector<SearchHit> hits;
   size_t total;
@@ -262,31 +356,60 @@ std::vector<SearchHit> IvfFlatIndex::RangeSearch(const float* query, float thres
 std::vector<SearchHit> IvfFlatIndex::BruteForceSearch(const float* query, size_t k,
                                                       const FilterView& filter) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  TopKHeap<uint64_t> heap(k);
+  const bool use_quant =
+      quant_trained_ && simd::ScopedQuantQuery::Enabled() && k > 0;
+  const size_t heap_k =
+      use_quant ? std::max<size_t>(1, simd::ScopedQuantQuery::RerankFactor()) * k
+                : k;
+  std::vector<int8_t> qcode;
+  int64_t qnorm = 0;
+  if (use_quant) {
+    qcode.resize(params_.dim);
+    simd::Sq8Encode(qparams_, query, params_.dim, qcode.data());
+    qnorm = simd::Sq8CodeNorm(qcode.data(), params_.dim);
+  }
+  TopKHeap<uint64_t> heap(heap_k);
   const float* rows[kScanBatch];
+  const int8_t* crows[kScanBatch];
+  int64_t cnorms[kScanBatch];
   uint64_t row_labels[kScanBatch];
   float dists[kScanBatch];
   size_t n = 0;
   auto flush = [&] {
     const float threshold = heap.full() ? heap.WorstDistance()
                                         : std::numeric_limits<float>::infinity();
-    ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n, dists,
-                               threshold);
+    if (use_quant) {
+      simd::Sq8DistanceBatchGather(params_.metric, qcode.data(), qnorm,
+                                   qparams_.scale, crows, cnorms, params_.dim, n,
+                                   dists, threshold);
+    } else {
+      ComputeDistanceBatchGather(params_.metric, query, rows, params_.dim, n,
+                                 dists, threshold);
+    }
     for (size_t j = 0; j < n; ++j) {
       if (!heap.WouldReject(dists[j])) heap.Push(dists[j], row_labels[j]);
     }
     n = 0;
   };
-  for (const Record& rec : records_) {
+  for (size_t idx = 0; idx < records_.size(); ++idx) {
+    const Record& rec = records_[idx];
     if (rec.deleted || !filter.Accepts(rec.label)) continue;
-    rows[n] = rec.value.data();
+    if (use_quant) {
+      crows[n] = qcodes_[idx].data();
+      cnorms[n] = qnorms_[idx];
+    } else {
+      rows[n] = rec.value.data();
+    }
     row_labels[n] = rec.label;
     if (++n == kScanBatch) flush();
   }
   if (n > 0) flush();
-  std::vector<SearchHit> out;
-  for (const auto& e : heap.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
-  return out;
+  if (!use_quant) {
+    std::vector<SearchHit> out;
+    for (const auto& e : heap.TakeSorted()) out.push_back(SearchHit{e.distance, e.id});
+    return out;
+  }
+  return RerankLocked(query, k, heap.TakeSorted());
 }
 
 size_t IvfFlatIndex::size() const {

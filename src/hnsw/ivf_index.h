@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "hnsw/vector_index.h"
+#include "simd/sq8.h"
 #include "util/rng.h"
+#include "util/topk_heap.h"
 
 namespace tigervector {
 
@@ -17,6 +19,7 @@ struct IvfParams {
   size_t kmeans_iters = 5;     // Lloyd iterations at (re)train time
   size_t train_threshold = 256;  // retrain once this many points arrived
   uint64_t seed = 11;
+  bool sq8 = false;              // keep an int8 SQ8 tier beside the records
 };
 
 // IVF-Flat: a clustering-based index (the "quantization-based indexes"
@@ -59,6 +62,9 @@ class IvfFlatIndex : public VectorIndex {
   size_t NProbeFor(size_t ef) const;
   bool trained() const;
 
+  Status TrainQuantization() override;
+  bool quant_active() const override;
+
  private:
   struct Record {
     uint64_t label;
@@ -71,6 +77,15 @@ class IvfFlatIndex : public VectorIndex {
   void TrainLocked();
   size_t NearestCentroidLocked(const float* vec) const;
 
+  // Requires exclusive mu_ and quant_trained_; refreshes record idx's codes.
+  void EncodeRecordLocked(size_t idx);
+
+  // Requires shared mu_: exact fp32 rescore of an approx-ranked candidate
+  // set, sorted and truncated to the true top k.
+  std::vector<SearchHit> RerankLocked(
+      const float* query, size_t k,
+      const std::vector<TopKHeap<uint64_t>::Entry>& approx) const;
+
   IvfParams params_;
   mutable std::shared_mutex mu_;
   std::vector<Record> records_;
@@ -80,6 +95,12 @@ class IvfFlatIndex : public VectorIndex {
   bool trained_ = false;
   size_t live_ = 0;
   Rng rng_;
+
+  // SQ8 tier: one code row + norm per record index (see FlatIndex).
+  bool quant_trained_ = false;
+  simd::Sq8Params qparams_;
+  std::vector<std::vector<int8_t>> qcodes_;
+  std::vector<int64_t> qnorms_;
 };
 
 }  // namespace tigervector

@@ -75,6 +75,16 @@ class VectorIndex {
   virtual std::vector<uint64_t> Labels() const = 0;
   virtual std::string index_type() const = 0;
 
+  // (Re)trains the quantized tier from the currently stored vectors, if the
+  // index was built with quantization enabled. Called by the segment after
+  // bulk maintenance (index merge, rebuild) so freshly merged rows get
+  // codes under up-to-date per-segment statistics. No-op by default.
+  virtual Status TrainQuantization() { return Status::OK(); }
+
+  // True when a trained quantized tier is currently serving approximate
+  // scans (i.e. searches on this index rank on codes and rerank on fp32).
+  virtual bool quant_active() const { return false; }
+
   // Convenience overloads with an accept-all filter.
   std::vector<SearchHit> TopKSearch(const float* query, size_t k, size_t ef) const {
     return TopKSearch(query, k, ef, FilterView());

@@ -156,6 +156,8 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
     merged.segments_searched += r.segments_searched;
     merged.bruteforce_segments += r.bruteforce_segments;
     merged.delta_candidates += r.delta_candidates;
+    merged.quant_segments += r.quant_segments;
+    merged.reranked += r.reranked;
     if (merge_topk) {
       for (const SearchHit& h : r.hits) heap.Push(h.distance, h.label);
     } else {

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/distance.h"
+#include "simd/sq8.h"
 #include "util/timer.h"
 #include "util/topk_heap.h"
 
@@ -576,10 +577,13 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     auto embedding_details = [&](int node_idx, const std::string& attr,
                                  const std::string& accuracy, bool filtered) {
       std::vector<std::string> details;
+      // Effective quantization: schema pin wins, else process TV_QUANT mode.
+      bool quant_on = simd::ActiveQuantMode() == simd::QuantMode::kSq8;
       if (node_idx >= 0 && nodes[node_idx].type_id >= 0) {
         const VertexTypeDef& vt = db_->schema()->vertex_type(nodes[node_idx].type_id);
         const EmbeddingAttrDef* def = vt.FindEmbeddingAttr(attr);
         if (def != nullptr) {
+          quant_on = QuantEnabled(def->info);
           details.push_back("embedding: " + vt.name + "." + attr +
                             " dim=" + std::to_string(def->info.dimension) +
                             " metric=" + MetricName(def->info.metric));
@@ -603,6 +607,11 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
       }
       details.push_back(std::string("simd: ") + simd::ActiveIsaName() +
                         " distance kernels");
+      details.push_back(quant_on
+                            ? "quant: sq8 (rank on int8 codes, rerank " +
+                                  std::to_string(simd::DefaultRerankFactor()) +
+                                  "*k exact fp32)"
+                            : std::string("quant: off (exact fp32 scan)"));
       return details;
     };
 
@@ -837,6 +846,9 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
     add_actual(plan_idx, "bruteforce_segments",
                std::to_string(hits->bruteforce_segments));
     add_actual(plan_idx, "delta_candidates", std::to_string(hits->delta_candidates));
+    // Range search pins quantization off: its oracle tiers depend on exact
+    // distances against the threshold.
+    add_actual(plan_idx, "quant", "off (range is exact)");
     add_actual(plan_idx, "hnsw_distance_evals",
                std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
     add_actual(plan_idx, "hnsw_hops", std::to_string(TraceCounter("hnsw.hops") - hops0));
@@ -1075,6 +1087,10 @@ Result<SelectResult> QueryExecutor::ExecuteSelect(const SelectStmt& stmt,
                std::to_string(hits->bruteforce_segments));
     add_actual(topk_plan_idx, "delta_candidates",
                std::to_string(hits->delta_candidates));
+    add_actual(topk_plan_idx, "quant",
+               hits->quant_segments > 0
+                   ? "sq8, reranked " + std::to_string(hits->reranked)
+                   : "off");
     add_actual(topk_plan_idx, "hnsw_distance_evals",
                std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
     add_actual(topk_plan_idx, "hnsw_hops",
@@ -1177,6 +1193,11 @@ Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
     }
     node.details.push_back(std::string("simd: ") + simd::ActiveIsaName() +
                            " distance kernels");
+    node.details.push_back(
+        simd::ActiveQuantMode() == simd::QuantMode::kSq8
+            ? "quant: sq8 (rank on int8 codes, rerank " +
+                  std::to_string(simd::DefaultRerankFactor()) + "*k exact fp32)"
+            : std::string("quant: off (exact fp32 scan)"));
     plan_idx = static_cast<int>(explain->nodes.size());
     explain->Add(std::move(node));
   }
@@ -1204,6 +1225,11 @@ Result<VertexSet> QueryExecutor::ExecuteVectorSearch(
                          std::to_string(search_stats.bruteforce_segments));
     actuals.emplace_back("delta_candidates",
                          std::to_string(search_stats.delta_candidates));
+    actuals.emplace_back("quant",
+                         search_stats.quant_segments > 0
+                             ? "sq8, reranked " +
+                                   std::to_string(search_stats.reranked)
+                             : "off");
     actuals.emplace_back("hnsw_distance_evals",
                          std::to_string(TraceCounter("hnsw.distance_evals") - dist0));
     actuals.emplace_back("hnsw_hops",

@@ -18,6 +18,7 @@ const std::unordered_set<std::string>& Keywords() {
       "PRIMARY", "KEY",      "VECTOR_DIST", "DIMENSION", "MODEL",  "INDEX",
       "DATATYPE", "METRIC",  "HNSW",     "FLAT",     "IVF_FLAT",   "COSINE",     "L2",
       "IP",      "VECTORSEARCH", "UNION", "INTERSECT", "MINUS",
+      "QUANT",   "SQ8",      "OFF",
       "LOADING", "JOB",      "GRAPH",    "LOAD",     "VALUES",     "ON",
       "SPLIT",   "FOR",
   };

@@ -318,6 +318,15 @@ class Parser {
         } else {
           return Error("expected COSINE, L2 or IP");
         }
+      } else if (MatchKeyword("QUANT")) {
+        TV_RETURN_NOT_OK(Expect(TokenKind::kAssign, "'='"));
+        if (MatchKeyword("SQ8")) {
+          info->quant = QuantOption::kSq8;
+        } else if (MatchKeyword("OFF")) {
+          info->quant = QuantOption::kOff;
+        } else {
+          return Error("expected SQ8 or OFF");
+        }
       } else {
         return Error("expected embedding parameter");
       }

@@ -37,15 +37,26 @@ IsaLevel DetectBestIsa() {
 
 const KernelTable kScalarTable = {&internal::ScalarL2, &internal::ScalarIp,
                                   &internal::ScalarCosine};
+const Sq8KernelTable kScalarSq8Table = {&internal::ScalarSq8L2,
+                                        &internal::ScalarSq8Dot};
 
 #if defined(TV_HAVE_AVX2_KERNELS)
 const KernelTable kAvx2Table = {&internal::Avx2L2, &internal::Avx2Ip,
                                 &internal::Avx2Cosine};
+const Sq8KernelTable kAvx2Sq8Table = {&internal::Avx2Sq8L2,
+                                      &internal::Avx2Sq8Dot};
 #endif
 
 #if defined(TV_HAVE_AVX512_KERNELS)
 const KernelTable kAvx512Table = {&internal::Avx512L2, &internal::Avx512Ip,
                                   &internal::Avx512Cosine};
+const Sq8KernelTable kAvx512Sq8Table = {&internal::Avx512Sq8L2,
+                                        &internal::Avx512Sq8Dot};
+#endif
+
+#if defined(TV_HAVE_AVX512BW_KERNELS)
+const Sq8KernelTable kAvx512BwSq8Table = {&internal::Avx512BwSq8L2,
+                                          &internal::Avx512BwSq8Dot};
 #endif
 
 const KernelTable* TableFor(IsaLevel level) {
@@ -61,6 +72,33 @@ const KernelTable* TableFor(IsaLevel level) {
     case IsaLevel::kAvx512:
 #if defined(TV_HAVE_AVX512_KERNELS)
       return &kAvx512Table;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const Sq8KernelTable* Sq8TableFor(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return &kScalarSq8Table;
+    case IsaLevel::kAvx2:
+#if defined(TV_HAVE_AVX2_KERNELS)
+      return &kAvx2Sq8Table;
+#else
+      return nullptr;
+#endif
+    case IsaLevel::kAvx512:
+      // The int8 table at this level upgrades to true 512-bit kernels when
+      // the CPU also has AVX512BW (vpmaddwd on zmm); F-without-BW parts keep
+      // the 256-bit kernels. Both are exact-integer, so the choice is
+      // invisible to results — only to throughput.
+#if TV_SIMD_X86 && defined(TV_HAVE_AVX512BW_KERNELS)
+      if (__builtin_cpu_supports("avx512bw")) return &kAvx512BwSq8Table;
+#endif
+#if defined(TV_HAVE_AVX512_KERNELS)
+      return &kAvx512Sq8Table;
 #else
       return nullptr;
 #endif
@@ -140,9 +178,19 @@ const KernelTable* KernelsFor(IsaLevel level) {
   return IsaSupported(level) ? TableFor(level) : nullptr;
 }
 
+const Sq8KernelTable* Sq8KernelsFor(IsaLevel level) {
+  return IsaSupported(level) ? Sq8TableFor(level) : nullptr;
+}
+
 namespace internal {
 
 const KernelTable& ActiveKernels() { return *GetDispatch().table; }
+
+const Sq8KernelTable& ActiveSq8Kernels() {
+  // Same dispatch decision as the fp32 kernels (every compiled level has
+  // both tables), so TV_SIMD A/B runs flip the int8 path too.
+  return *Sq8TableFor(GetDispatch().level);
+}
 
 }  // namespace internal
 

@@ -96,6 +96,76 @@ float Avx2Cosine(const float* a, const float* b, size_t dim) {
   return 1.f - dot_s / denom;
 }
 
+// ---------------------------------------------------------------------------
+// int8 SQ8 kernels. 32 codes per iteration: sign-extend each 16-byte half
+// to i16 (codes are clamped to ±127, so differences fit i16 at ±254), then
+// pmaddwd folds pairs of i16 products into i32 lanes. A lane absorbs at
+// most 2 * 254^2 per madd (two madds per iteration), so the i32 lanes are
+// safe to dim ~260k; the horizontal sum widens to i64 before adding lanes.
+// Exact integer arithmetic throughout — cross-ISA parity against the scalar
+// kernel is bit-exact, not tolerance-based.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline int64_t HsumEpi32(__m256i v) {
+  const __m256i lo64 = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v));
+  const __m256i hi64 = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1));
+  const __m256i sum = _mm256_add_epi64(lo64, hi64);
+  __m128i s = _mm_add_epi64(_mm256_castsi256_si128(sum),
+                            _mm256_extracti128_si256(sum, 1));
+  s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+  return _mm_cvtsi128_si64(s);
+}
+
+}  // namespace
+
+int64_t Avx2Sq8L2(const int8_t* a, const int8_t* b, size_t dim) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i d_lo =
+        _mm256_sub_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(va)),
+                         _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb)));
+    const __m256i d_hi =
+        _mm256_sub_epi16(_mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1)),
+                         _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_lo, d_lo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_hi, d_hi));
+  }
+  int64_t total = HsumEpi32(acc);
+  for (; i < dim; ++i) {
+    const int32_t d = int32_t{a[i]} - int32_t{b[i]};
+    total += d * d;
+  }
+  return total;
+}
+
+int64_t Avx2Sq8Dot(const int8_t* a, const int8_t* b, size_t dim) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi32(
+        acc, _mm256_madd_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(va)),
+                               _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb))));
+    acc = _mm256_add_epi32(
+        acc,
+        _mm256_madd_epi16(_mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1)),
+                          _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1))));
+  }
+  int64_t total = HsumEpi32(acc);
+  for (; i < dim; ++i) total += int32_t{a[i]} * int32_t{b[i]};
+  return total;
+}
+
 }  // namespace tigervector::simd::internal
 
 #endif  // TV_HAVE_AVX2_KERNELS

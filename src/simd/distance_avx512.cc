@@ -99,6 +99,95 @@ float Avx512Cosine(const float* a, const float* b, size_t dim) {
   return 1.f - dot_s / denom;
 }
 
+// ---------------------------------------------------------------------------
+// int8 SQ8 kernels. 512-bit integer multiply-adds (vpmaddwd on zmm) need
+// AVX512BW, which this TU does not enable (-mavx512f only, matching the
+// dispatcher's CPUID gate) — so the int8 path uses 256-bit integer ops
+// (AVX2, implied by -mavx512f) with two independent accumulators over 64
+// codes per iteration. CPUs that also have AVX512BW get the true 512-bit
+// kernels in distance_avx512bw.cc instead; these remain the F-without-BW
+// fallback. Same exact-integer contract as the other levels: parity
+// against scalar is bit-exact.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline int64_t HsumEpi32Pair(__m256i u, __m256i v) {
+  const __m256i sum64 = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_cvtepi32_epi64(_mm256_castsi256_si128(u)),
+                       _mm256_cvtepi32_epi64(_mm256_extracti128_si256(u, 1))),
+      _mm256_add_epi64(_mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)),
+                       _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1))));
+  __m128i s = _mm_add_epi64(_mm256_castsi256_si128(sum64),
+                            _mm256_extracti128_si256(sum64, 1));
+  s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+  return _mm_cvtsi128_si64(s);
+}
+
+inline __m256i Sq8L2Madd32(const int8_t* a, const int8_t* b, __m256i acc) {
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  const __m256i d_lo =
+      _mm256_sub_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(va)),
+                       _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb)));
+  const __m256i d_hi =
+      _mm256_sub_epi16(_mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1)),
+                       _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1)));
+  acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d_lo, d_lo));
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(d_hi, d_hi));
+}
+
+inline __m256i Sq8DotMadd32(const int8_t* a, const int8_t* b, __m256i acc) {
+  const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  acc = _mm256_add_epi32(
+      acc, _mm256_madd_epi16(_mm256_cvtepi8_epi16(_mm256_castsi256_si128(va)),
+                             _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb))));
+  return _mm256_add_epi32(
+      acc,
+      _mm256_madd_epi16(_mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1)),
+                        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1))));
+}
+
+}  // namespace
+
+int64_t Avx512Sq8L2(const int8_t* a, const int8_t* b, size_t dim) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 64 <= dim; i += 64) {
+    acc0 = Sq8L2Madd32(a + i, b + i, acc0);
+    acc1 = Sq8L2Madd32(a + i + 32, b + i + 32, acc1);
+  }
+  if (i + 32 <= dim) {
+    acc0 = Sq8L2Madd32(a + i, b + i, acc0);
+    i += 32;
+  }
+  int64_t total = HsumEpi32Pair(acc0, acc1);
+  for (; i < dim; ++i) {
+    const int32_t d = int32_t{a[i]} - int32_t{b[i]};
+    total += d * d;
+  }
+  return total;
+}
+
+int64_t Avx512Sq8Dot(const int8_t* a, const int8_t* b, size_t dim) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 64 <= dim; i += 64) {
+    acc0 = Sq8DotMadd32(a + i, b + i, acc0);
+    acc1 = Sq8DotMadd32(a + i + 32, b + i + 32, acc1);
+  }
+  if (i + 32 <= dim) {
+    acc0 = Sq8DotMadd32(a + i, b + i, acc0);
+    i += 32;
+  }
+  int64_t total = HsumEpi32Pair(acc0, acc1);
+  for (; i < dim; ++i) total += int32_t{a[i]} * int32_t{b[i]};
+  return total;
+}
+
 }  // namespace tigervector::simd::internal
 
 #endif  // TV_HAVE_AVX512_KERNELS

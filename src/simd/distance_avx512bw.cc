@@ -1,0 +1,91 @@
+// AVX-512BW int8 SQ8 kernels: true 512-bit integer multiply-adds. The
+// AVX-512F TU (distance_avx512.cc) cannot use vpmaddwd on zmm — that needs
+// AVX512BW — so its int8 path runs 256-bit ops and is shuffle-port bound on
+// the sign-extends. Here one vpmovsxbw widens 32 codes straight into a zmm
+// i16 vector (no 128-bit extract first), which cuts the shuffle ops per code
+// by 3x versus the AVX2 path and 2x versus the 512F fallback.
+//
+// This TU is compiled with -mavx512f -mavx512bw and may only be entered
+// through the runtime dispatcher, which gates it on
+// __builtin_cpu_supports("avx512bw") separately from the fp32 avx512f gate:
+// a CPU with F but not BW keeps the 256-bit int8 kernels. Same exact-integer
+// contract as every other level: parity against scalar is bit-exact.
+
+#if defined(TV_HAVE_AVX512BW_KERNELS)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/kernels.h"
+
+namespace tigervector::simd::internal {
+
+namespace {
+
+// 32 int8 codes -> 32 sign-extended i16 lanes in one shuffle-port op.
+inline __m512i WidenCodes32(const int8_t* p) {
+  return _mm512_cvtepi8_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+// Widen the sixteen i32 lanes to i64 before reducing, so the accumulator
+// bound is per-lane only: each madd contributes at most 2*254^2 per lane,
+// i.e. dims beyond 500k would be needed to overflow an i32 lane.
+inline int64_t HsumEpi32I64(__m512i v) {
+  const __m512i lo = _mm512_cvtepi32_epi64(_mm512_castsi512_si256(v));
+  const __m512i hi = _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(v, 1));
+  return _mm512_reduce_add_epi64(_mm512_add_epi64(lo, hi));
+}
+
+}  // namespace
+
+int64_t Avx512BwSq8L2(const int8_t* a, const int8_t* b, size_t dim) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 64 <= dim; i += 64) {
+    const __m512i d0 = _mm512_sub_epi16(WidenCodes32(a + i), WidenCodes32(b + i));
+    const __m512i d1 =
+        _mm512_sub_epi16(WidenCodes32(a + i + 32), WidenCodes32(b + i + 32));
+    acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(d0, d0));
+    acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(d1, d1));
+  }
+  if (i + 32 <= dim) {
+    const __m512i d = _mm512_sub_epi16(WidenCodes32(a + i), WidenCodes32(b + i));
+    acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(d, d));
+    i += 32;
+  }
+  int64_t total = HsumEpi32I64(acc0) + HsumEpi32I64(acc1);
+  for (; i < dim; ++i) {
+    const int32_t d = int32_t{a[i]} - int32_t{b[i]};
+    total += d * d;
+  }
+  return total;
+}
+
+int64_t Avx512BwSq8Dot(const int8_t* a, const int8_t* b, size_t dim) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 64 <= dim; i += 64) {
+    acc0 = _mm512_add_epi32(
+        acc0, _mm512_madd_epi16(WidenCodes32(a + i), WidenCodes32(b + i)));
+    acc1 = _mm512_add_epi32(
+        acc1,
+        _mm512_madd_epi16(WidenCodes32(a + i + 32), WidenCodes32(b + i + 32)));
+  }
+  if (i + 32 <= dim) {
+    acc0 = _mm512_add_epi32(
+        acc0, _mm512_madd_epi16(WidenCodes32(a + i), WidenCodes32(b + i)));
+    i += 32;
+  }
+  int64_t total = HsumEpi32I64(acc0) + HsumEpi32I64(acc1);
+  for (; i < dim; ++i) total += int32_t{a[i]} * int32_t{b[i]};
+  return total;
+}
+
+}  // namespace tigervector::simd::internal
+
+#endif  // TV_HAVE_AVX512BW_KERNELS

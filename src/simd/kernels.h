@@ -3,7 +3,10 @@
 
 #include <cstddef>
 
+#include <cstdint>
+
 #include "simd/distance.h"
+#include "simd/sq8.h"
 
 // Internal per-ISA kernel implementations behind the runtime dispatcher.
 // Each translation unit is compiled with exactly the target flags its
@@ -24,21 +27,38 @@ float ScalarL2(const float* a, const float* b, size_t dim);
 float ScalarIp(const float* a, const float* b, size_t dim);
 float ScalarCosine(const float* a, const float* b, size_t dim);
 
+// int8 SQ8 kernels: exact integer sums, so cross-ISA parity is bit-exact.
+int64_t ScalarSq8L2(const int8_t* a, const int8_t* b, size_t dim);
+int64_t ScalarSq8Dot(const int8_t* a, const int8_t* b, size_t dim);
+
 #if defined(TV_HAVE_AVX2_KERNELS)
 float Avx2L2(const float* a, const float* b, size_t dim);
 float Avx2Ip(const float* a, const float* b, size_t dim);
 float Avx2Cosine(const float* a, const float* b, size_t dim);
+int64_t Avx2Sq8L2(const int8_t* a, const int8_t* b, size_t dim);
+int64_t Avx2Sq8Dot(const int8_t* a, const int8_t* b, size_t dim);
 #endif
 
 #if defined(TV_HAVE_AVX512_KERNELS)
 float Avx512L2(const float* a, const float* b, size_t dim);
 float Avx512Ip(const float* a, const float* b, size_t dim);
 float Avx512Cosine(const float* a, const float* b, size_t dim);
+int64_t Avx512Sq8L2(const int8_t* a, const int8_t* b, size_t dim);
+int64_t Avx512Sq8Dot(const int8_t* a, const int8_t* b, size_t dim);
 #endif
 
-// The per-process kernel table the dispatched entry points in distance.cc
-// call through (resolved once by dispatch.cc).
+// 512-bit int8 kernels (distance_avx512bw.cc, -mavx512f -mavx512bw). The
+// dispatcher gates these on avx512bw separately from the avx512f check: a
+// CPU with F but not BW keeps the 256-bit Avx512Sq8* kernels above.
+#if defined(TV_HAVE_AVX512BW_KERNELS)
+int64_t Avx512BwSq8L2(const int8_t* a, const int8_t* b, size_t dim);
+int64_t Avx512BwSq8Dot(const int8_t* a, const int8_t* b, size_t dim);
+#endif
+
+// The per-process kernel tables the dispatched entry points in distance.cc
+// and sq8.cc call through (resolved once by dispatch.cc).
 const KernelTable& ActiveKernels();
+const Sq8KernelTable& ActiveSq8Kernels();
 
 }  // namespace tigervector::simd::internal
 

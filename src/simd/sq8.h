@@ -1,0 +1,150 @@
+#ifndef TIGERVECTOR_SIMD_SQ8_H_
+#define TIGERVECTOR_SIMD_SQ8_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "simd/distance.h"
+
+namespace tigervector::simd {
+
+// ---------------------------------------------------------------------------
+// SQ8 scalar quantization: per-segment symmetric 8-bit codes over the fp32
+// embeddings. Per-dimension min/max are trained at segment seal/merge time;
+// a single symmetric scale s = max_d max(|min_d|, |max_d|) / 127 maps every
+// value to c = clamp(round(x / s), -127, 127), so distance arithmetic stays
+// pure-integer (pmaddwd-friendly) and reconstructs as x ~= s * c with error
+// at most s/2 per dimension. Quantized scans rank candidates on the codes
+// and rerank the top rerank_factor*k with exact fp32 distances, so reported
+// distances (and therefore soundness) are always exact — quantization can
+// only affect recall.
+// ---------------------------------------------------------------------------
+
+// Process-wide quantization mode: TV_QUANT=off|sq8 (default off), resolved
+// once per process like TV_SIMD. Per-attribute schema options (QUANT=SQ8 or
+// QUANT=OFF) override this default for their attribute.
+enum class QuantMode { kOff = 0, kSq8 = 1 };
+
+const char* QuantModeName(QuantMode mode);
+
+// The mode the process defaults to. Resolution happens on first call
+// (thread-safe); it also emits the startup log line and sets the
+// "tv.quant.mode" gauge (0=off, 1=sq8).
+QuantMode ActiveQuantMode();
+const char* ActiveQuantModeName();
+
+// Default rerank multiple: quantized scans keep rerank_factor*k candidates
+// and rescore them exactly. TV_RERANK_FACTOR overrides (clamped to >= 1).
+size_t DefaultRerankFactor();
+
+// Trained quantizer of one segment. `min`/`max` are the per-dimension
+// training statistics (persisted in the segment artifact); `scale` is the
+// symmetric scale derived from them. Empty min/max means "not trained".
+struct Sq8Params {
+  float scale = 0.f;
+  std::vector<float> min;
+  std::vector<float> max;
+
+  bool valid() const { return !min.empty(); }
+};
+
+// Accumulates per-dimension min/max over training rows.
+class Sq8Trainer {
+ public:
+  explicit Sq8Trainer(size_t dim);
+
+  void Observe(const float* vec);
+
+  // Derives the symmetric scale; invalid (empty) params when no rows were
+  // observed. All-zero data yields scale 0 (codes all zero) — approximate
+  // distances degenerate but the exact rerank still orders the result.
+  Sq8Params Finish() const;
+
+ private:
+  size_t dim_;
+  size_t rows_ = 0;
+  std::vector<float> min_;
+  std::vector<float> max_;
+};
+
+void Sq8Encode(const Sq8Params& params, const float* vec, size_t dim, int8_t* out);
+void Sq8Decode(const Sq8Params& params, const int8_t* codes, size_t dim, float* out);
+
+// Sum of squared code values; precomputed per row for the cosine kernel.
+int64_t Sq8CodeNorm(const int8_t* codes, size_t dim);
+
+// Raw integer kernels of one dispatch level: l2 returns sum((a-b)^2), dot
+// returns sum(a*b), both exact int64. Exposed (like KernelsFor) so the
+// parity suite can pin every compiled level against scalar; normal callers
+// go through the batched entry points below, which follow ActiveIsa().
+struct Sq8KernelTable {
+  int64_t (*l2)(const int8_t* a, const int8_t* b, size_t dim);
+  int64_t (*dot)(const int8_t* a, const int8_t* b, size_t dim);
+};
+
+// Kernel table for `level`, or nullptr when not compiled in / not
+// executable on this CPU (kScalar is always available).
+const Sq8KernelTable* Sq8KernelsFor(IsaLevel level);
+
+// ---------------------------------------------------------------------------
+// Batched approximate distances over codes, mirroring ComputeDistanceBatch /
+// ComputeDistanceBatchGather: out[i] is an fp32-comparable approximation of
+// the metric distance (kL2 -> scale^2 * sum((a-b)^2); kIp -> 1 - scale^2 *
+// dot; kCosine -> 1 - dot / sqrt(|a|*|b|) with the zero-norm sentinel of 2).
+// `query` is the query encoded with the same segment params; `query_norm` =
+// Sq8CodeNorm(query); `row_norms` may be null for kL2/kIp. Returns how many
+// fell strictly below `threshold`.
+// ---------------------------------------------------------------------------
+
+size_t Sq8DistanceBatch(Metric metric, const int8_t* query, int64_t query_norm,
+                        float scale, const int8_t* rows, const int64_t* row_norms,
+                        size_t dim, size_t count, float* out,
+                        float threshold = std::numeric_limits<float>::infinity());
+
+size_t Sq8DistanceBatchGather(
+    Metric metric, const int8_t* query, int64_t query_norm, float scale,
+    const int8_t* const* rows, const int64_t* row_norms, size_t dim, size_t count,
+    float* out, float threshold = std::numeric_limits<float>::infinity());
+
+// ---------------------------------------------------------------------------
+// Per-query quantization policy + stats. Indexes consult the thread-local
+// state instead of growing every TopKSearch signature: a segment search
+// installs a ScopedQuantQuery around the index call, the index notes each
+// quantized scan via NoteQuantScan, and the scope reports the deltas back.
+// Default state (no scope active): enabled, DefaultRerankFactor().
+// ---------------------------------------------------------------------------
+
+class ScopedQuantQuery {
+ public:
+  // rerank_factor == 0 means DefaultRerankFactor().
+  ScopedQuantQuery(bool enabled, size_t rerank_factor);
+  ~ScopedQuantQuery();
+
+  ScopedQuantQuery(const ScopedQuantQuery&) = delete;
+  ScopedQuantQuery& operator=(const ScopedQuantQuery&) = delete;
+
+  // Policy seen by index scans on this thread.
+  static bool Enabled();
+  static size_t RerankFactor();
+
+  // Stats accumulated since this scope was entered.
+  uint64_t quant_scans() const;
+  uint64_t reranked() const;
+
+ private:
+  bool saved_enabled_;
+  uint32_t saved_factor_;
+  uint64_t scans0_;
+  uint64_t reranked0_;
+};
+
+// Called by an index after a quantized scan: `reranked` is the number of
+// candidates rescored with exact fp32 distances. Feeds the tv.quant.*
+// counters and the active ScopedQuantQuery.
+void NoteQuantScan(uint64_t reranked);
+
+}  // namespace tigervector::simd
+
+#endif  // TIGERVECTOR_SIMD_SQ8_H_

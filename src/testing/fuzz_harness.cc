@@ -158,6 +158,7 @@ class FuzzCase {
   bool DoIndexMerge(Rng& r);
   bool DoQuery(Rng& r);
   bool DoCrash(Rng& r);
+  bool VerifySq8RecoveryStability(Rng& r);
 
   // --- query shapes ---
   bool QueryPlainGraph(Rng& r, const std::vector<float>& qv);
@@ -209,6 +210,11 @@ class FuzzCase {
   static float MidpointThreshold(const std::vector<OracleHit>& sorted, size_t idx);
 
   bool exact_filtered() const { return bruteforce_threshold_ > 32; }
+  // Whether a filtered/brute-forced top-k must equal the oracle exactly.
+  // Under --sq8 even the brute-force tier ranks its candidate pool on int8
+  // codes before the exact rerank, so completeness is a recall bound there
+  // too; soundness (type, filter, distance correctness) stays exact.
+  bool exact_answers() const { return exact_filtered() && !opts_.sq8; }
 
   FuzzOptions opts_;
   std::string dir_;
@@ -300,6 +306,9 @@ Status FuzzCase::DefineSchema(Database* db) const {
   info.dimension = dim_;
   info.model = "M";
   info.metric = metric_;
+  // Pin the quant choice in the schema (not TV_QUANT) so an --sq8 sweep is
+  // reproducible regardless of the environment the fuzzer runs under.
+  if (opts_.sq8) info.quant = QuantOption::kSq8;
   TV_RETURN_NOT_OK(db->schema()
                        ->CreateVertexType("T0", {{"a", AttrType::kInt},
                                                  {"lang", AttrType::kString}})
@@ -1012,7 +1021,11 @@ bool FuzzCase::QueryPlainGraph(Rng& r, const std::vector<float>& qv) {
 bool FuzzCase::QueryPureTopK(Rng& r, const std::vector<float>& qv) {
   const std::string type = PickType(r);
   const size_t k = 1 + r.NextBounded(8);
-  const bool check_prefix = r.NextBounded(2) == 0;
+  // The prefix metamorphic does not hold under SQ8: the rerank budget
+  // scales with the LIMIT (rerank_factor * k), so LIMIT k+10 rescores a
+  // deeper code-ranked pool and may legitimately surface an exact-closer
+  // hit the LIMIT-k budget never rescored.
+  const bool check_prefix = !opts_.sq8 && r.NextBounded(2) == 0;
   const bool check_tautology = !exact_filtered() && r.NextBounded(2) == 0;
   QueryParams params{{"qv", qv}};
 
@@ -1112,7 +1125,9 @@ bool FuzzCase::QueryRange(Rng& r, const std::vector<float>& qv) {
   // Tier rule: a filtered range search carries a candidate bitmap, and with
   // bruteforce_threshold > segment capacity every segment takes the exact
   // scan, so the answer must equal the oracle's. Pure range scans stay on
-  // the HNSW path in both tiers.
+  // the HNSW path in both tiers. This holds under --sq8 too: range search
+  // pins the fp32 path (quantized threshold tests would be unsound), so it
+  // deliberately keeps the exact gate — a quant leak here fails loudly.
   const bool exact = filtered && exact_filtered();
   if (!CheckRange(script.str(), run, oracle, threshold, exact)) return false;
 
@@ -1140,7 +1155,7 @@ bool FuzzCase::QueryFilteredTopK(Rng& r, const std::vector<float>& qv) {
   if (!CheckSoundness(script, run, type, qv, &candidates)) return false;
   const std::vector<OracleHit> oracle = model_.ExactTopK(
       {{type, "emb"}}, metric_, qv, model_.vertices().size() + 1, &candidates);
-  if (exact_filtered()) {
+  if (exact_answers()) {
     if (!CheckExactTopK(script, run, oracle, k)) return false;
   } else {
     if (!CheckRecallTopK(script, run, oracle, k)) return false;
@@ -1180,7 +1195,7 @@ bool FuzzCase::QueryHybridPattern(Rng& r, const std::vector<float>& qv) {
   if (!CheckSoundness(script.str(), run, "T1", qv, &candidates)) return false;
   const std::vector<OracleHit> oracle = model_.ExactTopK(
       {{"T1", "emb"}}, metric_, qv, model_.vertices().size() + 1, &candidates);
-  if (exact_filtered()) {
+  if (exact_answers()) {
     return CheckExactTopK(script.str(), run, oracle, k);
   }
   return CheckRecallTopK(script.str(), run, oracle, k);
@@ -1222,7 +1237,7 @@ bool FuzzCase::QueryVectorSearchFn(Rng& r, const std::vector<float>& qv) {
     if (!CheckSoundness(script, run, type, qv, &candidates)) return false;
     const std::vector<OracleHit> oracle = model_.ExactTopK(
         {{type, "emb"}}, metric_, qv, model_.vertices().size() + 1, &candidates);
-    if (exact_filtered()) return CheckExactTopK(script, run, oracle, k);
+    if (exact_answers()) return CheckExactTopK(script, run, oracle, k);
     return CheckRecallTopK(script, run, oracle, k);
   }
   // Variant B: multi-attribute search across both vertex types sharing the
@@ -1501,7 +1516,56 @@ bool FuzzCase::DoCrash(Rng& r) {
                     " recovered to neither its committed nor its attempted state");
   }
 
+  if (opts_.sq8 && !VerifySq8RecoveryStability(r)) return false;
+
   return VerifyModel("post-recovery");
+}
+
+bool FuzzCase::VerifySq8RecoveryStability(Rng& r) {
+  // The recovered quantizer must act as a pure function of the adopted
+  // state: the same query, asked twice, must rank the same code-ordered
+  // candidate pool and rerank to the same answer, bit for bit — any drift
+  // means the trailer params or the load-time re-encode are nondeterministic.
+  // (Pre-crash answers are not comparable: recovery re-derives segment and
+  // index structure from the WAL, which legitimately changes the approximate
+  // candidate pool, so stability is asserted on the recovered database.)
+  const std::vector<float> qv = RandVec(r);
+  VectorSearchRequest request;
+  request.attrs = {{"T0", "emb"}, {"T1", "emb"}};
+  request.query = qv.data();
+  request.k = 8;
+  request.pool = nullptr;  // identical sequential execution on both runs
+  auto first = db_->embeddings()->TopKSearch(request);
+  auto second = db_->embeddings()->TopKSearch(request);
+  if (!first.ok() || !second.ok()) {
+    return Fail("sq8-recovered-search-error",
+                "first: " + first.status().ToString() +
+                    "; second: " + second.status().ToString());
+  }
+  ++stats_.sq8_stability_checks;
+  if (first->hits.size() != second->hits.size() ||
+      first->quant_segments != second->quant_segments ||
+      first->reranked != second->reranked) {
+    return Fail("sq8-recovery-instability",
+                "recovered quantizer returned different rerank sets: " +
+                    std::to_string(first->hits.size()) + " hits/" +
+                    std::to_string(first->reranked) + " reranked vs " +
+                    std::to_string(second->hits.size()) + "/" +
+                    std::to_string(second->reranked));
+  }
+  for (size_t i = 0; i < first->hits.size(); ++i) {
+    if (first->hits[i].label != second->hits[i].label ||
+        first->hits[i].distance != second->hits[i].distance) {
+      return Fail("sq8-recovery-instability",
+                  "hit " + std::to_string(i) + " differs across identical "
+                  "post-recovery queries: (" +
+                      std::to_string(first->hits[i].label) + ", " +
+                      std::to_string(first->hits[i].distance) + ") vs (" +
+                      std::to_string(second->hits[i].label) + ", " +
+                      std::to_string(second->hits[i].distance) + ")");
+    }
+  }
+  return true;
 }
 
 bool FuzzCase::VerifyModel(const char* context) {
@@ -1623,6 +1687,7 @@ std::string ReproCommand(const FuzzOptions& options, const std::vector<size_t>& 
   if (options.with_faults) cmd += " --faults";
   if (!options.with_mpp) cmd += " --no-mpp";
   if (options.cache_diff) cmd += " --cache";
+  if (options.sq8) cmd += " --sq8";
   if (!skip.empty()) cmd += " --skip=" + JoinIndices(skip);
   return cmd;
 }

@@ -58,6 +58,15 @@ struct FuzzOptions {
   // and distances must match bit-for-bit, including across fault-injected
   // crash/recover cycles.
   bool cache_diff = false;
+  // SQ8 differential: pin QUANT=SQ8 on the embedding space so every top-k
+  // search ranks on int8 codes and reranks with exact fp32. Per-hit
+  // soundness stays exact (reranked distances are true distances) and range
+  // search stays pinned exact, but top-k completeness demotes to the recall
+  // bound even on the brute-force tier — the quantized brute force still
+  // ranks its candidate pool on codes. Each crash/recover cycle additionally
+  // requires the recovered quantizer to produce bit-for-bit stable rerank
+  // sets.
+  bool sq8 = false;
   // Echo each executed op (and generated GSQL) to stderr.
   bool verbose = false;
 };
@@ -83,6 +92,8 @@ struct FuzzStats {
   size_t index_merges = 0;
   size_t crash_recoveries = 0;
   size_t faults_armed = 0;
+  // Post-recovery bit-for-bit rerank-set stability checks (sq8 mode only).
+  size_t sq8_stability_checks = 0;
 };
 
 struct FuzzCaseResult {

@@ -167,7 +167,8 @@ TEST(FuzzRegression, WalReopenClearsBrokenState) {
 }
 
 // Replays the checked-in seed corpus through the full differential harness:
-// every line is (seed, ops, faults) and must pass with zero divergences.
+// every line is (seed, ops, faults[, sq8]) and must pass with zero
+// divergences.
 TEST(FuzzRegression, SeedCorpusPasses) {
   std::ifstream in(TV_FUZZ_CORPUS_FILE);
   ASSERT_TRUE(in.is_open()) << "missing corpus file " << TV_FUZZ_CORPUS_FILE;
@@ -181,6 +182,8 @@ TEST(FuzzRegression, SeedCorpusPasses) {
     ASSERT_TRUE(static_cast<bool>(fields >> options.seed >> options.ops >> faults))
         << "bad corpus line: " << line;
     options.with_faults = faults != 0;
+    int sq8 = 0;  // optional trailing field; absent means fp32
+    if (fields >> sq8) options.sq8 = sq8 != 0;
     auto result = tigervector::testing::RunFuzzCase(options);
     ++cases;
     if (result.ok) continue;

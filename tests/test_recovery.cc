@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <thread>
@@ -64,11 +65,15 @@ class RecoveryFaultTest : public ::testing::Test {
     return options;
   }
 
-  static void DefineSchema(Database* db) {
+  static void DefineSchema(Database* db) { DefineSchemaWithQuant(db, false); }
+
+  static void DefineSchemaWithQuant(Database* db, bool sq8) {
     EmbeddingTypeInfo info;
     info.dimension = kDim;
     info.model = "M";
     info.metric = Metric::kL2;
+    // Pinned in the schema (not TV_QUANT) so the test is environment-proof.
+    if (sq8) info.quant = QuantOption::kSq8;
     ASSERT_TRUE(db->schema()->CreateVertexType("Item", {{"v", AttrType::kInt}}).ok());
     ASSERT_TRUE(db->schema()->AddEmbeddingAttr("Item", "emb", info).ok());
   }
@@ -320,6 +325,154 @@ TEST_F(RecoveryFaultTest, CleanRecoveryAdoptsSnapshotsAndDeltaFiles) {
   ASSERT_TRUE(model.uncertain.empty());
   VerifyCommitted(&db, model);
   VerifyTopK(&db, model);
+}
+
+// SQ8 quantizer parameters ride in a checksummed trailer of each segment's
+// index snapshot. A fault-injected crash followed by snapshot adoption must
+// bring the quantized tier back: searches rank on codes again (quant_segments
+// reported), reranked distances are exact, and the rerank set is bit-for-bit
+// stable because codes are re-encoded deterministically at load.
+TEST_F(RecoveryFaultTest, QuantizerParamsSurviveFaultedCrashAndAdopt) {
+  dir_ = ::testing::TempDir() + "tv_recovery_quant_adopt";
+  std::filesystem::remove_all(dir_);
+  std::filesystem::create_directories(dir_);
+  const std::string snap_dir = dir_ + "/snap";
+  std::filesystem::create_directories(snap_dir);
+  GoldenModel model;
+  std::vector<VertexId> vids;
+  {
+    Database db(MakeOptions());
+    DefineSchemaWithQuant(&db, /*sq8=*/true);
+    for (int i = 0; i < 40; ++i) vids.push_back(InsertItem(&db, &model, i));
+    ASSERT_TRUE(db.Vacuum().ok());  // builds the quantized HNSW indexes
+    ASSERT_TRUE(db.embeddings()->SaveIndexSnapshots(snap_dir, db.pool()).ok());
+
+    // Sanity: the victim already serves quantized, exactly-reranked answers.
+    VectorSearchRequest request;
+    const std::vector<float> q = Vec(42);
+    request.attrs = {{"Item", "emb"}};
+    request.query = q.data();
+    request.k = 5;
+    auto before = db.embeddings()->TopKSearch(request);
+    ASSERT_TRUE(before.ok());
+    ASSERT_GE(before->quant_segments, 1u);
+
+    // Crash mid-workload through a WAL fault: some commits fail uncertain.
+    io::FaultSpec spec;
+    spec.kind = io::FaultKind::kFailWrite;
+    spec.after_bytes = db.store()->wal().appended_bytes() + 20;
+    io::FaultInjector::Instance().Arm("wal.append", spec);
+    for (int i = 0; i < 8; ++i) {
+      UpdateItem(&db, &model, vids[i], 100 + i, /*delete_emb=*/false);
+    }
+    // --- "Crash": dropped without clean shutdown. ---
+  }
+  EXPECT_GE(io::FaultInjector::Instance().triggered("wal.append"), 1u);
+  io::FaultInjector::Instance().Disarm("wal.append");
+
+  Database db(MakeOptions());
+  DefineSchemaWithQuant(&db, /*sq8=*/true);
+  Database::RecoveryOptions ropts;
+  ropts.snapshot_dir = snap_dir;
+  auto report = db.Recover(ropts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->embeddings.snapshots_adopted, 1u);
+  ResolveUncertain(&db, &model);
+  VerifyCommitted(&db, model);
+
+  // The adopted indexes must carry the trained quantizer: the search ranks
+  // on codes, and every returned distance is an exact fp32 rescore.
+  VectorSearchRequest request;
+  const std::vector<float> q = Vec(42);
+  request.attrs = {{"Item", "emb"}};
+  request.query = q.data();
+  request.k = 5;
+  auto after = db.embeddings()->TopKSearch(request);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_GE(after->quant_segments, 1u)
+      << "adopted snapshots lost their quantizer trailer";
+  EXPECT_GE(after->reranked, after->hits.size());
+  for (const SearchHit& h : after->hits) {
+    auto it = model.committed.find(h.label);
+    ASSERT_NE(it, model.committed.end());
+    ASSERT_FALSE(it->second.emb.empty());
+    EXPECT_FLOAT_EQ(
+        h.distance, L2SquaredDistance(q.data(), it->second.emb.data(), kDim));
+  }
+  // Deterministic re-encode at load => bit-for-bit stable rerank sets.
+  auto again = db.embeddings()->TopKSearch(request);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->hits.size(), after->hits.size());
+  for (size_t i = 0; i < after->hits.size(); ++i) {
+    EXPECT_EQ(again->hits[i].label, after->hits[i].label);
+    EXPECT_EQ(again->hits[i].distance, after->hits[i].distance);
+  }
+  std::filesystem::remove_all(dir_);
+}
+
+// A torn quantizer trailer (e.g. bit rot in the checksummed parameter block)
+// must demote the adopted index to fp32-only instead of rejecting the intact
+// graph or installing garbage statistics: recovery succeeds, answers stay
+// correct, and no segment reports a quantized scan.
+TEST_F(RecoveryFaultTest, TornQuantTrailerFallsBackToFp32) {
+  dir_ = ::testing::TempDir() + "tv_recovery_quant_torn";
+  std::filesystem::remove_all(dir_);
+  std::filesystem::create_directories(dir_);
+  const std::string snap_dir = dir_ + "/snap";
+  std::filesystem::create_directories(snap_dir);
+  GoldenModel model;
+  {
+    Database db(MakeOptions());
+    DefineSchemaWithQuant(&db, /*sq8=*/true);
+    for (int i = 0; i < 40; ++i) InsertItem(&db, &model, i);
+    ASSERT_TRUE(db.Vacuum().ok());
+    ASSERT_TRUE(db.embeddings()->SaveIndexSnapshots(snap_dir, db.pool()).ok());
+  }
+  // Corrupt the trailer checksum (the last 8 bytes) of every snapshot; the
+  // HNSW body and its own framing stay intact.
+  size_t corrupted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(snap_dir)) {
+    if (entry.path().extension() != ".hnsw") continue;
+    std::fstream f(entry.path(), std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(-8, std::ios::end);
+    const char garbage[8] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+    f.write(garbage, sizeof(garbage));
+    ASSERT_TRUE(f.good());
+    ++corrupted;
+  }
+  ASSERT_GE(corrupted, 1u);
+
+  Database db(MakeOptions());
+  DefineSchemaWithQuant(&db, /*sq8=*/true);
+  Database::RecoveryOptions ropts;
+  ropts.snapshot_dir = snap_dir;
+  auto report = db.Recover(ropts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->embeddings.snapshots_adopted, 1u)
+      << "a torn quant trailer must not reject the intact graph";
+  ASSERT_TRUE(model.uncertain.empty());
+  VerifyCommitted(&db, model);
+
+  // Quantization is off on every adopted segment, and answers are exact.
+  VectorSearchRequest request;
+  const std::vector<float> q = Vec(42);
+  request.attrs = {{"Item", "emb"}};
+  request.query = q.data();
+  request.k = 5;
+  request.ef = 128;
+  auto result = db.embeddings()->TopKSearch(request);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->quant_segments, 0u)
+      << "segment served quantized scans from a corrupt trailer";
+  EXPECT_EQ(result->reranked, 0u);
+  for (const SearchHit& h : result->hits) {
+    auto it = model.committed.find(h.label);
+    ASSERT_NE(it, model.committed.end());
+    EXPECT_FLOAT_EQ(
+        h.distance, L2SquaredDistance(q.data(), it->second.emb.data(), kDim));
+  }
+  std::filesystem::remove_all(dir_);
 }
 
 // A torn WAL tail must read back as the complete prefix plus a truncation

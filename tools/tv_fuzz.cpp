@@ -32,9 +32,13 @@ void PrintUsage() {
                "usage: tv_fuzz [--seed=N | --seeds=A:B] [--ops=N] [--faults]\n"
                "               [--no-mpp] [--duration=SECS] [--min-recall=R]\n"
                "               [--skip=i,j,k] [--shrink] [--work-dir=DIR]\n"
-               "               [--explain-analyze] [--cache] [--verbose]\n"
+               "               [--explain-analyze] [--cache] [--sq8] [--verbose]\n"
                "  --cache reruns every query with the query cache bypassed\n"
-               "  and fails on any cached-vs-uncached divergence\n");
+               "  and fails on any cached-vs-uncached divergence\n"
+               "  --sq8 pins QUANT=SQ8 on the embedding space: searches rank\n"
+               "  on int8 codes and rerank with exact fp32, checked for\n"
+               "  soundness + recall against the golden model and for\n"
+               "  bit-for-bit rerank-set stability across crash/recover\n");
 }
 
 bool ParseSizeList(const std::string& text, std::vector<size_t>* out) {
@@ -58,11 +62,11 @@ std::string StatsLine(const FuzzStats& s) {
   std::snprintf(buf, sizeof(buf),
                 "txns=%zu failed_commits=%zu queries=%zu exact=%zu recall=%zu "
                 "soundness=%zu mpp=%zu metamorphic=%zu delta_merges=%zu "
-                "index_merges=%zu recoveries=%zu faults=%zu",
+                "index_merges=%zu recoveries=%zu faults=%zu sq8_stability=%zu",
                 s.committed_txns, s.failed_commits, s.queries, s.exact_checks,
                 s.recall_checks, s.soundness_checks, s.mpp_checks,
                 s.metamorphic_checks, s.delta_merges, s.index_merges,
-                s.crash_recoveries, s.faults_armed);
+                s.crash_recoveries, s.faults_armed, s.sq8_stability_checks);
   return buf;
 }
 
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
       options.explain_analyze = true;
     } else if (arg == "--cache") {
       options.cache_diff = true;
+    } else if (arg == "--sq8") {
+      options.sq8 = true;
     } else if (arg == "--shrink") {
       shrink = true;
     } else if (arg == "--verbose") {
