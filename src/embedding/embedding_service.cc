@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/io.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -178,10 +179,14 @@ Result<VectorSearchResult> EmbeddingService::FanOut(const VectorSearchRequest& r
   std::mutex merge_mu;
   // ParallelFor runs chunks on worker threads only; carry the dispatching
   // thread's active trace into them so segment-level spans (hnsw.search)
-  // land in the profiled query's breakdown.
+  // land in the profiled query's breakdown, and the request's cancel token
+  // so a deadline expiring mid-fan-out stops every segment scan.
   obs::QueryTrace* parent_trace = obs::CurrentTrace();
-  auto run_one = [&, parent_trace](size_t i) {
+  CancelToken* cancel_token = CurrentCancelToken();
+  auto run_one = [&, parent_trace, cancel_token](size_t i) {
     obs::ScopedTraceActivation trace_scope(parent_trace);
+    ScopedCancel cancel_scope(cancel_token);
+    if (cancel_token != nullptr && cancel_token->fired()) return;
     EmbeddingSegment::SearchOutput out = segment_fn(*segments[i]);
     std::lock_guard<std::mutex> lock(merge_mu);
     if (out.used_bruteforce) ++result.bruteforce_segments;
@@ -217,6 +222,11 @@ Result<VectorSearchResult> EmbeddingService::TopKSearch(
     return segment.TopKSearch(request.query, seg_options);
   });
   if (!result.ok()) return result;
+  // Authoritative cancellation gate: if the request's deadline fired at any
+  // point during the fan-out, the merged hits may be missing candidates
+  // from aborted scans — discard them and surface the typed error instead
+  // of a silently short top-k.
+  TV_RETURN_NOT_OK(CancelCheckStatus());
   // Global merge of per-segment top-k lists (paper Fig. 5).
   TopKHeap<VertexId> heap(request.k);
   for (const SearchHit& h : result->hits) heap.Push(h.distance, h.label);
@@ -246,6 +256,8 @@ Result<VectorSearchResult> EmbeddingService::RangeSearch(
     return segment.RangeSearch(request.query, threshold, seg_options);
   });
   if (!result.ok()) return result;
+  // See TopKSearch: an expired deadline discards partial range results.
+  TV_RETURN_NOT_OK(CancelCheckStatus());
   std::sort(result->hits.begin(), result->hits.end(),
             [](const SearchHit& a, const SearchHit& b) {
               if (a.distance != b.distance) return a.distance < b.distance;

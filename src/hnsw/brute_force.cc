@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/cancel.h"
 #include "util/topk_heap.h"
 
 namespace tigervector {
@@ -46,6 +47,8 @@ std::vector<SearchHit> BruteForceSearcher::TopKSearch(const float* query, size_t
     n = 0;
   };
   for (size_t i = 0; i < labels_.size(); ++i) {
+    // Request deadline check; the partial heap is discarded by the caller.
+    if ((i & (kCancelCheckInterval - 1)) == 0 && CancelCheckExpired()) break;
     if (!filter.Accepts(labels_[i])) continue;
     rows[n] = data_.data() + i * dim_;
     row_labels[n] = labels_[i];

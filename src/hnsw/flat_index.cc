@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "util/cancel.h"
 #include "util/topk_heap.h"
 
 namespace tigervector {
@@ -201,6 +202,8 @@ std::vector<SearchHit> FlatIndex::BruteForceSearch(const float* query, size_t k,
     n = 0;
   };
   for (size_t row = 0; row < order_.size(); ++row) {
+    // Request deadline check; the partial heap is discarded by the caller.
+    if ((row & (kCancelCheckInterval - 1)) == 0 && CancelCheckExpired()) break;
     const uint64_t label = order_[row];
     auto it = slots_.find(label);
     if (it->second.deleted || !filter.Accepts(label)) continue;

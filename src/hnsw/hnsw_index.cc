@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/io.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -252,11 +253,20 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
   frontier.push(Candidate{entry_dist, entry});
   visited[entry] = 1;
 
+  uint32_t hops_since_check = 0;
   while (!frontier.empty()) {
     const Candidate c = frontier.top();
     if (top.size() >= ef && c.distance > top.top().distance) break;
     frontier.pop();
     CountHop(stat_hops_);
+    // Cooperative cancellation: a request deadline expiring mid-scan stops
+    // the traversal within one check interval. The partial beam is
+    // discarded by the caller (EmbeddingService checks the token after the
+    // fan-out), so an expired query never surfaces a truncated top-k.
+    if (++hops_since_check >= kCancelCheckInterval) {
+      hops_since_check = 0;
+      if (CancelCheckExpired()) break;
+    }
 
     std::vector<uint32_t> neighbors;
     {
@@ -778,6 +788,7 @@ std::vector<SearchHit> HnswIndex::RangeSearch(const float* query, float threshol
   std::vector<SearchHit> hits;
   for (;;) {
     hits = TopKSearch(query, k, std::max(ef, k), filter);
+    if (CancelCheckExpired()) break;  // caller discards via its own check
     if (hits.size() < k) break;  // exhausted all valid points
     const float median = hits[hits.size() / 2].distance;
     if (threshold < median) break;
@@ -831,6 +842,9 @@ std::vector<SearchHit> HnswIndex::BruteForceSearch(const float* query, size_t k,
     n = 0;
   };
   for (uint32_t id = 0; id < count; ++id) {
+    // Exact scans honor the request deadline too: stop within one check
+    // interval and let the caller discard the partial heap.
+    if ((id & (kCancelCheckInterval - 1)) == 0 && CancelCheckExpired()) break;
     uint64_t label;
     {
       std::lock_guard<std::mutex> lock(node_locks_[id]);

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/io.h"
 #include "util/timer.h"
 #include "util/topk_heap.h"
@@ -99,11 +100,13 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
   }
   size_t remaining = outstanding;
   // Server workers run on their own pools; hand them the coordinator's
-  // active trace so per-server spans join the profiled query.
+  // active trace so per-server spans join the profiled query, and the
+  // request's cancel token so a deadline stops every shard's local search.
   obs::QueryTrace* parent_trace = obs::CurrentTrace();
+  CancelToken* cancel_token = CurrentCancelToken();
   for (size_t server = 0; server < options_.num_servers; ++server) {
     if (shards[server].empty()) continue;
-    pools_[server]->Submit([&, server, parent_trace] {
+    pools_[server]->Submit([&, server, parent_trace, cancel_token] {
       ServerResponse resp;
       // Everything touching the coordinator's trace — the activation, the
       // span, the search itself — lives in this inner scope so its
@@ -112,6 +115,7 @@ Result<VectorSearchResult> Cluster::ScatterGather(const VectorSearchRequest& req
       // object in the caller) may be destroyed at any moment.
       {
         obs::ScopedTraceActivation trace_scope(parent_trace);
+        ScopedCancel cancel_scope(cancel_token);
         TV_SPAN("cluster.server_search");
         Timer t;
         // Each worker searches only its own shard, using its own pool for

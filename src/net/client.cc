@@ -1,0 +1,168 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace tigervector::net {
+
+Status TvClient::EnsureConnected() {
+  if (socket_.is_open()) return Status::OK();
+  auto connected =
+      Socket::Connect(options_.host, options_.port, options_.connect_timeout_ms);
+  TV_RETURN_NOT_OK(connected.status());
+  socket_ = std::move(connected).value();
+  socket_.set_fault_site(options_.fault_site);
+  TV_RETURN_NOT_OK(socket_.SetRecvTimeout(options_.request_timeout_ms));
+  TV_RETURN_NOT_OK(socket_.SetSendTimeout(options_.request_timeout_ms));
+  return Status::OK();
+}
+
+Status TvClient::Exchange(const Frame& request, Frame* response) {
+  TV_RETURN_NOT_OK(EnsureConnected());
+  Status sent = WriteFrame(socket_, request);
+  if (!sent.ok()) {
+    socket_.Close();
+    return sent;
+  }
+  for (;;) {
+    auto read = ReadFrame(socket_);
+    if (!read.ok()) {
+      socket_.Close();
+      return read.status();
+    }
+    // A stale response (older request id) can only follow a retried
+    // request whose first reply was delayed, not lost; skip it. Connection-
+    // level RETRY_LATER rejections carry no request id and always apply.
+    if (read.value().type != MsgType::kRetryLater &&
+        read.value().request_id < request.request_id) {
+      continue;
+    }
+    *response = std::move(read).value();
+    return Status::OK();
+  }
+}
+
+void TvClient::Backoff(int attempt) {
+  // Exponential backoff with full jitter: uniform in (0, base * 2^attempt].
+  uint64_t ceiling = static_cast<uint64_t>(options_.backoff_base_ms) << attempt;
+  if (ceiling > 2000) ceiling = 2000;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(1 + rng_.NextBounded(ceiling)));
+}
+
+Status TvClient::ExchangeWithRetry(const Frame& request, bool idempotent,
+                                   Frame* response) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      TV_COUNTER_INC("tv.net.client_retries_total");
+      Backoff(attempt - 1);
+    }
+    last = Exchange(request, response);
+    if (last.ok()) {
+      if (response->type == MsgType::kRetryLater) {
+        // Admission fast-reject: the request never executed, so it is
+        // always safe to retry regardless of idempotence.
+        ++rejected_;
+        TV_COUNTER_INC("tv.net.client_rejected_total");
+        last = Status::Unavailable("server saturated (RETRY_LATER)");
+        continue;
+      }
+      return Status::OK();
+    }
+    const bool transport_error = last.code() == StatusCode::kIOError ||
+                                 last.code() == StatusCode::kDeadlineExceeded;
+    // Transport errors after the request left may mean it executed and
+    // only the reply was lost — retrying a non-idempotent request could
+    // run it twice, so surface the error instead.
+    if (!transport_error || !idempotent) return last;
+  }
+  return last;
+}
+
+Result<ScriptResult> TvClient::Run(const std::string& script,
+                                   const QueryParams& params,
+                                   const RunOptions& run) {
+  Frame request;
+  request.type = MsgType::kQuery;
+  request.request_id = next_request_id_++;
+  request.deadline_micros = run.deadline_micros;
+  request.payload = EncodeQueryRequest(QueryRequest{script, params});
+
+  Frame response;
+  TV_RETURN_NOT_OK(ExchangeWithRetry(request, run.idempotent, &response));
+  switch (response.type) {
+    case MsgType::kResult: {
+      ScriptResult result;
+      TV_RETURN_NOT_OK(DecodeScriptResult(response.payload, &result));
+      return result;
+    }
+    case MsgType::kError: {
+      Status remote = Status::OK();
+      TV_RETURN_NOT_OK(DecodeStatus(response.payload, &remote));
+      if (remote.ok()) {
+        return Status::IOError("server sent an error frame with an OK status");
+      }
+      return remote;
+    }
+    default:
+      return Status::IOError(std::string("unexpected response frame type '") +
+                             MsgTypeName(response.type) + "' to a query");
+  }
+}
+
+Status TvClient::Ping() {
+  Frame request;
+  request.type = MsgType::kPing;
+  request.request_id = next_request_id_++;
+  Frame response;
+  TV_RETURN_NOT_OK(ExchangeWithRetry(request, /*idempotent=*/true, &response));
+  if (response.type != MsgType::kPong) {
+    return Status::IOError(std::string("unexpected response frame type '") +
+                           MsgTypeName(response.type) + "' to a ping");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::string> TextResponse(const Frame& response) {
+  if (response.type == MsgType::kError) {
+    Status remote = Status::OK();
+    TV_RETURN_NOT_OK(DecodeStatus(response.payload, &remote));
+    return remote.ok() ? Status::IOError("malformed error frame") : remote;
+  }
+  if (response.type != MsgType::kText) {
+    return Status::IOError(std::string("unexpected response frame type '") +
+                           MsgTypeName(response.type) + "'");
+  }
+  return response.payload;
+}
+
+}  // namespace
+
+Result<std::string> TvClient::Metrics() {
+  Frame request;
+  request.type = MsgType::kMetrics;
+  request.request_id = next_request_id_++;
+  Frame response;
+  TV_RETURN_NOT_OK(ExchangeWithRetry(request, /*idempotent=*/true, &response));
+  return TextResponse(response);
+}
+
+Result<std::string> TvClient::FlightRec(uint64_t flight_id) {
+  Frame request;
+  request.type = MsgType::kFlightRec;
+  request.request_id = next_request_id_++;
+  WireWriter w;
+  w.PutU64(flight_id);
+  request.payload = w.Take();
+  Frame response;
+  TV_RETURN_NOT_OK(ExchangeWithRetry(request, /*idempotent=*/true, &response));
+  return TextResponse(response);
+}
+
+}  // namespace tigervector::net

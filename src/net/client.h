@@ -1,0 +1,94 @@
+#ifndef TIGERVECTOR_NET_CLIENT_H_
+#define TIGERVECTOR_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/rng.h"
+
+namespace tigervector::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2000;
+  // Socket-level cap on waiting for a response; the last line of defense
+  // when the server stalls without honoring the in-band deadline.
+  int request_timeout_ms = 30000;
+  // Bounded retries for RETRY_LATER rejections and (idempotent requests
+  // only) transport errors. 0 disables retrying entirely.
+  int max_retries = 3;
+  int backoff_base_ms = 10;
+  uint64_t jitter_seed = 0x7ea5;
+  // Fault site consulted by this client's sends (tests).
+  std::string fault_site;
+};
+
+struct RunOptions {
+  // Remaining request budget shipped in the frame header; the server turns
+  // it into a CancelToken deadline. 0 = use the server default.
+  uint64_t deadline_micros = 0;
+  // Marks the request safe to retry on a transport error (the reply may
+  // have been lost after execution). Read-only queries are idempotent;
+  // loads/DDL are not. RETRY_LATER is always retryable: the server
+  // guarantees a rejected request was never executed.
+  bool idempotent = false;
+};
+
+// Blocking client for tv_server. Reconnects lazily; every error surfaces
+// as a typed Status:
+//   kDeadlineExceeded -- the server reported deadline expiry, or a local
+//                        connect/request timeout fired
+//   kUnavailable      -- the server fast-rejected (saturated) and retries
+//                        were exhausted
+//   kIOError          -- transport failure (torn frame, peer died, ...)
+//   anything else     -- the query's own error, decoded from the wire
+class TvClient {
+ public:
+  explicit TvClient(ClientOptions options)
+      : options_(std::move(options)), rng_(options_.jitter_seed) {}
+
+  // Runs a GSQL script remotely; mirrors GsqlSession::Run.
+  Result<ScriptResult> Run(const std::string& script,
+                           const QueryParams& params = QueryParams(),
+                           const RunOptions& run = RunOptions());
+
+  // Round-trips a ping (connectivity check).
+  Status Ping();
+
+  // Fetches the server's Prometheus metrics rendering / flight-recorder
+  // dump for the given id (0 = ring summary).
+  Result<std::string> Metrics();
+  Result<std::string> FlightRec(uint64_t flight_id);
+
+  // Drops the cached connection; the next request reconnects.
+  void Disconnect() { socket_.Close(); }
+
+  // Cumulative retry attempts and RETRY_LATER rejections observed.
+  uint64_t retries() const { return retries_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  Status EnsureConnected();
+  // One send+recv exchange; on any transport error the connection is
+  // dropped so the next attempt starts clean.
+  Status Exchange(const Frame& request, Frame* response);
+  // Exchange with the retry/backoff policy applied.
+  Status ExchangeWithRetry(const Frame& request, bool idempotent,
+                           Frame* response);
+  void Backoff(int attempt);
+
+  ClientOptions options_;
+  Socket socket_;
+  Rng rng_;
+  uint64_t next_request_id_ = 1;
+  uint64_t retries_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace tigervector::net
+
+#endif  // TIGERVECTOR_NET_CLIENT_H_

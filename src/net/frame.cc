@@ -1,0 +1,219 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace tigervector::net {
+
+namespace {
+
+void PutLE(std::string* buf, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    buf->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetLE(const unsigned char* p, size_t bytes) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < bytes; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kPong:
+      return "pong";
+    case MsgType::kQuery:
+      return "query";
+    case MsgType::kResult:
+      return "result";
+    case MsgType::kError:
+      return "error";
+    case MsgType::kRetryLater:
+      return "retry_later";
+    case MsgType::kMetrics:
+      return "metrics";
+    case MsgType::kFlightRec:
+      return "flightrec";
+    case MsgType::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32(const void* data, size_t len) {
+  // Table-driven CRC-32 (IEEE), table built once on first use.
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteFrame(Socket& socket, const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("frame payload exceeds " +
+                                   std::to_string(kMaxPayloadBytes) + " bytes");
+  }
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + frame.payload.size());
+  PutLE(&wire, kWireMagic, 4);
+  PutLE(&wire, kWireVersion, 2);
+  PutLE(&wire, static_cast<uint64_t>(frame.type), 1);
+  PutLE(&wire, 0, 1);  // flags
+  PutLE(&wire, frame.request_id, 8);
+  PutLE(&wire, frame.deadline_micros, 8);
+  PutLE(&wire, frame.payload.size(), 4);
+  PutLE(&wire, Crc32(frame.payload.data(), frame.payload.size()), 4);
+  wire.append(frame.payload);
+  // Header + payload leave in one send so a torn-write fault can land
+  // anywhere inside the frame, exactly like a process dying mid-send.
+  TV_COUNTER_INC("tv.net.frames_sent_total");
+  return socket.SendAll(wire.data(), wire.size());
+}
+
+Result<Frame> ReadFrame(Socket& socket) {
+  unsigned char header[kFrameHeaderBytes];
+  TV_RETURN_NOT_OK(socket.RecvAll(header, sizeof(header)));
+  const uint32_t magic = static_cast<uint32_t>(GetLE(header, 4));
+  if (magic != kWireMagic) {
+    return Status::IOError("bad frame magic 0x" + std::to_string(magic) +
+                           " (not a TigerVector wire-protocol peer)");
+  }
+  const uint16_t version = static_cast<uint16_t>(GetLE(header + 4, 2));
+  if (version != kWireVersion) {
+    return Status::IOError("unsupported wire protocol version " +
+                           std::to_string(version) + " (this build speaks " +
+                           std::to_string(kWireVersion) + ")");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(header[6]);
+  frame.request_id = GetLE(header + 8, 8);
+  frame.deadline_micros = GetLE(header + 16, 8);
+  const uint32_t payload_len = static_cast<uint32_t>(GetLE(header + 24, 4));
+  const uint32_t payload_crc = static_cast<uint32_t>(GetLE(header + 28, 4));
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::IOError("frame payload length " + std::to_string(payload_len) +
+                           " exceeds the protocol bound (corrupt header?)");
+  }
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    TV_RETURN_NOT_OK(socket.RecvAll(frame.payload.data(), payload_len));
+  }
+  const uint32_t crc = Crc32(frame.payload.data(), frame.payload.size());
+  if (crc != payload_crc) {
+    return Status::IOError("frame payload checksum mismatch (torn or corrupt "
+                           "frame)");
+  }
+  TV_COUNTER_INC("tv.net.frames_recv_total");
+  return frame;
+}
+
+void WireWriter::PutU32(uint32_t v) { PutLE(&buf_, v, 4); }
+void WireWriter::PutU64(uint64_t v) { PutLE(&buf_, v, 8); }
+
+void WireWriter::PutF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  PutU32(bits);
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(bits);
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void WireWriter::PutFloatVec(const std::vector<float>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (float f : v) PutF32(f);
+}
+
+Status WireReader::Need(size_t n) {
+  if (buf_.size() - pos_ < n) {
+    return Status::IOError("wire payload underrun (decoder wants " +
+                           std::to_string(n) + " bytes, " +
+                           std::to_string(buf_.size() - pos_) + " left)");
+  }
+  return Status::OK();
+}
+
+Status WireReader::GetU8(uint8_t* v) {
+  TV_RETURN_NOT_OK(Need(1));
+  *v = static_cast<uint8_t>(buf_[pos_++]);
+  return Status::OK();
+}
+
+Status WireReader::GetU32(uint32_t* v) {
+  TV_RETURN_NOT_OK(Need(4));
+  *v = static_cast<uint32_t>(
+      GetLE(reinterpret_cast<const unsigned char*>(buf_.data()) + pos_, 4));
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status WireReader::GetU64(uint64_t* v) {
+  TV_RETURN_NOT_OK(Need(8));
+  *v = GetLE(reinterpret_cast<const unsigned char*>(buf_.data()) + pos_, 8);
+  pos_ += 8;
+  return Status::OK();
+}
+
+Status WireReader::GetI64(int64_t* v) {
+  uint64_t u;
+  TV_RETURN_NOT_OK(GetU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status WireReader::GetF32(float* v) {
+  uint32_t bits;
+  TV_RETURN_NOT_OK(GetU32(&bits));
+  std::memcpy(v, &bits, 4);
+  return Status::OK();
+}
+
+Status WireReader::GetF64(double* v) {
+  uint64_t bits;
+  TV_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, 8);
+  return Status::OK();
+}
+
+Status WireReader::GetString(std::string* s) {
+  uint32_t len;
+  TV_RETURN_NOT_OK(GetU32(&len));
+  TV_RETURN_NOT_OK(Need(len));
+  s->assign(buf_, pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status WireReader::GetFloatVec(std::vector<float>* v) {
+  uint32_t len;
+  TV_RETURN_NOT_OK(GetU32(&len));
+  TV_RETURN_NOT_OK(Need(static_cast<size_t>(len) * 4));
+  v->resize(len);
+  for (uint32_t i = 0; i < len; ++i) TV_RETURN_NOT_OK(GetF32(&(*v)[i]));
+  return Status::OK();
+}
+
+}  // namespace tigervector::net

@@ -1,0 +1,37 @@
+#ifndef TIGERVECTOR_NET_PROTOCOL_H_
+#define TIGERVECTOR_NET_PROTOCOL_H_
+
+#include <string>
+
+#include "net/frame.h"
+#include "query/session.h"
+
+namespace tigervector::net {
+
+// Application-level payload codecs for the frame protocol: a query request
+// (script + $parameter bindings) and its result (the ScriptResult subset a
+// remote client can consume), plus a typed Status. Status codes travel as
+// explicit stable wire ids — never as raw enum integers — so the two ends
+// can disagree about enum layout without corrupting error classes.
+
+// --- Status ---
+uint32_t StatusCodeToWire(StatusCode code);
+StatusCode StatusCodeFromWire(uint32_t wire);
+std::string EncodeStatus(const Status& status);
+Status DecodeStatus(const std::string& payload, Status* out);
+
+// --- Query request ---
+struct QueryRequest {
+  std::string script;
+  QueryParams params;
+};
+std::string EncodeQueryRequest(const QueryRequest& request);
+Status DecodeQueryRequest(const std::string& payload, QueryRequest* out);
+
+// --- Query result ---
+std::string EncodeScriptResult(const ScriptResult& result);
+Status DecodeScriptResult(const std::string& payload, ScriptResult* out);
+
+}  // namespace tigervector::net
+
+#endif  // TIGERVECTOR_NET_PROTOCOL_H_

@@ -1,0 +1,292 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/io.h"
+
+namespace tigervector::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+bool IsTimeout(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+// Labeled counter: resolved per call (the TV_COUNTER_* macros cache their
+// pointer per call site, which would pin the first label seen).
+void CountNetError(const char* kind) {
+#if !defined(TIGERVECTOR_NO_METRICS)
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("tv.net.errors_total{kind=") + kind + "}")
+      ->Increment();
+#else
+  (void)kind;
+#endif
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)),
+      fault_site_(std::move(other.fault_site_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    fault_site_ = std::move(other.fault_site_);
+  }
+  return *this;
+}
+
+Socket Socket::FromFd(int fd) {
+  Socket s;
+  s.fd_ = fd;
+  return s;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                               int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock = FromFd(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("invalid IPv4 address '" + host + "'");
+  }
+
+  // Bounded connect: non-blocking connect + poll for writability.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    CountNetError("connect");
+    return Errno("connect to " + host + ":" + std::to_string(port));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (rc == 0) {
+      CountNetError("connect_timeout");
+      return Status::DeadlineExceeded("connect to " + host + ":" +
+                                      std::to_string(port) + " timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    if (rc < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      errno = err;
+      CountNetError("connect");
+      return Errno("connect to " + host + ":" + std::to_string(port));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Status Socket::SetRecvTimeout(int ms) {
+  timeval tv{ms / 1000, static_cast<suseconds_t>((ms % 1000) * 1000)};
+  if (::setsockopt(fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status Socket::SetSendTimeout(int ms) {
+  timeval tv{ms / 1000, static_cast<suseconds_t>((ms % 1000) * 1000)};
+  if (::setsockopt(fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAll(const void* data, size_t len) {
+  const int send_fd = fd();
+  if (send_fd < 0) return Status::IOError("send on closed socket");
+  size_t to_send = len;
+
+  // Fault hooks (mirrors io::File::Write): a kTornWrite truncates this
+  // transfer to `after_bytes` and hard-closes the socket — the on-wire
+  // artifact of a process dying mid-send (after_bytes = 0 is a close
+  // before any byte). kStall sleeps `after_bytes` milliseconds first so
+  // the peer's receive timeout fires.
+  auto& injector = io::FaultInjector::Instance();
+  bool tear_after = false;
+  if (!fault_site_.empty() && injector.any_armed()) {
+    io::FaultSpec spec;
+    if (injector.GetSpec(fault_site_, &spec)) {
+      if (spec.kind == io::FaultKind::kStall) {
+        injector.RecordTrigger(fault_site_);
+        std::this_thread::sleep_for(std::chrono::milliseconds(spec.after_bytes));
+      } else if (spec.kind == io::FaultKind::kTornWrite) {
+        injector.RecordTrigger(fault_site_);
+        tear_after = true;
+        to_send = std::min<size_t>(len, spec.after_bytes);
+      } else if (spec.kind == io::FaultKind::kFailWrite) {
+        injector.RecordTrigger(fault_site_);
+        CountNetError("injected_send");
+        return Status::IOError("injected fault: send failed at " + fault_site_);
+      }
+    }
+  }
+
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < to_send) {
+    const ssize_t n = ::send(send_fd, p + sent, to_send - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeout(errno)) {
+        CountNetError("send_timeout");
+        return Status::DeadlineExceeded("send timed out");
+      }
+      CountNetError("send");
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  TV_COUNTER_ADD("tv.net.bytes_sent_total", sent);
+  if (tear_after) {
+    // Hard close (RST-ish): the peer observes a torn frame.
+    Shutdown();
+    Close();
+    CountNetError("injected_torn_send");
+    return Status::IOError("injected fault: connection torn mid-send at " +
+                           fault_site_);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* data, size_t len) {
+  const int recv_fd = fd();
+  if (recv_fd < 0) return Status::IOError("recv on closed socket");
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(recv_fd, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeout(errno)) {
+        CountNetError("recv_timeout");
+        return Status::DeadlineExceeded("recv timed out (peer stalled?)");
+      }
+      CountNetError("recv");
+      return Errno("recv");
+    }
+    if (n == 0) {
+      CountNetError("peer_closed");
+      if (got == 0) return Status::IOError("connection closed by peer");
+      return Status::IOError("connection closed mid-transfer (torn frame: got " +
+                             std::to_string(got) + " of " + std::to_string(len) +
+                             " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  TV_COUNTER_ADD("tv.net.bytes_recv_total", got);
+  return Status::OK();
+}
+
+void Socket::Shutdown() {
+  const int shutdown_fd = fd();
+  if (shutdown_fd >= 0) ::shutdown(shutdown_fd, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  // exchange() makes a racing Close (owner thread vs. fault path) close
+  // the descriptor exactly once.
+  const int close_fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (close_fd >= 0) ::close(close_fd);
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)), port_(other.port_) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Listen(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Listener listener;
+  listener.fd_.store(fd, std::memory_order_relaxed);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Errno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) return Errno("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  for (;;) {
+    const int listen_fd = fd_.load(std::memory_order_relaxed);
+    if (listen_fd < 0) return Status::Aborted("listener closed");
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket::FromFd(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after Close() from the server's Stop path.
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Aborted("listener closed");
+    }
+    return Errno("accept");
+  }
+}
+
+void Listener::Close() {
+  const int close_fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (close_fd >= 0) {
+    // shutdown() unblocks a concurrent accept() reliably across platforms;
+    // close() alone may leave it sleeping.
+    ::shutdown(close_fd, SHUT_RDWR);
+    ::close(close_fd);
+  }
+}
+
+}  // namespace tigervector::net

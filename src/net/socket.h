@@ -1,0 +1,104 @@
+#ifndef TIGERVECTOR_NET_SOCKET_H_
+#define TIGERVECTOR_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tigervector::net {
+
+// Thin RAII wrapper over a connected TCP socket. All transfers are
+// exact-length loops over send/recv; errors come back typed:
+//   kDeadlineExceeded  -- a configured send/recv timeout fired
+//   kIOError           -- peer closed the connection or a syscall failed
+//
+// Like util/io, every transfer consults the process-wide FaultInjector
+// under this socket's fault site (set_fault_site), so tests can inject
+// torn frames (kTornWrite: send a prefix, then hard-close), mid-write
+// closes (kTornWrite with after_bytes = 0), and stalled peers (kStall:
+// sleep before sending so the reader's timeout fires) deterministically,
+// the same way WAL/recovery tests inject torn files.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // Connects to host:port with a bounded connect timeout.
+  static Result<Socket> Connect(const std::string& host, uint16_t port,
+                                int timeout_ms);
+
+  // Wraps an already-connected fd (from Listener::Accept).
+  static Socket FromFd(int fd);
+
+  bool is_open() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+
+  // Receive/send timeouts (SO_RCVTIMEO / SO_SNDTIMEO); 0 disables.
+  Status SetRecvTimeout(int ms);
+  Status SetSendTimeout(int ms);
+
+  // Fault site consulted by SendAll/RecvAll; empty disables injection.
+  void set_fault_site(std::string site) { fault_site_ = std::move(site); }
+
+  // Sends exactly `len` bytes or returns a typed error.
+  Status SendAll(const void* data, size_t len);
+  // Receives exactly `len` bytes. A clean peer close before any byte is
+  // kIOError "connection closed by peer"; mid-buffer EOF mentions the torn
+  // transfer; a timeout is kDeadlineExceeded.
+  Status RecvAll(void* data, size_t len);
+
+  // Half-closes + closes the descriptor; safe on an empty socket. Also used
+  // from another thread to unblock a pending RecvAll (server shutdown).
+  void Shutdown();
+  void Close();
+
+ private:
+  // Atomic because Shutdown() is called cross-thread to unblock a pending
+  // transfer (server Stop); Close() exchanges to -1 so only one thread
+  // ever closes the descriptor.
+  std::atomic<int> fd_{-1};
+  std::string fault_site_;
+};
+
+// A listening TCP socket bound to 127.0.0.1. Port 0 binds an ephemeral
+// port; port() reports the actual one.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // `backlog` is the kernel accept queue bound: connections beyond it are
+  // refused by the OS rather than piling up unseen.
+  static Result<Listener> Listen(uint16_t port, int backlog);
+
+  // Blocks until a connection arrives or the listener is closed (then
+  // kAborted) or a syscall fails (kIOError).
+  Result<Socket> Accept();
+
+  uint16_t port() const { return port_; }
+  bool is_open() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+
+  // Unblocks a pending Accept from another thread.
+  void Close();
+
+ private:
+  // Atomic for the same reason as Socket::fd_: Close() races with a
+  // blocked Accept() by design.
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace tigervector::net
+
+#endif  // TIGERVECTOR_NET_SOCKET_H_

@@ -35,10 +35,13 @@ std::string PromName(const std::string& name) {
   return out;
 }
 
-// Registry names may carry one label in braces ("tv.query.errors_total"
-// with "{kind=parse}" appended). Splits such a name into its Prometheus
-// base name and a rendered label suffix ({kind="parse"}); label-less names
-// pass through with an empty suffix.
+// Registry names may carry labels in braces ("tv.query.errors_total" with
+// "{kind=parse}" appended, or several comma-separated pairs:
+// "{site=accept,kind=io}"). Splits such a name into its Prometheus base
+// name and a rendered label suffix ({kind="parse"} /
+// {site="accept",kind="io"}); label-less names pass through with an empty
+// suffix, and malformed label blocks degrade to a literal (sanitized) name
+// rather than corrupt exposition.
 void SplitPromName(const std::string& name, std::string* base, std::string* labels) {
   labels->clear();
   const size_t brace = name.find('{');
@@ -47,13 +50,31 @@ void SplitPromName(const std::string& name, std::string* base, std::string* labe
     return;
   }
   const std::string inner = name.substr(brace + 1, name.size() - brace - 2);
-  const size_t eq = inner.find('=');
-  if (eq == std::string::npos) {
-    *base = PromName(name);
-    return;
+  std::string rendered = "{";
+  size_t start = 0;
+  while (start <= inner.size()) {
+    size_t comma = inner.find(',', start);
+    if (comma == std::string::npos) comma = inner.size();
+    const std::string pair = inner.substr(start, comma - start);
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *base = PromName(name);
+      return;
+    }
+    if (rendered.size() > 1) rendered += ",";
+    rendered += PromName(pair.substr(0, eq)) + "=\"" + pair.substr(eq + 1) + "\"";
+    start = comma + 1;
+    if (comma == inner.size()) break;
   }
   *base = PromName(name.substr(0, brace));
-  *labels = "{" + PromName(inner.substr(0, eq)) + "=\"" + inner.substr(eq + 1) + "\"}";
+  *labels = rendered + "}";
+}
+
+// Merges an `le` bucket label into an already-rendered label suffix:
+// "" + 0.001 -> {le="0.001"}, {kind="x"} + 0.001 -> {kind="x",le="0.001"}.
+std::string WithLe(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -193,14 +214,24 @@ std::string MetricsRegistry::RenderText() const {
     }
     out << base << labels << " " << value << "\n";
   }
+  prev_family.clear();
   for (const auto& [name, value] : gauges) {
-    const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " gauge\n";
-    out << prom << " " << value << "\n";
+    std::string base, labels;
+    SplitPromName(name, &base, &labels);
+    if (base != prev_family) {
+      out << "# TYPE " << base << " gauge\n";
+      prev_family = base;
+    }
+    out << base << labels << " " << value << "\n";
   }
+  prev_family.clear();
   for (const auto& [name, h] : histograms) {
-    const std::string prom = PromName(name);
-    out << "# TYPE " << prom << " histogram\n";
+    std::string base, labels;
+    SplitPromName(name, &base, &labels);
+    if (base != prev_family) {
+      out << "# TYPE " << base << " histogram\n";
+      prev_family = base;
+    }
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       const uint64_t bucket = h->BucketCount(i);
@@ -208,13 +239,14 @@ std::string MetricsRegistry::RenderText() const {
       // Elide empty leading/intermediate buckets except the mandatory +Inf;
       // cumulative counts stay correct because `le` buckets are cumulative.
       if (bucket == 0 && i + 1 < Histogram::kNumBuckets) continue;
-      out << prom << "_bucket{le=\"" << FmtSeconds(Histogram::BucketUpperBound(i))
-          << "\"} " << cumulative << "\n";
+      out << base << "_bucket"
+          << WithLe(labels, FmtSeconds(Histogram::BucketUpperBound(i))) << " "
+          << cumulative << "\n";
     }
     char sum_buf[64];
     std::snprintf(sum_buf, sizeof(sum_buf), "%.9f", h->Sum());
-    out << prom << "_sum " << sum_buf << "\n";
-    out << prom << "_count " << h->Count() << "\n";
+    out << base << "_sum" << labels << " " << sum_buf << "\n";
+    out << base << "_count" << labels << " " << h->Count() << "\n";
   }
   return out.str();
 }

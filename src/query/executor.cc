@@ -9,6 +9,7 @@
 #include "cache/query_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "simd/distance.h"
 #include "simd/sq8.h"
 #include "util/timer.h"
@@ -320,7 +321,15 @@ Result<VertexSet> QueryExecutor::BaseSet(const ResolvedNode& node, Tid read_tid,
                                          const QueryParams& params,
                                          ScanCacheProbe* probe) const {
   VertexSet base;
+  // Predicate scans poll the request's cancel token every check interval,
+  // so a deadline expiring mid-scan aborts the statement promptly instead
+  // of finishing a large segment sweep.
+  uint32_t scanned = 0;
   auto passes = [&](VertexId vid) -> Result<bool> {
+    if ((++scanned & (kCancelCheckInterval - 1)) == 0) {
+      Status cancelled = CancelCheckStatus();
+      if (!cancelled.ok()) return cancelled;
+    }
     for (const Expr* pred : node.predicates) {
       TV_COUNTER_INC("tv.query.predicate_evals_total");
       auto ok = EvalPredicate(*pred, vid, read_tid, params);

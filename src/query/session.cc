@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/parser.h"
+#include "util/cancel.h"
 #include "util/timer.h"
 
 namespace tigervector {
@@ -66,6 +67,8 @@ QueryPrefix StripQueryPrefix(const std::string& script, std::string* body) {
 // Classifies a failed run for the tv.query.errors_total{kind} counter.
 const char* ErrorKind(const Status& status) {
   if (status.code() == StatusCode::kParseError) return "parse";
+  if (status.code() == StatusCode::kDeadlineExceeded) return "deadline";
+  if (status.code() == StatusCode::kUnavailable) return "cancelled";
   // A dimension mismatch is its own class: the most common client bug
   // (wrong embedding model) and worth tracking separately.
   if (status.message().find("dimension") != std::string::npos) return "dimension";
@@ -86,6 +89,9 @@ Status GsqlSession::ExecuteStatements(const std::vector<Statement>& statements,
                                       ScriptResult* result) {
   const bool explaining = result->explained;
   for (const Statement& statement : statements) {
+    // Deadline gate between statements: a multi-statement script stops at
+    // the first statement boundary after the request's token fires.
+    TV_RETURN_NOT_OK(CancelCheckStatus());
     if (const auto* s = std::get_if<CreateVertexStmt>(&statement)) {
       if (!execute) continue;
       auto r = db_->schema()->CreateVertexType(s->name, s->attrs);
@@ -206,6 +212,15 @@ Status GsqlSession::ExecuteStatements(const std::vector<Statement>& statements,
 
 Result<ScriptResult> GsqlSession::Run(const std::string& script,
                                       const QueryParams& params) {
+  // A session's variable map and executor are stateful and unsynchronized:
+  // one script at a time. Concurrent callers (a misbehaving server client,
+  // a test) are rejected with a typed error instead of racing.
+  std::unique_lock<std::mutex> run_lock(run_mu_, std::try_to_lock);
+  if (!run_lock.owns_lock()) {
+    return Status::Aborted(
+        "session busy: GsqlSession::Run is not reentrant and another "
+        "statement is still executing on this session");
+  }
   std::string body;
   const QueryPrefix prefix = StripQueryPrefix(script, &body);
   const bool profiled = prefix == QueryPrefix::kProfile;

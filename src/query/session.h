@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -85,6 +86,9 @@ class GsqlSession {
 
   Database* db_;
   QueryExecutor executor_;
+  // Serializes Run: a second concurrent Run on the same session is rejected
+  // with kAborted ("session busy") instead of racing on vars_/executor_.
+  std::mutex run_mu_;
   VarMap vars_;
   std::unordered_map<std::string, std::unordered_map<VertexId, float>> dist_maps_;
 };

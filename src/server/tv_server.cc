@@ -1,0 +1,275 @@
+#include "server/tv_server.h"
+
+#include <algorithm>
+
+#include "net/protocol.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "query/session.h"
+#include "util/timer.h"
+
+namespace tigervector::server {
+
+namespace {
+
+// Labeled counters resolved per call (TV_COUNTER_* caches the pointer per
+// call site, which would pin the first label seen).
+void CountRequest(const char* type) {
+#if !defined(TIGERVECTOR_NO_METRICS)
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("tv.server.requests_total{type=") + type + "}")
+      ->Increment();
+#else
+  (void)type;
+#endif
+}
+
+void CountRejected(const char* reason) {
+#if !defined(TIGERVECTOR_NO_METRICS)
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("tv.server.rejected_total{reason=") + reason +
+                  "}")
+      ->Increment();
+#else
+  (void)reason;
+#endif
+}
+
+}  // namespace
+
+Status TvServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::AlreadyExists("server already started");
+  }
+  auto listener = net::Listener::Listen(options_.port,
+                                        std::max(options_.max_connections, 8));
+  TV_RETURN_NOT_OK(listener.status());
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TvServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  listener_.Close();  // unblocks Accept
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      {
+        std::lock_guard<std::mutex> conn_lock(conn->mu);
+        if (conn->active != nullptr) {
+          conn->active->Cancel("server shutting down");
+        }
+      }
+      conn->socket.Shutdown();  // unblocks a pending RecvAll
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  conns_.clear();
+}
+
+void TvServer::ReapFinished() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TvServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      // Transient accept failure (e.g. EMFILE); keep serving.
+      continue;
+    }
+    ReapFinished();
+    TV_COUNTER_INC("tv.server.connections_total");
+    net::Socket socket = std::move(accepted).value();
+    if (options_.io_timeout_ms > 0) {
+      (void)socket.SetRecvTimeout(options_.io_timeout_ms);
+      (void)socket.SetSendTimeout(options_.io_timeout_ms);
+    }
+    socket.set_fault_site(options_.fault_site);
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Connection-level fast-reject: one RETRY_LATER frame, then close.
+      CountRejected("conn_limit");
+      net::Frame reject;
+      reject.type = net::MsgType::kRetryLater;
+      (void)net::WriteFrame(socket, reject);
+      socket.Close();
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->socket = std::move(socket);
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] {
+      ServeConnection(raw);
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void TvServer::ServeConnection(Conn* conn) {
+  // One session per connection: vertex-set variables and distance maps
+  // persist across requests, mirroring a local shell session.
+  GsqlSession session(db_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto read = net::ReadFrame(conn->socket);
+    if (!read.ok()) {
+      // Peer closed, torn frame, or idle timeout: drop the connection. A
+      // torn request never reaches the session, so nothing half-executes.
+      return;
+    }
+    if (!HandleFrame(conn, session, read.value())) return;
+  }
+}
+
+bool TvServer::HandleFrame(Conn* conn, GsqlSession& session,
+                           const net::Frame& request) {
+  net::Frame response;
+  response.request_id = request.request_id;
+
+  switch (request.type) {
+    case net::MsgType::kPing:
+      CountRequest("ping");
+      response.type = net::MsgType::kPong;
+      break;
+
+    case net::MsgType::kMetrics:
+      CountRequest("metrics");
+      response.type = net::MsgType::kText;
+      response.payload = obs::MetricsRegistry::Global().RenderText();
+      break;
+
+    case net::MsgType::kFlightRec: {
+      CountRequest("flightrec");
+      net::WireReader r(request.payload);
+      uint64_t flight_id = 0;
+      Status st = r.GetU64(&flight_id);
+      if (!st.ok()) {
+        response.type = net::MsgType::kError;
+        response.payload = net::EncodeStatus(st);
+        break;
+      }
+      if (flight_id == 0) {
+        response.type = net::MsgType::kText;
+        response.payload = obs::FlightRecorder::Global().RenderList();
+        break;
+      }
+      obs::QueryRecord record;
+      if (!obs::FlightRecorder::Global().Find(flight_id, &record)) {
+        response.type = net::MsgType::kError;
+        response.payload = net::EncodeStatus(Status::NotFound(
+            "flight record " + std::to_string(flight_id) +
+            " not found (evicted or never recorded)"));
+        break;
+      }
+      response.type = net::MsgType::kText;
+      response.payload = obs::FlightRecorder::RenderDetail(record);
+      break;
+    }
+
+    case net::MsgType::kQuery: {
+      CountRequest("query");
+      // Admission control: claim an execution slot or fast-reject. A
+      // rejected request never reaches the session, so the client may
+      // always retry it.
+      int slots = inflight_.load(std::memory_order_relaxed);
+      bool admitted = false;
+      while (slots < options_.max_inflight) {
+        if (inflight_.compare_exchange_weak(slots, slots + 1,
+                                            std::memory_order_relaxed)) {
+          admitted = true;
+          break;
+        }
+      }
+      if (!admitted) {
+        CountRejected("inflight");
+        response.type = net::MsgType::kRetryLater;
+        break;
+      }
+      TV_GAUGE_SET("tv.server.inflight", inflight_.load());
+
+      net::QueryRequest query;
+      Status decoded = net::DecodeQueryRequest(request.payload, &query);
+      if (!decoded.ok()) {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        response.type = net::MsgType::kError;
+        response.payload = net::EncodeStatus(decoded);
+        break;
+      }
+
+      // Deadline: the client's remaining budget (clamped), else the server
+      // default. The token is installed thread-locally around Run and
+      // propagated to pool workers by the fan-out sites.
+      uint64_t budget = request.deadline_micros;
+      if (budget == 0) budget = options_.default_deadline_micros;
+      if (options_.max_deadline_micros > 0 &&
+          (budget == 0 || budget > options_.max_deadline_micros)) {
+        budget = options_.max_deadline_micros;
+      }
+      CancelToken token;
+      if (budget > 0) token.SetDeadlineAfterMicros(budget);
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->active = &token;
+      }
+      Timer timer;
+      Result<ScriptResult> result = [&] {
+        ScopedCancel cancel_scope(&token);
+        return session.Run(query.script, query.params);
+      }();
+      TV_HISTOGRAM_OBSERVE("tv.server.query_seconds", timer.ElapsedSeconds());
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->active = nullptr;
+      }
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      TV_GAUGE_SET("tv.server.inflight", inflight_.load());
+
+      if (result.ok()) {
+        response.type = net::MsgType::kResult;
+        response.payload = net::EncodeScriptResult(result.value());
+      } else {
+        if (result.status().code() == StatusCode::kDeadlineExceeded) {
+          TV_COUNTER_INC("tv.server.deadline_exceeded_total");
+        }
+        response.type = net::MsgType::kError;
+        response.payload = net::EncodeStatus(result.status());
+      }
+      break;
+    }
+
+    default:
+      CountRequest("unknown");
+      response.type = net::MsgType::kError;
+      response.payload = net::EncodeStatus(Status::InvalidArgument(
+          std::string("unsupported request frame type '") +
+          net::MsgTypeName(request.type) + "'"));
+      break;
+  }
+
+  return net::WriteFrame(conn->socket, response).ok();
+}
+
+}  // namespace tigervector::server

@@ -1,0 +1,116 @@
+#ifndef TIGERVECTOR_SERVER_TV_SERVER_H_
+#define TIGERVECTOR_SERVER_TV_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/cancel.h"
+
+namespace tigervector {
+class GsqlSession;
+}
+
+namespace tigervector::server {
+
+struct ServerOptions {
+  // 0 binds an ephemeral port; TvServer::port() reports the actual one.
+  uint16_t port = 0;
+  // Connection cap: an accept beyond it is answered with one RETRY_LATER
+  // frame and closed without ever reaching a session.
+  int max_connections = 64;
+  // Admission control: queries executing concurrently across all
+  // connections. A query arriving with all slots taken is fast-rejected
+  // with RETRY_LATER -- it never touches the executor, so retrying it is
+  // always safe.
+  int max_inflight = 8;
+  // Deadline applied when the client ships none (0 = unlimited).
+  uint64_t default_deadline_micros = 0;
+  // Upper clamp on client-requested budgets (0 = no clamp).
+  uint64_t max_deadline_micros = 0;
+  // Socket send/recv timeout on accepted connections; bounds how long a
+  // handler thread can be held by a stalled peer. 0 disables.
+  int io_timeout_ms = 30000;
+  // Fault site installed on accepted sockets (tests inject torn writes /
+  // stalls on the server side of the wire).
+  std::string fault_site;
+};
+
+// Multi-threaded TCP front end: an accept thread plus one handler thread
+// per connection, each owning a GsqlSession (so session state -- vertex-set
+// variables, distance maps -- persists across requests on one connection,
+// exactly like a local shell). Per-request deadlines become a CancelToken
+// installed around GsqlSession::Run; the executor's scan loops poll it and
+// the request fails typed with DEADLINE_EXCEEDED, never a partial top-k.
+class TvServer {
+ public:
+  TvServer(Database* db, ServerOptions options)
+      : db_(db), options_(std::move(options)) {}
+  ~TvServer() { Stop(); }
+
+  TvServer(const TvServer&) = delete;
+  TvServer& operator=(const TvServer&) = delete;
+
+  // Binds the listener and starts the accept thread.
+  Status Start();
+
+  // Stops accepting, cancels every in-flight request (their tokens fire
+  // kUnavailable), unblocks connection reads, and joins all threads.
+  // Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  // Live gauges (tests assert saturation behavior against these).
+  int active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    net::Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    // Cancel token of the request currently executing on this connection
+    // (null between requests); Stop() fires it. Guarded by mu.
+    std::mutex mu;
+    CancelToken* active = nullptr;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Conn* conn);
+  // Handles one request frame; returns false when the connection should
+  // close (transport error talking back to the peer).
+  bool HandleFrame(Conn* conn, GsqlSession& session, const net::Frame& request);
+  // Joins and drops finished connection threads (called from the accept
+  // loop so a long-lived server does not accumulate dead threads).
+  void ReapFinished();
+
+  Database* db_;
+  ServerOptions options_;
+  net::Listener listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::atomic<int> active_connections_{0};
+  std::atomic<int> inflight_{0};
+};
+
+}  // namespace tigervector::server
+
+#endif  // TIGERVECTOR_SERVER_TV_SERVER_H_

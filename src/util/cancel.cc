@@ -1,0 +1,60 @@
+#include "util/cancel.h"
+
+namespace tigervector {
+
+namespace {
+thread_local CancelToken* tl_cancel_token = nullptr;
+}  // namespace
+
+void CancelToken::Cancel(std::string reason) {
+  if (cancelled_.load(std::memory_order_acquire)) return;
+  cancel_reason_ = std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+  fired_.store(true, std::memory_order_release);
+}
+
+bool CancelToken::Expired() {
+  const uint64_t check = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (fired_.load(std::memory_order_acquire)) return true;
+  const uint64_t trip_at = trip_at_check_.load(std::memory_order_acquire);
+  if (trip_at != 0 && check >= trip_at) {
+    fired_.store(true, std::memory_order_release);
+    return true;
+  }
+  const int64_t deadline_ns = deadline_ns_.load(std::memory_order_acquire);
+  if (deadline_ns != 0 &&
+      std::chrono::steady_clock::now().time_since_epoch().count() >= deadline_ns) {
+    fired_.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+Status CancelToken::status() const {
+  if (!fired_.load(std::memory_order_acquire)) return Status::OK();
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("query cancelled: " + cancel_reason_);
+  }
+  return Status::DeadlineExceeded("query deadline exceeded");
+}
+
+CancelToken* CurrentCancelToken() { return tl_cancel_token; }
+
+ScopedCancel::ScopedCancel(CancelToken* token) : prev_(tl_cancel_token) {
+  tl_cancel_token = token;
+}
+
+ScopedCancel::~ScopedCancel() { tl_cancel_token = prev_; }
+
+bool CancelCheckExpired() {
+  CancelToken* token = tl_cancel_token;
+  return token != nullptr && token->Expired();
+}
+
+Status CancelCheckStatus() {
+  CancelToken* token = tl_cancel_token;
+  if (token == nullptr || !token->Expired()) return Status::OK();
+  return token->status();
+}
+
+}  // namespace tigervector

@@ -1,0 +1,105 @@
+#ifndef TIGERVECTOR_UTIL_CANCEL_H_
+#define TIGERVECTOR_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tigervector {
+
+// Cooperative cancellation for long-running query work. A CancelToken
+// carries a deadline and/or an explicit cancellation flag; the serving
+// layer installs one thread-locally for the duration of a request
+// (ScopedCancel), fan-out sites re-install it on worker threads alongside
+// trace propagation, and the executor's scan loops and the HNSW searcher
+// poll it every few hundred units of work. When the token fires, the
+// in-progress loop abandons its partial result and the error propagates up
+// as kDeadlineExceeded (deadline) or kUnavailable (explicit cancel, e.g.
+// server shutdown) — a caller never observes a silently truncated top-k.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Arms the deadline. Passing a time in the past makes the next check
+  // fire immediately.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  void SetDeadlineAfterMicros(uint64_t micros) {
+    SetDeadline(std::chrono::steady_clock::now() +
+                std::chrono::microseconds(micros));
+  }
+
+  // Explicit cancellation (client disconnected, server shutting down).
+  // `reason` is surfaced in the resulting kUnavailable status.
+  void Cancel(std::string reason);
+
+  // Polled by scan loops. Records the first expiry sticky, so once a token
+  // fires every later check agrees (a single query never observes a token
+  // un-expire). Counts every call — the deterministic deadline tests use
+  // TripAfterChecks to fire mid-scan without depending on wall-clock time.
+  bool Expired();
+
+  // OK until the token fires; then kDeadlineExceeded or kUnavailable.
+  // Does not itself re-check the clock: pair with Expired().
+  Status status() const;
+
+  // Test hook: force the deadline to fire on the n-th Expired() call from
+  // now. Deterministically simulates a deadline expiring mid-scan.
+  void TripAfterChecks(uint64_t n) {
+    trip_at_check_.store(checks_.load(std::memory_order_relaxed) + n,
+                         std::memory_order_release);
+  }
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> trip_at_check_{0};  // 0 = disabled
+  std::atomic<int64_t> deadline_ns_{0};     // steady_clock epoch ns; 0 = none
+  std::atomic<bool> fired_{false};
+  std::atomic<bool> cancelled_{false};
+  // Written once before cancelled_ is published, read only after.
+  std::string cancel_reason_;
+};
+
+// The token installed on the current thread, or nullptr. Fan-out sites pass
+// it to workers the same way they propagate the active query trace.
+CancelToken* CurrentCancelToken();
+
+// Installs `token` (may be nullptr) as the current thread's token for the
+// scope's lifetime, restoring the previous one on exit.
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(CancelToken* token);
+  ~ScopedCancel();
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  CancelToken* prev_;
+};
+
+// One rate-limited poll of the current token: returns true when a token is
+// installed and has fired. Loops call this every kCancelCheckInterval units
+// of work; with no token installed it is a single thread-local load.
+bool CancelCheckExpired();
+
+// Status form for Result-returning layers: OK when no token is installed
+// or the token has not fired.
+Status CancelCheckStatus();
+
+// How many loop iterations (vertices scanned, HNSW hops) pass between two
+// token polls. Bounds how far past its deadline a query can run: one check
+// interval's worth of work.
+inline constexpr uint32_t kCancelCheckInterval = 64;
+
+}  // namespace tigervector
+
+#endif  // TIGERVECTOR_UTIL_CANCEL_H_

@@ -32,6 +32,8 @@ const char* FaultKindName(FaultKind kind) {
       return "fail_rename";
     case FaultKind::kFailOpen:
       return "fail_open";
+    case FaultKind::kStall:
+      return "stall";
   }
   return "unknown";
 }

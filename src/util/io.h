@@ -41,6 +41,10 @@ enum class FaultKind : uint8_t {
   kFailRename = 3,
   // Opening the file fails (read or write).
   kFailOpen = 4,
+  // Socket-layer only: the operation stalls for `after_bytes` milliseconds
+  // before proceeding, simulating a peer that stops sending mid-exchange
+  // (the reading side's receive timeout is what should fire).
+  kStall = 5,
 };
 
 const char* FaultKindName(FaultKind kind);

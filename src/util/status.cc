@@ -30,6 +30,10 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kSemanticError:
       return "SemanticError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -19,8 +19,10 @@ enum class StatusCode {
   kAborted,         // transaction aborted (e.g., write-write conflict)
   kIncompatible,    // embedding metadata compatibility check failed
   kIOError,
-  kParseError,      // GSQL syntax error
-  kSemanticError,   // GSQL semantic analysis error
+  kParseError,        // GSQL syntax error
+  kSemanticError,     // GSQL semantic analysis error
+  kDeadlineExceeded,  // request deadline expired (cooperative cancellation)
+  kUnavailable,       // server saturated / shutting down: retry later
 };
 
 // A Status holds a code plus a human-readable message. The OK status carries
@@ -63,6 +65,12 @@ class Status {
   }
   static Status SemanticError(std::string msg) {
     return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -161,6 +161,71 @@ TEST(ObsRenderTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("tv_test_latency_seconds_count 1\n"), std::string::npos);
 }
 
+TEST(ObsRenderTest, LabeledCountersShareOneFamilyHeader) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("tv.server.rejected_total{reason=inflight}")->Add(3);
+  registry.GetCounter("tv.server.rejected_total{reason=conn_limit}")->Add(1);
+  const std::string text = registry.RenderText();
+  // Two label values, one family: the TYPE header must appear exactly once.
+  const std::string header = "# TYPE tv_server_rejected_total counter\n";
+  const size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+  EXPECT_NE(text.find("tv_server_rejected_total{reason=\"conn_limit\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tv_server_rejected_total{reason=\"inflight\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(ObsRenderTest, MultiLabelNamesRenderAllPairsQuoted) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("tv.net.errors_total{site=accept,kind=io}")->Add(2);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(
+      text.find("tv_net_errors_total{site=\"accept\",kind=\"io\"} 2\n"),
+      std::string::npos);
+}
+
+TEST(ObsRenderTest, LabeledGaugeRendersLabelBlock) {
+  obs::MetricsRegistry registry;
+  registry.GetGauge("tv.server.inflight{port=7001}")->Set(4);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE tv_server_inflight gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tv_server_inflight{port=\"7001\"} 4\n"),
+            std::string::npos);
+}
+
+TEST(ObsRenderTest, LabeledHistogramMergesLeIntoLabelBlock) {
+  obs::MetricsRegistry registry;
+  registry.GetHistogram("tv.server.latency_seconds{op=query}")->Observe(3e-6);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE tv_server_latency_seconds histogram\n"),
+            std::string::npos);
+  // `le` joins the existing label block instead of forming a second one.
+  EXPECT_NE(text.find("tv_server_latency_seconds_bucket{op=\"query\","
+                      "le=\"4e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tv_server_latency_seconds_bucket{op=\"query\","
+                      "le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tv_server_latency_seconds_sum{op=\"query\"} "
+                      "0.000003000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tv_server_latency_seconds_count{op=\"query\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ObsRenderTest, MalformedLabelBlockDegradesToSanitizedName) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("tv.test.oddball{no-equals-sign}")->Add(1);
+  const std::string text = registry.RenderText();
+  // An unparseable label block must not produce invalid exposition output;
+  // the whole name is sanitized into a plain literal instead.
+  EXPECT_EQ(text.find("{no-equals-sign}"), std::string::npos);
+  EXPECT_NE(text.find("tv_test_oddball_no_equals_sign_ 1\n"),
+            std::string::npos);
+}
+
 TEST(ObsRenderTest, JsonSnapshot) {
   obs::MetricsRegistry registry;
   registry.GetCounter("tv.test.a")->Add(7);

@@ -29,11 +29,18 @@
 // (parse/plan/execute, hnsw.search, distance evals) after the result.
 // Prefixing with EXPLAIN prints the chosen plan without executing;
 // EXPLAIN ANALYZE executes and annotates each plan node with actuals.
+//
+// Remote mode: `gsql_shell --connect host:port` speaks to a running
+// tv_server instead of an in-process database. The statement surface is
+// identical (including EXPLAIN / PROFILE); \metrics and \flightrec fetch
+// the server's registry and flight recorder over the wire, and
+// \deadline MS ships a per-request deadline with every statement.
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "net/client.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "query/session.h"
@@ -43,14 +50,10 @@ using namespace tigervector;
 
 namespace {
 
-bool HandleShellCommand(const std::string& line, Database* db, GsqlSession* session,
+// Parameter-binding commands shared by the local and remote shells.
+// Returns true when `cmd` was one of them.
+bool HandleParamCommand(const std::string& cmd, std::istringstream& in,
                         QueryParams* params) {
-  std::istringstream in(line);
-  std::string cmd;
-  in >> cmd;
-  if (cmd == "\\quit" || cmd == "\\q") {
-    std::exit(0);
-  }
   if (cmd == "\\set") {
     std::string name, values;
     in >> name >> values;
@@ -80,6 +83,18 @@ bool HandleShellCommand(const std::string& line, Database* db, GsqlSession* sess
     std::printf("$%s = \"%s\"\n", name.c_str(), v.c_str());
     return true;
   }
+  return false;
+}
+
+bool HandleShellCommand(const std::string& line, Database* db, GsqlSession* session,
+                        QueryParams* params) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == "\\quit" || cmd == "\\q") {
+    std::exit(0);
+  }
+  if (HandleParamCommand(cmd, in, params)) return true;
   if (cmd == "\\role") {
     std::string role;
     in >> role;
@@ -220,9 +235,119 @@ void PrintResult(const ScriptResult& result) {
   }
 }
 
+// Remote shell loop: statements and observability commands travel over the
+// wire to a tv_server; parameter bindings stay client-side and are shipped
+// with each query.
+int RunRemote(const std::string& host, uint16_t port) {
+  net::ClientOptions copts;
+  copts.host = host;
+  copts.port = port;
+  net::TvClient client(copts);
+  Status up = client.Ping();
+  if (!up.ok()) {
+    std::printf("cannot reach %s:%u: %s\n", host.c_str(), port,
+                up.ToString().c_str());
+    return 1;
+  }
+  QueryParams params;
+  net::RunOptions run;
+  std::printf("TigerVector GSQL shell, connected to %s:%u. \\quit to exit, "
+              "\\deadline MS for per-request deadlines.\n", host.c_str(), port);
+  std::string buffer;
+  std::string line;
+  for (;;) {
+    std::printf(buffer.empty() ? "gsql> " : "  ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!line.empty() && line[0] == '\\') {
+      std::istringstream in(line);
+      std::string cmd;
+      in >> cmd;
+      if (cmd == "\\quit" || cmd == "\\q") return 0;
+      if (HandleParamCommand(cmd, in, &params)) continue;
+      if (cmd == "\\deadline") {
+        long long ms = 0;
+        in >> ms;
+        run.deadline_micros = ms <= 0 ? 0 : static_cast<uint64_t>(ms) * 1000;
+        std::printf("deadline = %lld ms%s\n", ms, ms <= 0 ? " (disabled)" : "");
+        continue;
+      }
+      if (cmd == "\\metrics") {
+        auto text = client.Metrics();
+        if (text.ok()) {
+          std::fputs(text->c_str(), stdout);
+        } else {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (cmd == "\\flightrec") {
+        std::string id_str;
+        in >> id_str;
+        const uint64_t id =
+            id_str.empty() ? 0 : std::strtoull(id_str.c_str(), nullptr, 10);
+        auto text = client.FlightRec(id);
+        if (text.ok()) {
+          std::fputs(text->c_str(), stdout);
+        } else {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        }
+        continue;
+      }
+      std::printf("unknown or local-only shell command %s\n", cmd.c_str());
+      continue;
+    }
+    buffer += line + "\n";
+    std::string trimmed = buffer;
+    while (!trimmed.empty() && std::isspace(static_cast<unsigned char>(
+                                   trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty()) {
+      buffer.clear();
+      continue;
+    }
+    if (trimmed.back() != ';' && trimmed.back() != '}') continue;
+    auto result = client.Run(buffer, params, run);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*result);
+    if (result->flight_id != 0) {
+      std::printf("(flight record %llu; \\flightrec %llu for spans)\n",
+                  static_cast<unsigned long long>(result->flight_id),
+                  static_cast<unsigned long long>(result->flight_id));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string target;
+    if (arg == "--connect" && i + 1 < argc) {
+      target = argv[i + 1];
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      target = arg.substr(10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      return 2;
+    }
+    const size_t colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants host:port, got '%s'\n",
+                   target.c_str());
+      return 2;
+    }
+    return RunRemote(target.substr(0, colon),
+                     static_cast<uint16_t>(
+                         std::strtoul(target.c_str() + colon + 1, nullptr, 10)));
+  }
   Database db;
   GsqlSession session(&db);
   QueryParams params;

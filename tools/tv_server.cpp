@@ -1,0 +1,142 @@
+// TigerVector network server: serves GSQL over the TVWP wire protocol.
+//
+//   $ tv_server --port=7431 --init=schema.gsql
+//   listening on 127.0.0.1:7431
+//
+// Flags:
+//   --port=N              TCP port (0 = ephemeral; the actual port is printed)
+//   --max-connections=N   connection cap (beyond it: RETRY_LATER + close)
+//   --max-inflight=N      concurrent query slots (beyond it: RETRY_LATER)
+//   --default-deadline-ms=N  deadline for requests that ship none (0 = none)
+//   --max-deadline-ms=N   clamp on client-requested deadlines (0 = no clamp)
+//   --io-timeout-ms=N     per-socket send/recv timeout
+//   --init=FILE           run a GSQL script (schema / load) before serving
+//   --fault=SITE:KIND:N   arm a fault (KIND: fail_write|torn_write|stall),
+//                         e.g. --fault=net.server.send:torn_write:16
+//
+// SIGINT/SIGTERM stop the server cleanly: in-flight requests are cancelled
+// (their clients see a typed error), threads joined, then exit.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "query/session.h"
+#include "server/tv_server.h"
+#include "util/io.h"
+
+using namespace tigervector;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+bool ArmFault(const std::string& spec_str) {
+  // SITE:KIND:N
+  const size_t c1 = spec_str.find(':');
+  const size_t c2 = spec_str.rfind(':');
+  if (c1 == std::string::npos || c2 == c1) return false;
+  const std::string site = spec_str.substr(0, c1);
+  const std::string kind = spec_str.substr(c1 + 1, c2 - c1 - 1);
+  io::FaultSpec spec;
+  spec.after_bytes = std::strtoull(spec_str.c_str() + c2 + 1, nullptr, 10);
+  if (kind == "fail_write") {
+    spec.kind = io::FaultKind::kFailWrite;
+  } else if (kind == "torn_write") {
+    spec.kind = io::FaultKind::kTornWrite;
+  } else if (kind == "stall") {
+    spec.kind = io::FaultKind::kStall;
+  } else {
+    return false;
+  }
+  io::FaultInjector::Instance().Arm(site, spec);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  std::string init_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      options.port = static_cast<uint16_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--max-connections", &value)) {
+      options.max_connections = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-inflight", &value)) {
+      options.max_inflight = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--default-deadline-ms", &value)) {
+      options.default_deadline_micros =
+          std::strtoull(value.c_str(), nullptr, 10) * 1000;
+    } else if (ParseFlag(argv[i], "--max-deadline-ms", &value)) {
+      options.max_deadline_micros =
+          std::strtoull(value.c_str(), nullptr, 10) * 1000;
+    } else if (ParseFlag(argv[i], "--io-timeout-ms", &value)) {
+      options.io_timeout_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--init", &value)) {
+      init_file = value;
+    } else if (ParseFlag(argv[i], "--fault", &value)) {
+      options.fault_site = value.substr(0, value.find(':'));
+      if (!ArmFault(value)) {
+        std::fprintf(stderr, "bad --fault spec '%s' (want SITE:KIND:N)\n",
+                     value.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Database db;
+  if (!init_file.empty()) {
+    std::ifstream in(init_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open init script %s\n", init_file.c_str());
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    GsqlSession session(&db);
+    auto result = session.Run(script.str());
+    if (!result.ok()) {
+      std::fprintf(stderr, "init script failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "init script %s ok\n", init_file.c_str());
+  }
+
+  server::TvServer server(&db, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  // The smoke harness greps this exact line for the bound port.
+  std::printf("listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();
+  return 0;
+}
